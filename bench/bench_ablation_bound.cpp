@@ -1,0 +1,46 @@
+// Ablation A: BMC bound vs detection (design-choice study from DESIGN.md).
+//
+// Shows (a) bugs are missed when the bound is below the minimal trigger
+// depth, (b) the reported counterexample length is invariant once the bound
+// covers it (BMC returns minimal-length witnesses — the basis of the paper's
+// Observation 3), and (c) runtime growth with the bound, dominated by the
+// refutation of all shallower depths.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace aqed;
+
+int main() {
+  printf("Ablation A: BMC bound sweep (memory-controller bugs)\n");
+  bench::PrintRule('=');
+  const accel::MemCtrlBugInfo cases[] = {
+      {accel::MemCtrlBug::kFifoClockEnableRd, accel::MemCtrlConfig::kFifo,
+       "fifo_clock_enable_rd", true, false},
+      {accel::MemCtrlBug::kLbStaleAccum, accel::MemCtrlConfig::kLineBuffer,
+       "lb_stale_accum", false, false},
+      {accel::MemCtrlBug::kFifoStallDeadlock, accel::MemCtrlConfig::kFifo,
+       "fifo_stall_deadlock", false, true},
+  };
+
+  for (const auto& info : cases) {
+    printf("\n%s:\n", info.name);
+    printf("  %-8s %-10s %-8s %-10s\n", "bound", "found", "cex", "time[s]");
+    for (uint32_t bound : {4u, 8u, 12u, 16u, 20u}) {
+      auto options = bench::MemCtrlStudyOptions(info.config);
+      options.fc_bound = bound;
+      options.rb_bound = bound;
+      const auto result = core::CheckAccelerator(
+          [&](ir::TransitionSystem& ts) {
+            return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
+          },
+          options);
+      printf("  %-8u %-10s %-8u %-10.3f\n", bound,
+             result.bug_found ? "yes" : "no", result.cex_cycles(),
+             result.bmc.seconds);
+    }
+  }
+  printf("\n(once the bound covers the minimal trigger depth, the CEX "
+         "length stops changing: BMC witnesses are minimal)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "accel/memctrl.h"
+#include "aqed/checker.h"
+#include "harness/conventional_flow.h"
+
+namespace aqed::bench {
+
+// A-QED options used for the memory-controller study (Sec. V.A): FC plus RB
+// with the per-configuration response bound, per-property bounds, and a
+// bounded per-depth refutation effort.
+inline core::AqedOptions MemCtrlStudyOptions(accel::MemCtrlConfig config) {
+  core::AqedOptions options;
+  core::RbOptions rb;
+  rb.tau = accel::MemCtrlResponseBound(config);
+  rb.in_min = config == accel::MemCtrlConfig::kDoubleBuffer ? 2 : 1;
+  options.rb = rb;
+  options.fc_bound = 14;
+  options.rb_bound = 20;
+  options.bmc.conflict_budget = 400000;
+  return options;
+}
+
+// The conventional flow's per-configuration testbench assumptions (see
+// tests/memctrl_test.cpp for the rationale).
+inline harness::CampaignOptions MemCtrlConventionalOptions(
+    accel::MemCtrlConfig config) {
+  harness::CampaignOptions options;
+  options.num_seeds = 20;
+  options.testbench.max_cycles = 300;   // one directed-test run
+  options.testbench.data_pool = 6;
+  options.testbench.hang_timeout = 200;
+  // Results are compared when the test completes, as application-level
+  // testbenches do — a failing conventional trace is the whole test.
+  options.testbench.end_of_test_checking = true;
+  options.testbench.pinned_inputs = {{"clk_en", 1}};
+  if (config == accel::MemCtrlConfig::kLineBuffer) {
+    options.testbench.host_ready_prob = 256;
+  }
+  return options;
+}
+
+inline void PrintRule(char c = '-', int n = 78) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace aqed::bench

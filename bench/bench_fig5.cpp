@@ -1,0 +1,67 @@
+// Regenerates Fig. 5 of the paper: bugs detected on the memory-controller
+// unit — A-QED detects every bug the conventional flow detects, plus the
+// corner-case bugs that escape it (paper: 13% unique to A-QED; one bug found
+// via RB, the rest via FC).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace aqed;
+
+int main() {
+  printf("Fig. 5: memory-controller unit bugs detected\n");
+  bench::PrintRule('=');
+
+  int total = 0, conv_detected = 0, aqed_detected = 0, both = 0;
+  int aqed_only = 0, fc_detected = 0, rb_detected = 0;
+
+  printf("%-24s %-14s %-12s %-10s\n", "bug", "conventional", "aqed",
+         "property");
+  bench::PrintRule();
+  for (const auto& info : accel::MemCtrlBugCatalog()) {
+    ++total;
+    const auto campaign = harness::RunCampaign(
+        [&](ir::TransitionSystem& ts) {
+          return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
+        },
+        accel::MemCtrlGolden(info.config),
+        bench::MemCtrlConventionalOptions(info.config));
+    const auto result = core::CheckAccelerator(
+        [&](ir::TransitionSystem& ts) {
+          return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
+        },
+        bench::MemCtrlStudyOptions(info.config));
+
+    if (campaign.bug_detected) ++conv_detected;
+    if (result.bug_found) {
+      ++aqed_detected;
+      if (result.kind == core::BugKind::kResponseBound ||
+          result.kind == core::BugKind::kInputStarvation) {
+        ++rb_detected;
+      } else {
+        ++fc_detected;
+      }
+      if (!campaign.bug_detected) ++aqed_only;
+    }
+    if (campaign.bug_detected && result.bug_found) ++both;
+    printf("%-24s %-14s %-12s %-10s\n", info.name,
+           campaign.bug_detected ? "detected" : "ESCAPED",
+           result.bug_found ? "detected" : "MISSED",
+           result.bug_found ? core::BugKindName(result.kind) : "-");
+  }
+
+  bench::PrintRule('=');
+  printf("total bugs:                 %d\n", total);
+  printf("conventional flow detected: %d\n", conv_detected);
+  printf("A-QED detected:             %d\n", aqed_detected);
+  printf("detected by both:           %d\n", both);
+  printf("unique to A-QED:            %d (%.0f%% of total; paper: ~13%%)\n",
+         aqed_only, 100.0 * aqed_only / total);
+  printf("A-QED property breakdown:   %d via FC, %d via RB "
+         "(paper: one RB, remainder FC)\n",
+         fc_detected, rb_detected);
+  const bool superset = aqed_detected >= conv_detected && both == conv_detected;
+  printf("A-QED detected all conventional-flow bugs: %s\n",
+         superset ? "yes (Observation 1 reproduced)" : "NO");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// A-QED module customization (paper Sec. IV.B): an AES accelerator that
+// encrypts batches of blocks under one common key.
+//
+// The key is declared as a *shared-context* signal of the interface: the FC
+// monitor latches it with the original transaction and only labels a
+// duplicate whose batch uses the same key — exactly the customization the
+// paper describes for its AES case study.
+#include <cstdio>
+
+#include "accel/aes.h"
+#include "aqed/checker.h"
+#include "aqed/report.h"
+
+using namespace aqed;
+
+namespace {
+
+void Check(accel::AesBug bug) {
+  accel::AesConfig config;
+  config.rounds = 2;
+  config.batch_size = 2;  // two blocks per handshake, common key
+  config.bug = bug;
+
+  core::AqedOptions options;
+  core::RbOptions rb;
+  rb.tau = accel::AesResponseBound(config);
+  options.rb = rb;
+  options.fc_bound = bug == accel::AesBug::kNone ? 8 : 14;
+  options.rb_bound = bug == accel::AesBug::kNone ? 10 : 20;
+  options.bmc.conflict_budget = 400000;
+
+  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto result = core::CheckAccelerator(
+      [&](ir::TransitionSystem& t) {
+        auto design = accel::BuildAes(t, config);
+        // design.acc.shared_context == {key}: the common-key customization.
+        return design.acc;
+      },
+      options, &ts);
+  std::printf("AES (%s): %s\n", accel::AesBugName(bug),
+              core::SummarizeResult(result).c_str());
+  if (result.bug_found) {
+    std::printf("%s\n", core::FormatResult(*ts, result).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("AES with a common key across each batch (shared-context "
+              "FC checking)\n\n");
+  Check(accel::AesBug::kNone);
+  std::printf("\n");
+  // v3 samples the key too late — the transaction is encrypted under
+  // whatever key the host bus happens to carry at issue time.
+  Check(accel::AesBug::kV3KeySampleLate);
+  return 0;
+}

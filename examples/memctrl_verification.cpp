@@ -1,0 +1,74 @@
+// Case study walk-through: stand-alone verification of the memory-controller
+// unit's configurations (paper Sec. V.A).
+//
+// Shows the workflow an accelerator team would run per configuration:
+// verify the clean design up to a bound, then demonstrate what A-QED reports
+// on two representative regressions — the clock-enable corner case that
+// escaped the conventional flow, and the FIFO-full deadlock found through
+// the response-bound property.
+#include <cstdio>
+
+#include "accel/memctrl.h"
+#include "aqed/checker.h"
+#include "aqed/report.h"
+
+using namespace aqed;
+
+namespace {
+
+core::AqedOptions StudyOptions(accel::MemCtrlConfig config) {
+  core::AqedOptions options;
+  core::RbOptions rb;
+  rb.tau = accel::MemCtrlResponseBound(config);
+  rb.in_min = config == accel::MemCtrlConfig::kDoubleBuffer ? 2 : 1;
+  options.rb = rb;
+  options.fc_bound = 14;
+  options.rb_bound = 20;
+  options.bmc.conflict_budget = 400000;
+  return options;
+}
+
+void Report(const char* title, accel::MemCtrlConfig config,
+            accel::MemCtrlBug bug, uint32_t clean_bound = 0) {
+  auto options = StudyOptions(config);
+  if (clean_bound > 0) {
+    options.fc_bound = clean_bound;
+    options.rb_bound = clean_bound;
+    options.bmc.conflict_budget = -1;
+  }
+  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto result = core::CheckAccelerator(
+      [&](ir::TransitionSystem& t) {
+        return accel::BuildMemCtrl(t, config, bug).acc;
+      },
+      options, &ts);
+  std::printf("[%s / %s] %s\n", accel::MemCtrlConfigName(config), title,
+              core::SummarizeResult(result).c_str());
+  if (result.bug_found) {
+    std::printf("%s\n", core::FormatResult(*ts, result).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Memory-controller unit verification with A-QED\n");
+  std::printf("==============================================\n\n");
+
+  std::printf("-- clean configurations (expect PASS up to the bound) --\n");
+  Report("clean", accel::MemCtrlConfig::kFifo, accel::MemCtrlBug::kNone, 8);
+  Report("clean", accel::MemCtrlConfig::kDoubleBuffer,
+         accel::MemCtrlBug::kNone, 8);
+  Report("clean", accel::MemCtrlConfig::kLineBuffer, accel::MemCtrlBug::kNone,
+         8);
+
+  std::printf("\n-- the clock-enable corner case (escaped the conventional "
+              "flow; paper Fig. 2 class) --\n");
+  Report("clock-enable bug", accel::MemCtrlConfig::kFifo,
+         accel::MemCtrlBug::kFifoClockEnableRd);
+
+  std::printf("-- FIFO-full deadlock (the study's one RB detection) --\n");
+  Report("stall deadlock", accel::MemCtrlConfig::kFifo,
+         accel::MemCtrlBug::kFifoStallDeadlock);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: verify the paper's motivating accelerator (Fig. 2) with
+// A-QED in ~30 lines of user code.
+//
+//   1. Build (or import) your accelerator as a transition system.
+//   2. Describe its ready-valid interface (AcceleratorInterface).
+//   3. Call CheckAccelerator — no properties, no golden model, no spec.
+//
+// The checker instruments the design with the A-QED module (functional
+// consistency + response bound) and runs bounded model checking; any
+// counterexample is replayed on the simulator before being reported.
+#include <cstdio>
+#include <fstream>
+
+#include "accel/motivating.h"
+#include "aqed/checker.h"
+#include "aqed/report.h"
+#include "bmc/vcd.h"
+
+using namespace aqed;
+
+namespace {
+
+void Check(bool inject_bug) {
+  accel::MotivatingConfig config;
+  config.data_width = 4;
+  config.bug_clock_enable = inject_bug;  // Fig. 2: Buffer 4 loses clock_enable
+
+  core::AqedOptions options;
+  core::RbOptions rb;
+  rb.tau = 24;  // the only design parameter A-QED needs
+  options.rb = rb;
+  options.fc_bound = inject_bug ? 24 : 9;
+  options.rb_bound = 12;
+
+  std::unique_ptr<ir::TransitionSystem> ts;
+  const core::AqedResult result = core::CheckAccelerator(
+      [&](ir::TransitionSystem& t) {
+        auto design = accel::BuildMotivating(t, config);
+        return design.acc;  // in_valid/in_ready/host_ready/out_valid + data
+      },
+      options, &ts);
+
+  std::printf("%s design: %s\n", inject_bug ? "buggy " : "correct",
+              core::SummarizeResult(result).c_str());
+  if (result.bug_found) {
+    std::printf("%s", core::FormatResult(*ts, result).c_str());
+    // Counterexamples also export as waveforms for GTKWave & friends.
+    std::ofstream vcd("quickstart_counterexample.vcd");
+    bmc::WriteVcd(*ts, result.bmc.trace, vcd);
+    std::printf("(waveform written to quickstart_counterexample.vcd)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A-QED quickstart — motivating example from the paper "
+              "(four buffers, round-robin controller, clock enable)\n\n");
+  Check(/*inject_bug=*/false);
+  std::printf("\n");
+  Check(/*inject_bug=*/true);
+  std::printf(
+      "\nNote: no specification or golden model was needed — the bug is a\n"
+      "violation of functional consistency (same input, different result),\n"
+      "found as a minimal-length trace and validated by simulator replay.\n");
+  return 0;
+}

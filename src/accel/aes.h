@@ -1,0 +1,64 @@
+// AES encryption accelerator (paper Sec. V.B, Table 2: AES v1-v4).
+//
+// The paper verified abstracted versions of an HLS AES kernel ([RESULTS 20]
+// reduces the design for BMC scalability); we follow the same strategy with
+// a "mini-AES": 16-bit blocks of four nibbles, a 4-bit S-box, ShiftRows /
+// MixColumns-style nibble diffusion, an evolving round key, and a
+// configurable round count. The accelerator is an LCA with a two-slot input
+// queue and supports multi-block batches that share a common key — the
+// paper's AES-specific A-QED module customization (the key is a
+// shared-context signal, common across a batch).
+//
+// The four buggy variants model the bug classes the paper reports (array
+// indexing errors, incorrect FIFO sizing) as *state- or timing-dependent*
+// flaws, which is what makes them functional-consistency violations:
+//   v1: the round-key register is not reloaded between blocks;
+//   v2: the input queue's full check is off by one (FIFO sizing);
+//   v3: the key is sampled at processing start instead of at capture;
+//   v4: a block issued in the cycle a previous block finishes skips a round.
+#pragma once
+
+#include <cstdint>
+
+#include "aqed/interface.h"
+#include "aqed/sac_instrument.h"
+#include "harness/random_testbench.h"
+#include "ir/transition_system.h"
+
+namespace aqed::accel {
+
+enum class AesBug {
+  kNone,
+  kV1KeyScheduleStale,
+  kV2QueueOverflow,
+  kV3KeySampleLate,
+  kV4RoundSkip,
+};
+
+const char* AesBugName(AesBug bug);
+
+struct AesConfig {
+  uint32_t rounds = 3;      // >= 1
+  uint32_t batch_size = 1;  // blocks per handshake, common key
+  AesBug bug = AesBug::kNone;
+};
+
+struct AesDesign {
+  core::AcceleratorInterface acc;
+  ir::NodeRef key = ir::kNullNode;  // host key input (shared context)
+};
+
+AesDesign BuildAes(ir::TransitionSystem& ts, const AesConfig& config);
+
+// Golden mini-AES encryption of one 16-bit block.
+uint64_t AesGoldenEncrypt(uint64_t block, uint64_t key, uint32_t rounds);
+
+// Golden model / SAC spec matching BuildAes (per batch element; the key is
+// the shared-context value).
+harness::GoldenFn AesGolden(const AesConfig& config);
+core::SpecFn AesSpec(const AesConfig& config);
+
+// Response bound for RB checking.
+uint32_t AesResponseBound(const AesConfig& config);
+
+}  // namespace aqed::accel

@@ -1,0 +1,24 @@
+#include "accel/aes.h"
+#include "accel/aes_internal.h"
+
+namespace aqed::accel {
+
+uint64_t AesGoldenEncrypt(uint64_t block, uint64_t key, uint32_t rounds) {
+  uint16_t state = static_cast<uint16_t>(block ^ key);
+  uint16_t round_key = static_cast<uint16_t>(key);
+  for (uint32_t r = 1; r <= rounds; ++r) {
+    round_key = aes_internal::KeyStep(round_key, r);
+    state = aes_internal::RoundFn(state, round_key);
+  }
+  return state;
+}
+
+harness::GoldenFn AesGolden(const AesConfig& config) {
+  const uint32_t rounds = config.rounds;
+  return [rounds](const std::vector<uint64_t>& in,
+                  const std::vector<uint64_t>& context) {
+    return std::vector<uint64_t>{AesGoldenEncrypt(in[0], context[0], rounds)};
+  };
+}
+
+}  // namespace aqed::accel

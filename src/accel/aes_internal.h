@@ -1,0 +1,48 @@
+// Shared mini-AES datapath definitions: the 4-bit S-box, nibble diffusion,
+// key schedule, and reference round functions. Both the IR design builder
+// (aes.cpp) and the golden model (aes_golden.cpp) derive from these tables
+// so they can never diverge silently.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace aqed::accel::aes_internal {
+
+// A fixed 4-bit S-box (a permutation of 0..15).
+inline constexpr std::array<uint8_t, 16> kSbox = {
+    0x6, 0xB, 0x5, 0x4, 0x2, 0xE, 0x7, 0xA,
+    0x9, 0xD, 0xF, 0xC, 0x3, 0x1, 0x0, 0x8};
+
+// Per-round key-schedule constant.
+constexpr uint16_t Rcon(uint32_t round) {
+  return static_cast<uint16_t>((0x9D * round) & 0xFFFF);
+}
+
+constexpr uint16_t RotL16(uint16_t value, int amount) {
+  return static_cast<uint16_t>((value << amount) | (value >> (16 - amount)));
+}
+
+// One encryption round: SubNibbles -> ShiftRows -> Mix -> AddRoundKey.
+constexpr uint16_t RoundFn(uint16_t state, uint16_t round_key) {
+  uint8_t nib[4];
+  for (int i = 0; i < 4; ++i) {
+    nib[i] = kSbox[(state >> (4 * i)) & 0xF];  // SubNibbles
+  }
+  uint8_t shifted[4];
+  for (int i = 0; i < 4; ++i) shifted[i] = nib[(i + 1) % 4];  // ShiftRows
+  uint16_t mixed = 0;
+  for (int i = 0; i < 4; ++i) {
+    const uint8_t m = shifted[i] ^ shifted[(i + 1) % 4];  // Mix
+    mixed = static_cast<uint16_t>(mixed | (static_cast<uint16_t>(m) << (4 * i)));
+  }
+  return static_cast<uint16_t>(mixed ^ round_key);
+}
+
+// Key schedule step producing the key for `round` (1-based).
+constexpr uint16_t KeyStep(uint16_t key, uint32_t round) {
+  return static_cast<uint16_t>(RotL16(key, 5) ^ kSbox[key & 0xF] ^
+                               Rcon(round));
+}
+
+}  // namespace aqed::accel::aes_internal

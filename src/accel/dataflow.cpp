@@ -1,0 +1,112 @@
+#include "accel/dataflow.h"
+
+#include "aqed/monitor_util.h"
+#include "support/bits.h"
+
+namespace aqed::accel {
+
+using core::Reg;
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+namespace {
+constexpr uint32_t kWidth = 8;
+constexpr uint64_t kCredits = 2;  // in-flight transaction limit
+}  // namespace
+
+uint64_t DataflowGoldenFn(uint64_t x) {
+  return Truncate(((x * 3) + 7) ^ 0x55, kWidth);
+}
+
+harness::GoldenFn DataflowGolden() {
+  return [](const std::vector<uint64_t>& in, const std::vector<uint64_t>&) {
+    return std::vector<uint64_t>{DataflowGoldenFn(in[0])};
+  };
+}
+
+core::SpecFn DataflowSpec() {
+  return [](Context& ctx, const std::vector<NodeRef>& in) {
+    const NodeRef tripled =
+        ctx.Add(ctx.Shl(in[0], ctx.Const(kWidth, 1)), in[0]);
+    const NodeRef plus7 = ctx.Add(tripled, ctx.Const(kWidth, 7));
+    return std::vector<NodeRef>{ctx.Xor(plus7, ctx.Const(kWidth, 0x55))};
+  };
+}
+
+uint32_t DataflowResponseBound() { return 10; }
+uint32_t DataflowRdinBound() { return 8; }
+
+DataflowDesign BuildDataflow(ir::TransitionSystem& ts,
+                             const DataflowConfig& config) {
+  Context& ctx = ts.ctx();
+  DataflowDesign design;
+
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(kWidth));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+
+  // Per-stage value register + occupancy flag.
+  const NodeRef s1 = Reg(ts, "df.s1", kWidth, 0);
+  const NodeRef s1_full = Reg(ts, "df.s1_full", 1, 0);
+  const NodeRef s2 = Reg(ts, "df.s2", kWidth, 0);
+  const NodeRef s2_full = Reg(ts, "df.s2_full", 1, 0);
+  const NodeRef s3 = Reg(ts, "df.s3", kWidth, 0);
+  const NodeRef s3_full = Reg(ts, "df.s3_full", 1, 0);
+  const NodeRef credits = Reg(ts, "df.credits", 2, kCredits);
+
+  const NodeRef out_valid = s3_full;
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  // Elastic advance conditions (downstream-first).
+  const NodeRef s3_can_accept = ctx.Or(ctx.Not(s3_full), drain);
+  const NodeRef s2_advance = ctx.And(s2_full, s3_can_accept);
+  const NodeRef s2_can_accept = ctx.Or(ctx.Not(s2_full), s2_advance);
+  const NodeRef s1_advance = ctx.And(s1_full, s2_can_accept);
+  const NodeRef s1_can_accept = ctx.Or(ctx.Not(s1_full), s1_advance);
+
+  const NodeRef has_credit = ctx.Ugt(credits, ctx.Const(2, 0));
+  const NodeRef in_ready = ctx.And(s1_can_accept, has_credit);
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+
+  // Stage datapaths: s1 = x*3, s2 = +7, s3 = ^0x55.
+  const NodeRef tripled =
+      ctx.Add(ctx.Shl(in_data, ctx.Const(kWidth, 1)), in_data);
+  ts.SetNext(s1, ctx.Ite(capture, tripled, s1));
+  ts.SetNext(s1_full, ctx.Ite(capture, ctx.True(),
+                              ctx.Ite(s1_advance, ctx.False(), s1_full)));
+  ts.SetNext(s2, ctx.Ite(s1_advance, ctx.Add(s1, ctx.Const(kWidth, 7)), s2));
+  ts.SetNext(s2_full, ctx.Ite(s1_advance, ctx.True(),
+                              ctx.Ite(s2_advance, ctx.False(), s2_full)));
+  ts.SetNext(s3, ctx.Ite(s2_advance,
+                         ctx.Xor(s2, ctx.Const(kWidth, 0x55)), s3));
+  ts.SetNext(s3_full, ctx.Ite(s2_advance, ctx.True(),
+                              ctx.Ite(drain, ctx.False(), s3_full)));
+
+  // Credit pool: -1 at capture, +1 at drain. The leak bug miswires the
+  // return path to require another transaction in flight behind the
+  // draining one (s2_full) — a solo transaction's drain permanently loses
+  // its credit, and once the pool is empty in_ready never re-asserts.
+  const NodeRef one = ctx.Const(2, 1);
+  NodeRef credit_inc = drain;
+  if (config.bug_credit_leak) {
+    credit_inc = ctx.And(drain, s2_full);
+  }
+  NodeRef credits_next = credits;
+  credits_next = ctx.Ite(capture, ctx.Sub(credits_next, one), credits_next);
+  credits_next = ctx.Ite(credit_inc, ctx.Add(credits_next, one),
+                         credits_next);
+  ts.SetNext(credits, credits_next);
+
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  design.acc.data_elems = {{in_data}};
+  design.acc.out_elems = {{s3}};
+  ts.AddOutput("out", s3);
+  ts.AddOutput("credits", credits);
+  return design;
+}
+
+}  // namespace aqed::accel

@@ -1,0 +1,46 @@
+// Custom dataflow accelerator (paper Table 2, "custom design" [Chi 19],
+// RB bug).
+//
+// A three-stage elastic pipeline (x*3, +7, ^0x55) with one register per
+// stage and a credit counter that limits the number of in-flight
+// transactions. Credits are consumed at capture and returned when an output
+// drains.
+//
+// The buggy variant miswires the credit-return path: a credit comes back
+// only when another transaction is in flight behind the draining one, so a
+// solo transaction permanently loses its credit. Once the pool is empty,
+// in_ready stays low forever: the accelerator starves the host — a
+// violation of part (1) of the response-bound property (Def. 3), checked
+// via the rdin bound.
+#pragma once
+
+#include <cstdint>
+
+#include "aqed/interface.h"
+#include "aqed/sac_instrument.h"
+#include "harness/random_testbench.h"
+#include "ir/transition_system.h"
+
+namespace aqed::accel {
+
+struct DataflowConfig {
+  bool bug_credit_leak = false;  // credit return lost on solo drains
+};
+
+struct DataflowDesign {
+  core::AcceleratorInterface acc;
+};
+
+DataflowDesign BuildDataflow(ir::TransitionSystem& ts,
+                             const DataflowConfig& config);
+
+// Golden: ((x*3) + 7) ^ 0x55 over 8 bits.
+uint64_t DataflowGoldenFn(uint64_t x);
+harness::GoldenFn DataflowGolden();
+core::SpecFn DataflowSpec();
+
+uint32_t DataflowResponseBound();
+// rdin bound for the part-1 (starvation) check.
+uint32_t DataflowRdinBound();
+
+}  // namespace aqed::accel

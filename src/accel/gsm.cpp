@@ -1,0 +1,135 @@
+#include "accel/gsm.h"
+
+#include <array>
+#include <string>
+
+#include "aqed/monitor_util.h"
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace aqed::accel {
+
+using core::LatchWhen;
+using core::Reg;
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+namespace {
+constexpr uint32_t kWidth = 8;
+constexpr uint32_t kFrame = 4;             // samples per transaction
+constexpr uint32_t kBufLog2 = 3;           // 8-entry circular sample buffer
+constexpr std::array<uint32_t, kFrame> kWeightShift = {0, 1, 1, 0};  // 1,2,2,1
+}  // namespace
+
+uint64_t GsmGoldenFrame(const std::vector<uint64_t>& samples) {
+  uint64_t acc = 0;
+  for (uint32_t i = 0; i < kFrame; ++i) {
+    acc += samples[i] << kWeightShift[i];
+  }
+  return Truncate(acc, kWidth);
+}
+
+harness::GoldenFn GsmGolden() {
+  return [](const std::vector<uint64_t>& in, const std::vector<uint64_t>&) {
+    return std::vector<uint64_t>{GsmGoldenFrame(in)};
+  };
+}
+
+core::SpecFn GsmSpec() {
+  return [](Context& ctx, const std::vector<NodeRef>& in) {
+    NodeRef acc = ctx.Const(kWidth, 0);
+    for (uint32_t i = 0; i < kFrame; ++i) {
+      acc = ctx.Add(acc,
+                    ctx.Shl(in[i], ctx.Const(kWidth, kWeightShift[i])));
+    }
+    return std::vector<NodeRef>{acc};
+  };
+}
+
+uint32_t GsmResponseBound() { return 12; }
+
+GsmDesign BuildGsm(ir::TransitionSystem& ts, const GsmConfig& config) {
+  Context& ctx = ts.ctx();
+  GsmDesign design;
+
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  std::array<NodeRef, kFrame> sample{};
+  for (uint32_t i = 0; i < kFrame; ++i) {
+    sample[i] = ts.AddInput("in_s" + std::to_string(i), Sort::BitVec(kWidth));
+  }
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+
+  const NodeRef buf =
+      ts.AddState("gsm.buf", Sort::Array(kBufLog2, kWidth), 0);
+  const NodeRef base = Reg(ts, "gsm.base", kBufLog2, 0);
+  const NodeRef busy = Reg(ts, "gsm.busy", 1, 0);
+  const NodeRef tap = Reg(ts, "gsm.tap", 2, 0);
+  const NodeRef acc = Reg(ts, "gsm.acc", kWidth, 0);
+  const NodeRef out_reg = Reg(ts, "gsm.out", kWidth, 0);
+  const NodeRef out_pending = Reg(ts, "gsm.out_pending", 1, 0);
+
+  const NodeRef in_ready = ctx.Not(busy);
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  const NodeRef out_valid = out_pending;
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  // Frame capture: all four samples land in the circular buffer at
+  // base .. base+3 in one wide write.
+  NodeRef buf_written = buf;
+  for (uint32_t i = 0; i < kFrame; ++i) {
+    const NodeRef slot = ctx.Add(base, ctx.Const(kBufLog2, i));
+    buf_written = ctx.Write(buf_written, slot, sample[i]);
+  }
+  ts.SetNext(buf, ctx.Ite(capture, buf_written, buf));
+
+  // MAC phase: one tap per cycle. The buggy variant indexes tap+1, so the
+  // final tap reads past the frame into the previous contents of the next
+  // frame's region.
+  const NodeRef tap_offset =
+      config.bug_tap_index ? ctx.Add(ctx.Zext(tap, kBufLog2),
+                                     ctx.Const(kBufLog2, 1))
+                           : ctx.Zext(tap, kBufLog2);
+  const NodeRef tap_addr = ctx.Add(base, tap_offset);
+  const NodeRef tap_value = ctx.Read(buf, tap_addr);
+  NodeRef weighted = tap_value;
+  // Weights 1,2,2,1: double the middle taps.
+  const NodeRef is_middle =
+      ctx.Or(ctx.Eq(tap, ctx.Const(2, 1)), ctx.Eq(tap, ctx.Const(2, 2)));
+  weighted = ctx.Ite(is_middle, ctx.Shl(tap_value, ctx.Const(kWidth, 1)),
+                     weighted);
+
+  const NodeRef last_tap = ctx.Eq(tap, ctx.Const(2, kFrame - 1));
+  const NodeRef slot_free = ctx.Or(ctx.Not(out_pending), drain);
+  const NodeRef finish = ctx.And(ctx.And(busy, last_tap), slot_free);
+  const NodeRef advance = ctx.And(busy, ctx.Not(last_tap));
+  const NodeRef acc_step = ctx.Or(advance, finish);
+
+  NodeRef acc_next = ctx.Ite(acc_step, ctx.Add(acc, weighted), acc);
+  acc_next = ctx.Ite(capture, ctx.Const(kWidth, 0), acc_next);
+  ts.SetNext(acc, acc_next);
+
+  ts.SetNext(tap, ctx.Ite(capture, ctx.Const(2, 0),
+                          ctx.Ite(advance, ctx.Add(tap, ctx.Const(2, 1)),
+                                  ctx.Ite(finish, ctx.Const(2, 0), tap))));
+  ts.SetNext(busy, ctx.Ite(capture, ctx.True(),
+                           ctx.Ite(finish, ctx.False(), busy)));
+
+  // Frame base advances when the frame completes.
+  LatchWhen(ts, base, finish, ctx.Add(base, ctx.Const(kBufLog2, kFrame)));
+
+  LatchWhen(ts, out_reg, finish, ctx.Add(acc, weighted));
+  ts.SetNext(out_pending, ctx.Ite(finish, ctx.True(),
+                                  ctx.Ite(drain, ctx.False(), out_pending)));
+
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  design.acc.data_elems = {{sample[0], sample[1], sample[2], sample[3]}};
+  design.acc.out_elems = {{out_reg}};
+  ts.AddOutput("out", out_reg);
+  return design;
+}
+
+}  // namespace aqed::accel

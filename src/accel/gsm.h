@@ -1,0 +1,42 @@
+// GSM LPC accelerator abstraction (paper Table 2, CHStone GSM, FC bug).
+//
+// The CHStone GSM kernel performs linear predictive coding over sample
+// windows. Following the paper's abstraction strategy, we model the
+// windowing/weighting stage: a transaction delivers a 4-sample frame that is
+// staged into a circular sample buffer and reduced by a 4-tap weighted MAC
+// (weights 1,2,2,1) over four cycles.
+//
+// The buggy variant has the array-indexing error class the paper reports:
+// the MAC reads the circular buffer with an off-by-one tap index, so the
+// last tap lands in the *next* frame's region — stale data from an earlier
+// frame. The result depends on buffer history, which is precisely a
+// functional-consistency violation.
+#pragma once
+
+#include <cstdint>
+
+#include "aqed/interface.h"
+#include "aqed/sac_instrument.h"
+#include "harness/random_testbench.h"
+#include "ir/transition_system.h"
+
+namespace aqed::accel {
+
+struct GsmConfig {
+  bool bug_tap_index = false;  // off-by-one circular-buffer tap index
+};
+
+struct GsmDesign {
+  core::AcceleratorInterface acc;
+};
+
+GsmDesign BuildGsm(ir::TransitionSystem& ts, const GsmConfig& config);
+
+// Golden weighted reduction of one 4-sample frame.
+uint64_t GsmGoldenFrame(const std::vector<uint64_t>& samples);
+harness::GoldenFn GsmGolden();
+core::SpecFn GsmSpec();
+
+uint32_t GsmResponseBound();
+
+}  // namespace aqed::accel

@@ -1,0 +1,444 @@
+#include "accel/memctrl.h"
+
+#include <array>
+#include <string>
+
+#include "aqed/monitor_util.h"
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace aqed::accel {
+
+using core::LatchWhen;
+using core::Reg;
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+namespace {
+
+constexpr uint32_t kWidth = 8;
+
+// FIFO configuration geometry: 4-slot memory, logical depth 3.
+constexpr uint32_t kFifoSlotsLog2 = 2;
+constexpr uint64_t kFifoDepth = 3;
+
+// Double-buffer geometry: two banks of 2 words.
+constexpr uint32_t kBankLog2 = 1;
+constexpr uint64_t kBankWords = 2;
+
+// Line-buffer element: 3 taps, coefficients 1,2,1.
+constexpr uint32_t kTaps = 3;
+
+bool Is(MemCtrlBug bug, MemCtrlBug expected) { return bug == expected; }
+
+// reg' = clk_en ? expr : reg  (global clock-enable gating)
+void GatedNext(ir::TransitionSystem& ts, NodeRef clk_en, NodeRef reg,
+               NodeRef expr) {
+  ts.SetNext(reg, ts.ctx().Ite(clk_en, expr, reg));
+}
+
+// -------------------------------------------------------------------------
+// FIFO configuration
+// -------------------------------------------------------------------------
+
+MemCtrlDesign BuildFifo(ir::TransitionSystem& ts, MemCtrlBug bug) {
+  Context& ctx = ts.ctx();
+  MemCtrlDesign design;
+
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(kWidth));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+  const NodeRef clk_en = ts.AddInput("clk_en", Sort::BitVec(1));
+  design.clk_en = clk_en;
+
+  const NodeRef mem =
+      ts.AddState("fifo.mem", Sort::Array(kFifoSlotsLog2, kWidth), 0);
+  const NodeRef wr = Reg(ts, "fifo.wr", kFifoSlotsLog2, 0);
+  const NodeRef rd = Reg(ts, "fifo.rd", kFifoSlotsLog2, 0);
+  const NodeRef cnt = Reg(ts, "fifo.cnt", 3, 0);
+  const NodeRef throttle = Reg(ts, "fifo.throttle", 1, 0);
+  const NodeRef stalled = Reg(ts, "fifo.stalled", 1, 0);
+
+  // Pointer wrap at the logical depth (slots 0..2 of the 4-slot memory).
+  auto wrap = [&](NodeRef ptr) {
+    return ctx.Ite(ctx.Eq(ptr, ctx.Const(kFifoSlotsLog2, kFifoDepth - 1)),
+                   ctx.Const(kFifoSlotsLog2, 0),
+                   ctx.Add(ptr, ctx.Const(kFifoSlotsLog2, 1)));
+  };
+
+  // Space check: off-by-one bug accepts a word while full.
+  const NodeRef space =
+      Is(bug, MemCtrlBug::kFifoFullOffByOne)
+          ? ctx.Ule(cnt, ctx.Const(3, kFifoDepth))
+          : ctx.Ult(cnt, ctx.Const(3, kFifoDepth));
+  const NodeRef in_ready = ctx.And(clk_en, space);
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+
+  // Output side: one transfer every other enabled cycle.
+  const NodeRef non_empty = ctx.Ugt(cnt, ctx.Const(3, 0));
+  NodeRef out_avail = non_empty;
+  if (Is(bug, MemCtrlBug::kFifoBypassStale)) {
+    out_avail = ctx.Or(non_empty, capture);  // bypass, but data path is stale
+  }
+  NodeRef out_valid = ctx.And(ctx.And(clk_en, throttle), out_avail);
+  if (Is(bug, MemCtrlBug::kFifoStallDeadlock)) {
+    out_valid = ctx.And(out_valid, ctx.Not(stalled));
+  }
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+  // Array-indexing bug class: the read data path dereferences the write
+  // pointer (copy-paste), so drained data comes from the wrong slot while
+  // the handshake remains perfectly timed.
+  const NodeRef out_data = Is(bug, MemCtrlBug::kFifoReadWrIndex)
+                               ? ctx.Read(mem, wr)
+                               : ctx.Read(mem, rd);
+
+  // Memory and write pointer.
+  GatedNext(ts, clk_en, mem,
+            ctx.Ite(capture, ctx.Write(mem, wr, in_data), mem));
+  const NodeRef wr_next = Is(bug, MemCtrlBug::kFifoPtrNoWrap)
+                              ? ctx.Add(wr, ctx.Const(kFifoSlotsLog2, 1))
+                              : wrap(wr);
+  GatedNext(ts, clk_en, wr, ctx.Ite(capture, wr_next, wr));
+
+  // Read pointer. The clock-enable corner-case bug advances it from the raw
+  // (ungated) drain condition, so a disabled cycle silently skips a word.
+  const NodeRef drain_raw =
+      ctx.And(ctx.And(non_empty, throttle), host_ready);
+  if (Is(bug, MemCtrlBug::kFifoClockEnableRd)) {
+    ts.SetNext(rd, ctx.Ite(drain_raw, wrap(rd), rd));
+  } else {
+    GatedNext(ts, clk_en, rd, ctx.Ite(drain, wrap(rd), rd));
+  }
+
+  const NodeRef cnt_dec = drain;
+  NodeRef cnt_next = cnt;
+  cnt_next = ctx.Ite(capture, ctx.Add(cnt_next, ctx.Const(3, 1)), cnt_next);
+  cnt_next = ctx.Ite(cnt_dec, ctx.Sub(cnt_next, ctx.Const(3, 1)), cnt_next);
+  GatedNext(ts, clk_en, cnt, cnt_next);
+
+  // The output window opens every other cycle but then *stays open* until
+  // the host actually drains — a design whose windows could forever miss
+  // host-ready cycles would itself violate Def. 3.
+  GatedNext(ts, clk_en, throttle,
+            ctx.Ite(throttle, ctx.Ite(drain, ctx.False(), throttle),
+                    ctx.True()));
+  // Sticky stall (only reachable in the deadlock bug's out_valid path).
+  GatedNext(ts, clk_en, stalled,
+            ctx.Or(stalled, ctx.Uge(cnt, ctx.Const(3, kFifoDepth))));
+
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  design.acc.data_elems = {{in_data}};
+  design.acc.out_elems = {{out_data}};
+  design.acc.progress_qualifier = clk_en;
+  ts.AddOutput("out_data", out_data);
+  ts.AddOutput("cnt", cnt);
+  return design;
+}
+
+// -------------------------------------------------------------------------
+// Double-buffer configuration
+// -------------------------------------------------------------------------
+
+MemCtrlDesign BuildDoubleBuffer(ir::TransitionSystem& ts, MemCtrlBug bug) {
+  Context& ctx = ts.ctx();
+  MemCtrlDesign design;
+
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(kWidth));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+  const NodeRef clk_en = ts.AddInput("clk_en", Sort::BitVec(1));
+  design.clk_en = clk_en;
+
+  const std::array<NodeRef, 2> bank = {
+      ts.AddState("db.bank0", Sort::Array(kBankLog2, kWidth), 0),
+      ts.AddState("db.bank1", Sort::Array(kBankLog2, kWidth), 0)};
+  const std::array<NodeRef, 2> full = {Reg(ts, "db.full0", 1, 0),
+                                       Reg(ts, "db.full1", 1, 0)};
+  const NodeRef wcnt = Reg(ts, "db.wcnt", kBankLog2, 0);
+  const NodeRef rcnt = Reg(ts, "db.rcnt", kBankLog2, 0);
+  const NodeRef wbank = Reg(ts, "db.wbank", 1, 0);
+  const NodeRef rbank = Reg(ts, "db.rbank", 1, 0);
+
+  const NodeRef wbank_full =
+      ctx.Ite(wbank, full[1], full[0]);
+  const NodeRef rbank_full =
+      ctx.Ite(rbank, full[1], full[0]);
+
+  const NodeRef in_ready = ctx.And(clk_en, ctx.Not(wbank_full));
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  const NodeRef out_valid = ctx.And(clk_en, rbank_full);
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  // Fill completion: normally on the last word; the swap-early bug fires on
+  // the first.
+  const uint64_t fill_at = Is(bug, MemCtrlBug::kDbSwapEarly)
+                               ? 0
+                               : kBankWords - 1;
+  const NodeRef fills =
+      ctx.And(capture, ctx.Eq(wcnt, ctx.Const(kBankLog2, fill_at)));
+  const NodeRef drain_done =
+      ctx.And(drain, ctx.Eq(rcnt, ctx.Const(kBankLog2, kBankWords - 1)));
+
+  // Bank writes. The stuck-index bug wires word 0's address into the write
+  // data path: every word of a batch lands in slot 0, leaving slot 1 stale
+  // — fill/drain control remains correctly timed.
+  const NodeRef write_index = Is(bug, MemCtrlBug::kDbWriteIndexStuck)
+                                  ? ctx.Const(kBankLog2, 0)
+                                  : wcnt;
+  for (int b = 0; b < 2; ++b) {
+    const NodeRef write_here =
+        ctx.And(capture, ctx.Eq(wbank, ctx.Const(1, b)));
+    GatedNext(ts, clk_en, bank[b],
+              ctx.Ite(write_here, ctx.Write(bank[b], write_index, in_data),
+                      bank[b]));
+  }
+
+  NodeRef wcnt_next =
+      ctx.Ite(capture, ctx.Add(wcnt, ctx.Const(kBankLog2, 1)), wcnt);
+  wcnt_next = ctx.Ite(fills, ctx.Const(kBankLog2, 0), wcnt_next);
+  GatedNext(ts, clk_en, wcnt, wcnt_next);
+
+  // Bank swap on fill.
+  GatedNext(ts, clk_en, wbank, ctx.Ite(fills, ctx.Not(wbank), wbank));
+
+  NodeRef rcnt_next =
+      ctx.Ite(drain, ctx.Add(rcnt, ctx.Const(kBankLog2, 1)), rcnt);
+  rcnt_next = ctx.Ite(drain_done, ctx.Const(kBankLog2, 0), rcnt_next);
+  GatedNext(ts, clk_en, rcnt, rcnt_next);
+  GatedNext(ts, clk_en, rbank, ctx.Ite(drain_done, ctx.Not(rbank), rbank));
+
+  // Full flags: set on fill of the write bank, cleared when its drain ends.
+  for (int b = 0; b < 2; ++b) {
+    const NodeRef set =
+        ctx.And(fills, ctx.Eq(wbank, ctx.Const(1, b)));
+    const NodeRef clear =
+        ctx.And(drain_done, ctx.Eq(rbank, ctx.Const(1, b)));
+    GatedNext(ts, clk_en, full[b],
+              ctx.Ite(clear, ctx.False(), ctx.Ite(set, ctx.True(), full[b])));
+  }
+
+  // Output data path.
+  const NodeRef read_bank_sel =
+      Is(bug, MemCtrlBug::kDbReadWrongBank) ? wbank : rbank;
+  NodeRef rindex = rcnt;
+  if (Is(bug, MemCtrlBug::kDbDrainOffByOne)) {
+    rindex = ctx.Add(rcnt, ctx.Const(kBankLog2, 1));  // rotated word order
+  }
+  if (Is(bug, MemCtrlBug::kDbBubbleReadShift)) {
+    // A host back-pressure bubble (output offered but not taken) latches a
+    // sticky flag that shifts every later read of the bank by one word —
+    // the drain timing itself is untouched.
+    const NodeRef bubble = Reg(ts, "db.bubble", 1, 0);
+    const NodeRef bubble_now = ctx.And(out_valid, ctx.Not(host_ready));
+    GatedNext(ts, clk_en, bubble,
+              ctx.Ite(drain_done, ctx.False(),
+                      ctx.Or(bubble, bubble_now)));
+    rindex = ctx.Ite(ctx.Or(bubble, bubble_now),
+                     ctx.Add(rcnt, ctx.Const(kBankLog2, 1)), rindex);
+  }
+  const NodeRef out_data = ctx.Ite(read_bank_sel, ctx.Read(bank[1], rindex),
+                                   ctx.Read(bank[0], rindex));
+
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  design.acc.data_elems = {{in_data}};
+  design.acc.out_elems = {{out_data}};
+  design.acc.progress_qualifier = clk_en;
+  ts.AddOutput("out_data", out_data);
+  return design;
+}
+
+// -------------------------------------------------------------------------
+// Line-buffer configuration
+// -------------------------------------------------------------------------
+
+MemCtrlDesign BuildLineBuffer(ir::TransitionSystem& ts, MemCtrlBug bug) {
+  Context& ctx = ts.ctx();
+  MemCtrlDesign design;
+
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  std::array<NodeRef, kTaps> words{};
+  for (uint32_t t = 0; t < kTaps; ++t) {
+    words[t] = ts.AddInput("in_w" + std::to_string(t), Sort::BitVec(kWidth));
+  }
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+  const NodeRef clk_en = ts.AddInput("clk_en", Sort::BitVec(1));
+  design.clk_en = clk_en;
+
+  std::array<NodeRef, kTaps> tap{};
+  for (uint32_t t = 0; t < kTaps; ++t) {
+    tap[t] = Reg(ts, "lb.tap" + std::to_string(t), kWidth, 0);
+  }
+  const NodeRef busy = Reg(ts, "lb.busy", 1, 0);
+  const NodeRef phase = Reg(ts, "lb.phase", 2, 0);
+  const NodeRef acc = Reg(ts, "lb.acc", kWidth, 0);
+  const NodeRef out_reg = Reg(ts, "lb.out", kWidth, 0);
+  const NodeRef out_pending = Reg(ts, "lb.out_pending", 1, 0);
+
+  const NodeRef in_ready = ctx.And(clk_en, ctx.Not(busy));
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  const NodeRef out_valid = ctx.And(clk_en, out_pending);
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  // MAC over the taps: coefficient 1, 2, 1.
+  const NodeRef tap_sel =
+      ctx.Ite(ctx.Eq(phase, ctx.Const(2, 0)), tap[0],
+              ctx.Ite(ctx.Eq(phase, ctx.Const(2, 1)), tap[1], tap[2]));
+  const NodeRef contribution =
+      ctx.Ite(ctx.Eq(phase, ctx.Const(2, 1)),
+              ctx.Shl(tap_sel, ctx.Const(kWidth, 1)), tap_sel);
+  const NodeRef last_phase = ctx.Eq(phase, ctx.Const(2, kTaps - 1));
+  // Completion waits for the output slot to free up.
+  const NodeRef slot_free = ctx.Or(ctx.Not(out_pending), drain);
+  const NodeRef finish = ctx.And(ctx.And(busy, last_phase), slot_free);
+  const NodeRef advance = ctx.And(busy, ctx.Not(last_phase));
+
+  // Accumulator step; the ready-gate corner bug requires host_ready high to
+  // actually add (the phase still advances), silently skipping taps.
+  NodeRef acc_step = ctx.Or(advance, finish);
+  if (Is(bug, MemCtrlBug::kLbReadyGateMac)) {
+    acc_step = ctx.And(acc_step, host_ready);
+  }
+  const NodeRef acc_sum = ctx.Add(acc, contribution);
+  NodeRef acc_next = ctx.Ite(acc_step, acc_sum, acc);
+  // A new element clears the accumulator — unless the stale-accumulator bug
+  // leaves the previous element's sum behind.
+  if (!Is(bug, MemCtrlBug::kLbStaleAccum)) {
+    acc_next = ctx.Ite(capture, ctx.Const(kWidth, 0), acc_next);
+  }
+  GatedNext(ts, clk_en, acc, acc_next);
+
+  // Tap capture; the back-to-back bug drops tap0's load when an output is
+  // drained in the same cycle.
+  for (uint32_t t = 0; t < kTaps; ++t) {
+    NodeRef load = capture;
+    if (t == 0 && Is(bug, MemCtrlBug::kLbBackToBackLoad)) {
+      load = ctx.And(capture, ctx.Not(drain));
+    }
+    GatedNext(ts, clk_en, tap[t], ctx.Ite(load, words[t], tap[t]));
+  }
+
+  // FSM: phase / busy. The double-step bug advances the phase by two when
+  // the host knocks (in_valid) while the unit is busy — a MAC tap is
+  // skipped, but completion timing stays bounded.
+  NodeRef phase_step = ctx.Const(2, 1);
+  if (Is(bug, MemCtrlBug::kLbBusyDoubleStep)) {
+    // The glitch only hits the first phase, so completion still happens —
+    // just with tap 1 skipped whenever the host knocked at the wrong time.
+    phase_step = ctx.Ite(ctx.And(in_valid, ctx.Eq(phase, ctx.Const(2, 0))),
+                         ctx.Const(2, 2), ctx.Const(2, 1));
+  }
+  NodeRef phase_next = ctx.Ite(
+      capture, ctx.Const(2, 0),
+      ctx.Ite(advance, ctx.Add(phase, phase_step),
+              ctx.Ite(finish, ctx.Const(2, 0), phase)));
+  GatedNext(ts, clk_en, phase, phase_next);
+  GatedNext(ts, clk_en, busy,
+            ctx.Ite(capture, ctx.True(),
+                    ctx.Ite(finish, ctx.False(), busy)));
+
+  // Output register.
+  const NodeRef acc_final =
+      Is(bug, MemCtrlBug::kLbReadyGateMac)
+          ? ctx.Ite(host_ready, acc_sum, acc)
+          : acc_sum;
+  GatedNext(ts, clk_en, out_reg, ctx.Ite(finish, acc_final, out_reg));
+  GatedNext(ts, clk_en, out_pending,
+            ctx.Ite(finish, ctx.True(),
+                    ctx.Ite(drain, ctx.False(), out_pending)));
+
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  design.acc.data_elems = {{words[0], words[1], words[2]}};
+  design.acc.out_elems = {{out_reg}};
+  design.acc.progress_qualifier = clk_en;
+  ts.AddOutput("out_data", out_reg);
+  return design;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------------
+// Public API
+// -------------------------------------------------------------------------
+
+const char* MemCtrlConfigName(MemCtrlConfig config) {
+  switch (config) {
+    case MemCtrlConfig::kFifo: return "fifo";
+    case MemCtrlConfig::kDoubleBuffer: return "double_buffer";
+    case MemCtrlConfig::kLineBuffer: return "line_buffer";
+  }
+  return "?";
+}
+
+std::span<const MemCtrlBugInfo> MemCtrlBugCatalog() {
+  static const MemCtrlBugInfo kCatalog[] = {
+      {MemCtrlBug::kFifoPtrNoWrap, MemCtrlConfig::kFifo,
+       "fifo_ptr_no_wrap", false, false},
+      {MemCtrlBug::kFifoFullOffByOne, MemCtrlConfig::kFifo,
+       "fifo_full_off_by_one", false, false},
+      {MemCtrlBug::kFifoReadWrIndex, MemCtrlConfig::kFifo,
+       "fifo_read_wr_index", false, false},
+      {MemCtrlBug::kFifoClockEnableRd, MemCtrlConfig::kFifo,
+       "fifo_clock_enable_rd", true, false},
+      {MemCtrlBug::kFifoBypassStale, MemCtrlConfig::kFifo,
+       "fifo_bypass_stale", false, false},
+      {MemCtrlBug::kFifoStallDeadlock, MemCtrlConfig::kFifo,
+       "fifo_stall_deadlock", false, true},
+      {MemCtrlBug::kDbSwapEarly, MemCtrlConfig::kDoubleBuffer,
+       "db_swap_early", false, false},
+      {MemCtrlBug::kDbReadWrongBank, MemCtrlConfig::kDoubleBuffer,
+       "db_read_wrong_bank", false, false},
+      {MemCtrlBug::kDbWriteIndexStuck, MemCtrlConfig::kDoubleBuffer,
+       "db_write_index_stuck", false, false},
+      {MemCtrlBug::kDbDrainOffByOne, MemCtrlConfig::kDoubleBuffer,
+       "db_drain_off_by_one", false, false},
+      {MemCtrlBug::kDbBubbleReadShift, MemCtrlConfig::kDoubleBuffer,
+       "db_bubble_read_shift", false, false},
+      {MemCtrlBug::kLbStaleAccum, MemCtrlConfig::kLineBuffer,
+       "lb_stale_accum", false, false},
+      {MemCtrlBug::kLbReadyGateMac, MemCtrlConfig::kLineBuffer,
+       "lb_ready_gate_mac", true, false},
+      {MemCtrlBug::kLbBackToBackLoad, MemCtrlConfig::kLineBuffer,
+       "lb_back_to_back_load", false, false},
+      {MemCtrlBug::kLbBusyDoubleStep, MemCtrlConfig::kLineBuffer,
+       "lb_busy_double_step", false, false},
+  };
+  return kCatalog;
+}
+
+MemCtrlDesign BuildMemCtrl(ir::TransitionSystem& ts, MemCtrlConfig config,
+                           MemCtrlBug bug) {
+  switch (config) {
+    case MemCtrlConfig::kFifo:
+      return BuildFifo(ts, bug);
+    case MemCtrlConfig::kDoubleBuffer:
+      return BuildDoubleBuffer(ts, bug);
+    case MemCtrlConfig::kLineBuffer:
+      return BuildLineBuffer(ts, bug);
+  }
+  AQED_CHECK(false, "unknown memctrl config");
+  return {};
+}
+
+uint32_t MemCtrlResponseBound(MemCtrlConfig config) {
+  switch (config) {
+    case MemCtrlConfig::kFifo:
+      return 12;  // depth 3, one transfer per two enabled cycles
+    case MemCtrlConfig::kDoubleBuffer:
+      return 10;  // fill (2) + drain (2) with margin
+    case MemCtrlConfig::kLineBuffer:
+      return 10;  // 3 MAC phases + handoff with margin
+  }
+  return 16;
+}
+
+}  // namespace aqed::accel

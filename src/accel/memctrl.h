@@ -1,0 +1,95 @@
+// Memory-controller unit case study (paper Sec. V.A).
+//
+// The paper's subject is a CGRA memory-controller unit supporting several
+// configurations; we model the three named ones:
+//
+//   * kFifo         — ready/valid store-and-forward queue (depth 3 within a
+//                     4-slot memory, output throttled to one transfer per
+//                     two cycles, host clock-enable);
+//   * kDoubleBuffer — two ping-pong banks: one fills from the host while the
+//                     other drains to the output;
+//   * kLineBuffer   — 3-word stencil element: a wide transaction is streamed
+//                     into a line memory and reduced by a 1-3-1 MAC.
+//
+// All three are non-interfering: the output for a transaction is a function
+// of that transaction's words only (FIFO/double-buffer move data; the line
+// buffer computes a per-element stencil).
+//
+// The bug catalog models the tracked-repository study: fifteen realistic
+// logic bugs drawn from the bug classes the paper names (clock-enable
+// disconnection, FIFO sizing/pointer errors, array indexing, bank-swap and
+// handshake flaws). Fourteen violate functional consistency, one is a
+// response-bound (deadlock) bug; two are timing corner cases that escape the
+// conventional random-simulation flow (Fig. 5's "13% unique to A-QED").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "aqed/interface.h"
+#include "aqed/sac_instrument.h"
+#include "harness/random_testbench.h"
+#include "ir/transition_system.h"
+
+namespace aqed::accel {
+
+enum class MemCtrlConfig { kFifo, kDoubleBuffer, kLineBuffer };
+
+enum class MemCtrlBug {
+  kNone,
+  // --- FIFO configuration ---
+  kFifoPtrNoWrap,      // write pointer misses the depth-3 wrap (FC)
+  kFifoFullOffByOne,   // accepts a word while full, overwrites oldest (FC)
+  kFifoReadWrIndex,    // read data path indexes with the write ptr (FC)
+  kFifoClockEnableRd,  // read pointer ignores clock_enable (FC, corner case)
+  kFifoBypassStale,    // empty-FIFO bypass reads stale memory (FC)
+  kFifoStallDeadlock,  // sticky stall once full: outputs stop (RB)
+  // --- double-buffer configuration ---
+  kDbSwapEarly,        // banks swap one word early (FC)
+  kDbReadWrongBank,    // output reads the bank being written (FC)
+  kDbWriteIndexStuck,  // write data always lands in bank word 0 (FC)
+  kDbDrainOffByOne,    // drain reads bank words in rotated order (FC)
+  kDbBubbleReadShift,  // host back-pressure bubble shifts reads (FC)
+  // --- line-buffer configuration ---
+  kLbStaleAccum,       // accumulator not cleared between elements (FC)
+  kLbReadyGateMac,     // MAC accumulation gated by host_ready (FC, corner)
+  kLbBackToBackLoad,   // capture concurrent with drain loads stale tap (FC)
+  kLbBusyDoubleStep,   // in_valid during processing double-steps FSM (FC)
+};
+
+struct MemCtrlBugInfo {
+  MemCtrlBug bug;
+  MemCtrlConfig config;
+  const char* name;
+  // Requires a stimulus corner (clock-enable drop / host back-pressure)
+  // that the conventional directed-random testbench does not exercise.
+  bool corner_case;
+  // Expected to be detected by the response-bound property (else FC).
+  bool rb_expected;
+};
+
+// The fifteen-bug study catalog, in a stable order.
+std::span<const MemCtrlBugInfo> MemCtrlBugCatalog();
+
+const char* MemCtrlConfigName(MemCtrlConfig config);
+
+struct MemCtrlDesign {
+  core::AcceleratorInterface acc;
+  ir::NodeRef clk_en = ir::kNullNode;  // host clock-enable input
+};
+
+// Builds the selected configuration (with an optional injected bug) inside
+// `ts` and returns its A-QED interface. Data paths are 8 bits wide.
+MemCtrlDesign BuildMemCtrl(ir::TransitionSystem& ts, MemCtrlConfig config,
+                           MemCtrlBug bug = MemCtrlBug::kNone);
+
+// Golden functional model of a configuration (per element).
+harness::GoldenFn MemCtrlGolden(MemCtrlConfig config);
+
+// Combinational IR spec of a configuration, for SAC checking.
+core::SpecFn MemCtrlSpec(MemCtrlConfig config);
+
+// The response bound (tau) appropriate for each configuration.
+uint32_t MemCtrlResponseBound(MemCtrlConfig config);
+
+}  // namespace aqed::accel

@@ -1,0 +1,46 @@
+// Golden functional models and SAC specs for the memory-controller unit.
+//
+// All three configurations are non-interfering data movers/reducers, so the
+// golden model of one transaction is a pure function of that transaction's
+// words: identity for FIFO and double-buffer, the 1-3-1 stencil for the
+// line buffer.
+#include "accel/memctrl.h"
+#include "support/bits.h"
+
+namespace aqed::accel {
+
+harness::GoldenFn MemCtrlGolden(MemCtrlConfig config) {
+  switch (config) {
+    case MemCtrlConfig::kFifo:
+    case MemCtrlConfig::kDoubleBuffer:
+      return [](const std::vector<uint64_t>& in,
+                const std::vector<uint64_t>&) {
+        return std::vector<uint64_t>{in[0]};
+      };
+    case MemCtrlConfig::kLineBuffer:
+      return [](const std::vector<uint64_t>& in,
+                const std::vector<uint64_t>&) {
+        return std::vector<uint64_t>{Truncate(in[0] + 2 * in[1] + in[2], 8)};
+      };
+  }
+  return {};
+}
+
+core::SpecFn MemCtrlSpec(MemCtrlConfig config) {
+  switch (config) {
+    case MemCtrlConfig::kFifo:
+    case MemCtrlConfig::kDoubleBuffer:
+      return [](ir::Context&, const std::vector<ir::NodeRef>& in) {
+        return std::vector<ir::NodeRef>{in[0]};
+      };
+    case MemCtrlConfig::kLineBuffer:
+      return [](ir::Context& ctx, const std::vector<ir::NodeRef>& in) {
+        const ir::NodeRef doubled = ctx.Shl(in[1], ctx.Const(8, 1));
+        return std::vector<ir::NodeRef>{
+            ctx.Add(ctx.Add(in[0], doubled), in[2])};
+      };
+  }
+  return {};
+}
+
+}  // namespace aqed::accel

@@ -1,0 +1,184 @@
+#include "accel/motivating.h"
+
+#include <string>
+#include <vector>
+
+#include "aqed/monitor_util.h"
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace aqed::accel {
+
+using core::LatchWhen;
+using core::Reg;
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+namespace {
+constexpr uint32_t kNumBuffers = 4;
+constexpr uint32_t kDepthLog2 = 1;  // buffer depth 2
+constexpr uint32_t kDepth = 1u << kDepthLog2;
+}  // namespace
+
+uint64_t MotivatingGolden(uint64_t x, uint32_t data_width) {
+  return Truncate(x * x + 1, data_width);
+}
+
+MotivatingDesign BuildMotivating(ir::TransitionSystem& ts,
+                                 const MotivatingConfig& config) {
+  AQED_CHECK(config.latency >= 1, "motivating: latency must be >= 1");
+  Context& ctx = ts.ctx();
+  const uint32_t w = config.data_width;
+  const uint32_t timer_width = core::IndexWidth(config.latency + 1);
+
+  MotivatingDesign design;
+
+  // --- host-facing inputs -----------------------------------------------
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(w));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+  const NodeRef clk_en = ts.AddInput("clk_en", Sort::BitVec(1));
+  design.clk_en = clk_en;
+
+  // --- state ---------------------------------------------------------------
+  // Per-buffer FIFO storage and pointers; per execution unit: busy flag,
+  // operand, countdown timer, result and result-valid.
+  std::vector<NodeRef> mem(kNumBuffers), wr(kNumBuffers), rd(kNumBuffers),
+      cnt(kNumBuffers), busy(kNumBuffers), operand(kNumBuffers),
+      timer(kNumBuffers), result(kNumBuffers), result_valid(kNumBuffers);
+  for (uint32_t b = 0; b < kNumBuffers; ++b) {
+    const std::string sb = std::to_string(b);
+    mem[b] = ts.AddState("buf" + sb + ".mem", Sort::Array(kDepthLog2, w), 0);
+    wr[b] = Reg(ts, "buf" + sb + ".wr", kDepthLog2, 0);
+    rd[b] = Reg(ts, "buf" + sb + ".rd", kDepthLog2, 0);
+    cnt[b] = Reg(ts, "buf" + sb + ".cnt", kDepthLog2 + 1, 0);
+    busy[b] = Reg(ts, "eu" + sb + ".busy", 1, 0);
+    operand[b] = Reg(ts, "eu" + sb + ".operand", w, 0);
+    timer[b] = Reg(ts, "eu" + sb + ".timer", timer_width, 0);
+    result[b] = Reg(ts, "eu" + sb + ".result", w, 0);
+    result_valid[b] = Reg(ts, "eu" + sb + ".result_valid", 1, 0);
+  }
+  const NodeRef in_sel = Reg(ts, "ctrl.in_sel", 2, 0);
+  const NodeRef exec_ptr = Reg(ts, "ctrl.exec_ptr", 2, 0);
+  const NodeRef out_sel = Reg(ts, "ctrl.out_sel", 2, 0);
+
+  auto is_sel = [&](NodeRef sel, uint32_t b) {
+    return ctx.Eq(sel, ctx.Const(2, b));
+  };
+
+  // --- input capture ---------------------------------------------------
+  // The selected buffer accepts an input when it has space and the design
+  // is enabled.
+  NodeRef selected_has_space = ctx.False();
+  for (uint32_t b = 0; b < kNumBuffers; ++b) {
+    selected_has_space =
+        ctx.Or(selected_has_space,
+               ctx.And(is_sel(in_sel, b),
+                       ctx.Ult(cnt[b], ctx.Const(kDepthLog2 + 1, kDepth))));
+  }
+  const NodeRef in_ready = ctx.And(clk_en, selected_has_space);
+  const NodeRef capture_in = ctx.And(in_valid, in_ready);
+
+  // --- execution-unit issue ----------------------------------------------
+  // The controller visits buffers round-robin; when the visited buffer is
+  // non-empty and its execution unit is idle, the buffer head shifts out.
+  std::vector<NodeRef> shift_out(kNumBuffers), eu_capture(kNumBuffers);
+  for (uint32_t b = 0; b < kNumBuffers; ++b) {
+    const NodeRef turn = is_sel(exec_ptr, b);
+    const NodeRef non_empty =
+        ctx.Ugt(cnt[b], ctx.Const(kDepthLog2 + 1, 0));
+    const NodeRef eu_free = ctx.And(ctx.Not(busy[b]),
+                                    ctx.Not(result_valid[b]));
+    const NodeRef want_shift = ctx.And(turn, ctx.And(non_empty, eu_free));
+    // The execution unit always honors clock_enable.
+    eu_capture[b] = ctx.And(want_shift, clk_en);
+    // Fig. 2 bug: Buffer 4 (index 3) shifts even when the clock is
+    // disabled — the execution unit then misses the shifted value.
+    const bool buggy = config.bug_clock_enable && b == kNumBuffers - 1;
+    shift_out[b] = buggy ? want_shift : eu_capture[b];
+  }
+
+  // --- execution-unit datapath -----------------------------------------
+  // f(x) = x*x + 1 over `latency` cycles (operand held, timer counts down).
+  std::vector<NodeRef> eu_done(kNumBuffers);
+  for (uint32_t b = 0; b < kNumBuffers; ++b) {
+    const NodeRef timer_zero = ctx.Eq(timer[b], ctx.Const(timer_width, 0));
+    eu_done[b] = ctx.And(ctx.And(busy[b], timer_zero), clk_en);
+    const NodeRef fx = ctx.Add(ctx.Mul(operand[b], operand[b]),
+                               ctx.Const(w, 1));
+
+    // busy: set on capture, cleared on completion.
+    ts.SetNext(busy[b], ctx.Ite(eu_capture[b], ctx.True(),
+                                ctx.Ite(eu_done[b], ctx.False(), busy[b])));
+    LatchWhen(ts, operand[b], eu_capture[b], ctx.Read(mem[b], rd[b]));
+    // timer: loaded with latency-1 on capture, decremented while busy.
+    const NodeRef ticking =
+        ctx.And(ctx.And(busy[b], clk_en), ctx.Not(timer_zero));
+    ts.SetNext(timer[b],
+               ctx.Ite(eu_capture[b],
+                       ctx.Const(timer_width, config.latency - 1),
+                       ctx.Ite(ticking,
+                               ctx.Sub(timer[b], ctx.Const(timer_width, 1)),
+                               timer[b])));
+    LatchWhen(ts, result[b], eu_done[b], fx);
+  }
+
+  // --- output collection -----------------------------------------------
+  NodeRef selected_result_valid = ctx.False();
+  NodeRef out_data = ctx.Const(w, 0);
+  for (uint32_t b = 0; b < kNumBuffers; ++b) {
+    const NodeRef hit = is_sel(out_sel, b);
+    selected_result_valid =
+        ctx.Or(selected_result_valid, ctx.And(hit, result_valid[b]));
+    out_data = ctx.Ite(hit, result[b], out_data);
+  }
+  const NodeRef out_valid = ctx.And(clk_en, selected_result_valid);
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  for (uint32_t b = 0; b < kNumBuffers; ++b) {
+    const NodeRef drained = ctx.And(drain, is_sel(out_sel, b));
+    ts.SetNext(result_valid[b],
+               ctx.Ite(eu_done[b], ctx.True(),
+                       ctx.Ite(drained, ctx.False(), result_valid[b])));
+  }
+
+  // --- buffer updates -----------------------------------------------------
+  for (uint32_t b = 0; b < kNumBuffers; ++b) {
+    const NodeRef write_here = ctx.And(capture_in, is_sel(in_sel, b));
+    ts.SetNext(mem[b],
+               ctx.Ite(write_here, ctx.Write(mem[b], wr[b], in_data),
+                       mem[b]));
+    LatchWhen(ts, wr[b], write_here,
+              ctx.Add(wr[b], ctx.Const(kDepthLog2, 1)));
+    LatchWhen(ts, rd[b], shift_out[b],
+              ctx.Add(rd[b], ctx.Const(kDepthLog2, 1)));
+    // cnt +1 on write, -1 on shift (both may happen in one cycle).
+    const NodeRef one = ctx.Const(kDepthLog2 + 1, 1);
+    NodeRef next_cnt = cnt[b];
+    next_cnt = ctx.Ite(write_here, ctx.Add(next_cnt, one), next_cnt);
+    next_cnt = ctx.Ite(shift_out[b], ctx.Sub(next_cnt, one), next_cnt);
+    ts.SetNext(cnt[b], next_cnt);
+  }
+
+  // --- controller pointers -----------------------------------------------
+  LatchWhen(ts, in_sel, capture_in, ctx.Add(in_sel, ctx.Const(2, 1)));
+  LatchWhen(ts, exec_ptr, clk_en, ctx.Add(exec_ptr, ctx.Const(2, 1)));
+  LatchWhen(ts, out_sel, drain, ctx.Add(out_sel, ctx.Const(2, 1)));
+
+  // --- interface ---------------------------------------------------------
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  design.acc.data_elems = {{in_data}};
+  design.acc.out_elems = {{out_data}};
+  design.acc.progress_qualifier = clk_en;
+
+  ts.AddOutput("in_ready", in_ready);
+  ts.AddOutput("out_valid", out_valid);
+  ts.AddOutput("out_data", out_data);
+  return design;
+}
+
+}  // namespace aqed::accel

@@ -1,0 +1,38 @@
+// The paper's motivating example (Fig. 2): a loosely-coupled accelerator in
+// which four input buffers feed four execution units computing f(x), with a
+// round-robin accelerator controller and a host-controlled clock_enable.
+//
+// When clock_enable is 0 the whole design pauses and holds state. The
+// injected bug (Fig. 2) disconnects clock_enable from Buffer 4: that buffer
+// keeps shifting inputs toward its (disabled) execution unit, which silently
+// drops them, so later outputs pair with the wrong inputs — a functional-
+// consistency violation that only triggers when the design is disabled on
+// the exact cycle Buffer 4 is scheduled to shift a pending entry.
+#pragma once
+
+#include <cstdint>
+
+#include "aqed/interface.h"
+#include "ir/transition_system.h"
+
+namespace aqed::accel {
+
+struct MotivatingConfig {
+  uint32_t data_width = 8;
+  uint32_t latency = 1;  // execution-unit cycles per operation (>= 1)
+  bool bug_clock_enable = false;  // Fig. 2: Buffer 4 ignores clock_enable
+};
+
+struct MotivatingDesign {
+  core::AcceleratorInterface acc;
+  ir::NodeRef clk_en = ir::kNullNode;  // host clock-enable input
+};
+
+// Builds the design inside `ts` and returns its A-QED interface.
+MotivatingDesign BuildMotivating(ir::TransitionSystem& ts,
+                                 const MotivatingConfig& config);
+
+// The function f(x) each execution unit computes (golden reference).
+uint64_t MotivatingGolden(uint64_t x, uint32_t data_width);
+
+}  // namespace aqed::accel

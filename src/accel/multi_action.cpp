@@ -1,0 +1,150 @@
+#include "accel/multi_action.h"
+
+#include "aqed/monitor_util.h"
+#include "support/bits.h"
+
+namespace aqed::accel {
+
+using core::LatchWhen;
+using core::Reg;
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+namespace {
+constexpr uint32_t kWidth = 8;
+constexpr uint32_t kActionWidth = 2;
+}  // namespace
+
+const char* AluBugName(AluBug bug) {
+  switch (bug) {
+    case AluBug::kNone: return "none";
+    case AluBug::kOpcodeLatchGlitch: return "alu_opcode_latch_glitch";
+    case AluBug::kScaleSticky: return "alu_scale_sticky";
+  }
+  return "?";
+}
+
+uint64_t AluGoldenOp(uint64_t action, uint64_t a, uint64_t b) {
+  switch (static_cast<AluAction>(action & 3)) {
+    case AluAction::kAdd:
+      return Truncate(a + b, kWidth);
+    case AluAction::kSub:
+      return Truncate(a - b, kWidth);
+    case AluAction::kXorShift:
+      return Truncate((a ^ b) << 1, kWidth);
+    case AluAction::kScale:
+      return Truncate(a << (b & 3), kWidth);
+  }
+  return 0;
+}
+
+harness::GoldenFn AluGolden() {
+  return [](const std::vector<uint64_t>& in, const std::vector<uint64_t>&) {
+    // in = {action, a, b}
+    return std::vector<uint64_t>{AluGoldenOp(in[0], in[1], in[2])};
+  };
+}
+
+core::SpecFn AluSpec() {
+  return [](Context& ctx, const std::vector<NodeRef>& in) {
+    const NodeRef action = in[0];
+    const NodeRef a = in[1];
+    const NodeRef b = in[2];
+    const NodeRef add = ctx.Add(a, b);
+    const NodeRef sub = ctx.Sub(a, b);
+    const NodeRef xorshift = ctx.Shl(ctx.Xor(a, b), ctx.Const(kWidth, 1));
+    const NodeRef scale =
+        ctx.Shl(a, ctx.Zext(ctx.Extract(b, 1, 0), kWidth));
+    NodeRef out = add;
+    out = ctx.Ite(ctx.Eq(action, ctx.Const(kActionWidth, 1)), sub, out);
+    out = ctx.Ite(ctx.Eq(action, ctx.Const(kActionWidth, 2)), xorshift, out);
+    out = ctx.Ite(ctx.Eq(action, ctx.Const(kActionWidth, 3)), scale, out);
+    return std::vector<NodeRef>{out};
+  };
+}
+
+uint32_t AluResponseBound() { return 8; }
+
+AluDesign BuildAlu(ir::TransitionSystem& ts, const AluConfig& config) {
+  Context& ctx = ts.ctx();
+  AluDesign design;
+
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_action = ts.AddInput("in_action", Sort::BitVec(kActionWidth));
+  const NodeRef in_a = ts.AddInput("in_a", Sort::BitVec(kWidth));
+  const NodeRef in_b = ts.AddInput("in_b", Sort::BitVec(kWidth));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+
+  const NodeRef busy = Reg(ts, "alu.busy", 1, 0);
+  const NodeRef opcode = Reg(ts, "alu.opcode", kActionWidth, 0);
+  const NodeRef op_a = Reg(ts, "alu.a", kWidth, 0);
+  const NodeRef op_b = Reg(ts, "alu.b", kWidth, 0);
+  const NodeRef shamt = Reg(ts, "alu.shamt", kWidth, 1);  // XORSHIFT amount
+  const NodeRef out_reg = Reg(ts, "alu.out", kWidth, 0);
+  const NodeRef out_pending = Reg(ts, "alu.out_pending", 1, 0);
+
+  const NodeRef in_ready = ctx.And(ctx.Not(busy), ctx.Not(out_pending));
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  const NodeRef out_valid = out_pending;
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+  const NodeRef finish = busy;  // single execute cycle
+
+  // Operand capture.
+  LatchWhen(ts, op_a, capture, in_a);
+  LatchWhen(ts, op_b, capture, in_b);
+
+  // Opcode capture. The latch-glitch bug "saves power" by reloading the
+  // opcode register only when the incoming action differs from the opcode
+  // of two transactions ago — wrong whenever two consecutive transactions
+  // alternate actions in a particular pattern.
+  NodeRef opcode_load = capture;
+  if (config.bug == AluBug::kOpcodeLatchGlitch) {
+    // Miswired comparator: reload only if the new action's low bit differs
+    // from the held opcode's low bit.
+    opcode_load = ctx.And(
+        capture, ctx.Ne(ctx.Extract(in_action, 0, 0),
+                        ctx.Extract(opcode, 0, 0)));
+  }
+  LatchWhen(ts, opcode, opcode_load, in_action);
+
+  // Execute (1 cycle).
+  const NodeRef add = ctx.Add(op_a, op_b);
+  const NodeRef sub = ctx.Sub(op_a, op_b);
+  // XORSHIFT uses a shift-amount register that is architecturally always 1;
+  // the sticky bug lets SCALE leave its own amount behind.
+  const NodeRef xorshift = ctx.Shl(ctx.Xor(op_a, op_b), shamt);
+  const NodeRef scale_amount = ctx.Zext(ctx.Extract(op_b, 1, 0), kWidth);
+  const NodeRef scale = ctx.Shl(op_a, scale_amount);
+  NodeRef result = add;
+  result = ctx.Ite(ctx.Eq(opcode, ctx.Const(kActionWidth, 1)), sub, result);
+  result =
+      ctx.Ite(ctx.Eq(opcode, ctx.Const(kActionWidth, 2)), xorshift, result);
+  result = ctx.Ite(ctx.Eq(opcode, ctx.Const(kActionWidth, 3)), scale, result);
+
+  if (config.bug == AluBug::kScaleSticky) {
+    const NodeRef is_scale = ctx.Eq(opcode, ctx.Const(kActionWidth, 3));
+    ts.SetNext(shamt, ctx.Ite(ctx.And(finish, is_scale), scale_amount,
+                              shamt));
+  } else {
+    ts.SetNext(shamt, ctx.Const(kWidth, 1));
+  }
+
+  ts.SetNext(busy, ctx.Ite(capture, ctx.True(),
+                           ctx.Ite(finish, ctx.False(), busy)));
+  LatchWhen(ts, out_reg, finish, result);
+  ts.SetNext(out_pending, ctx.Ite(finish, ctx.True(),
+                                  ctx.Ite(drain, ctx.False(), out_pending)));
+
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  // The action is the first word of the element: ad(in) = (action, data).
+  design.acc.data_elems = {{in_action, in_a, in_b}};
+  design.acc.out_elems = {{out_reg}};
+  ts.AddOutput("out", out_reg);
+  return design;
+}
+
+}  // namespace aqed::accel

@@ -1,0 +1,62 @@
+// Multi-action accelerator exercising the full Def. 1 model.
+//
+// The formal accelerator model has an action set A: each transaction selects
+// an operation as well as data. The case-study accelerators are
+// fixed-function (|A| = 1); this design is a small ALU-style offload engine
+// with four actions (ADD, SUB, XORSHIFT, SCALE) over two operands. The
+// action word is simply part of the transaction's data element — functional
+// consistency then requires equality of *action and* data between the
+// original and the duplicate, exactly as ad(in) does in Def. 2.
+//
+// Two buggy variants:
+//   * kOpcodeLatchGlitch: the opcode register is only reloaded when the
+//     previous operation differed (a bogus "optimization"); after a
+//     back-to-back pair of transactions with equal operands but different
+//     actions, the second executes under the first's opcode — FC catches it
+//     because the duplicate's action matches but its output does not.
+//   * kScaleSticky: the SCALE action leaves a stale shift amount behind
+//     that corrupts the *next* XORSHIFT — a cross-action state leak (FC).
+#pragma once
+
+#include <cstdint>
+
+#include "aqed/interface.h"
+#include "aqed/sac_instrument.h"
+#include "harness/random_testbench.h"
+#include "ir/transition_system.h"
+
+namespace aqed::accel {
+
+enum class AluAction : uint64_t {
+  kAdd = 0,
+  kSub = 1,
+  kXorShift = 2,
+  kScale = 3,
+};
+
+enum class AluBug {
+  kNone,
+  kOpcodeLatchGlitch,
+  kScaleSticky,
+};
+
+const char* AluBugName(AluBug bug);
+
+struct AluConfig {
+  AluBug bug = AluBug::kNone;
+};
+
+struct AluDesign {
+  core::AcceleratorInterface acc;
+};
+
+AluDesign BuildAlu(ir::TransitionSystem& ts, const AluConfig& config);
+
+// Golden result of one (action, a, b) transaction (8-bit datapath).
+uint64_t AluGoldenOp(uint64_t action, uint64_t a, uint64_t b);
+harness::GoldenFn AluGolden();
+core::SpecFn AluSpec();
+
+uint32_t AluResponseBound();
+
+}  // namespace aqed::accel

@@ -1,0 +1,117 @@
+#include "accel/optflow.h"
+
+#include <array>
+#include <string>
+
+#include "aqed/monitor_util.h"
+#include "support/bits.h"
+
+namespace aqed::accel {
+
+using core::LatchWhen;
+using core::Reg;
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+namespace {
+constexpr uint32_t kWidth = 8;
+}
+
+harness::GoldenFn OptFlowGolden() {
+  return [](const std::vector<uint64_t>& in, const std::vector<uint64_t>&) {
+    return std::vector<uint64_t>{Truncate(in[2] - in[0], kWidth)};
+  };
+}
+
+core::SpecFn OptFlowSpec() {
+  return [](Context& ctx, const std::vector<NodeRef>& in) {
+    return std::vector<NodeRef>{ctx.Sub(in[2], in[0])};
+  };
+}
+
+uint32_t OptFlowResponseBound() { return 14; }
+
+OptFlowDesign BuildOptFlow(ir::TransitionSystem& ts,
+                           const OptFlowConfig& config) {
+  Context& ctx = ts.ctx();
+  OptFlowDesign design;
+  // Inter-stage FIFO capacity: the pair fits only in the correct sizing.
+  const uint64_t fifo_depth = config.bug_fifo_sizing ? 1 : 2;
+
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  std::array<NodeRef, 3> pixel{};
+  for (uint32_t i = 0; i < 3; ++i) {
+    pixel[i] = ts.AddInput("in_p" + std::to_string(i), Sort::BitVec(kWidth));
+  }
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+
+  // Stage 1: produces the two half-gradients of a window, pushing one per
+  // cycle into the inter-stage FIFO.
+  const NodeRef s1_busy = Reg(ts, "s1.busy", 1, 0);
+  const NodeRef s1_half = Reg(ts, "s1.half", 1, 0);  // which half is next
+  const NodeRef s1_h0 = Reg(ts, "s1.h0", kWidth, 0);
+  const NodeRef s1_h1 = Reg(ts, "s1.h1", kWidth, 0);
+
+  // Inter-stage FIFO (2 slots allocated; logical depth per config).
+  const NodeRef fifo = ts.AddState("if.mem", Sort::Array(1, kWidth), 0);
+  const NodeRef f_wr = Reg(ts, "if.wr", 1, 0);
+  const NodeRef f_rd = Reg(ts, "if.rd", 1, 0);
+  const NodeRef f_cnt = Reg(ts, "if.cnt", 2, 0);
+
+  // Stage 2: pops a pair, combines, holds the output until drained.
+  const NodeRef s2_out = Reg(ts, "s2.out", kWidth, 0);
+  const NodeRef s2_pending = Reg(ts, "s2.pending", 1, 0);
+
+  const NodeRef in_ready = ctx.Not(s1_busy);
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  const NodeRef out_valid = s2_pending;
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  // Stage-1 datapath: h0 = p1 - p0, h1 = p2 - p1 (computed at capture).
+  LatchWhen(ts, s1_h0, capture, ctx.Sub(pixel[1], pixel[0]));
+  LatchWhen(ts, s1_h1, capture, ctx.Sub(pixel[2], pixel[1]));
+
+  const NodeRef fifo_has_space =
+      ctx.Ult(f_cnt, ctx.Const(2, fifo_depth));
+  const NodeRef push = ctx.And(s1_busy, fifo_has_space);
+  const NodeRef push_value = ctx.Ite(s1_half, s1_h1, s1_h0);
+  const NodeRef s1_done = ctx.And(push, s1_half);  // second half pushed
+
+  ts.SetNext(s1_busy, ctx.Ite(capture, ctx.True(),
+                              ctx.Ite(s1_done, ctx.False(), s1_busy)));
+  ts.SetNext(s1_half, ctx.Ite(capture, ctx.False(),
+                              ctx.Ite(push, ctx.Not(s1_half), s1_half)));
+
+  // Stage 2 consumes a pair atomically.
+  const NodeRef pair_ready = ctx.Uge(f_cnt, ctx.Const(2, 2));
+  const NodeRef s2_slot_free = ctx.Or(ctx.Not(s2_pending), drain);
+  const NodeRef pop_pair = ctx.And(pair_ready, s2_slot_free);
+  const NodeRef head0 = ctx.Read(fifo, f_rd);
+  const NodeRef head1 = ctx.Read(fifo, ctx.Add(f_rd, ctx.Const(1, 1)));
+  LatchWhen(ts, s2_out, pop_pair, ctx.Add(head0, head1));
+  ts.SetNext(s2_pending, ctx.Ite(pop_pair, ctx.True(),
+                                 ctx.Ite(drain, ctx.False(), s2_pending)));
+
+  // FIFO bookkeeping.
+  ts.SetNext(fifo, ctx.Ite(push, ctx.Write(fifo, f_wr, push_value), fifo));
+  LatchWhen(ts, f_wr, push, ctx.Add(f_wr, ctx.Const(1, 1)));
+  LatchWhen(ts, f_rd, pop_pair, f_rd);  // pair pop leaves rd in place (wraps)
+  NodeRef f_cnt_next = f_cnt;
+  f_cnt_next = ctx.Ite(push, ctx.Add(f_cnt_next, ctx.Const(2, 1)),
+                       f_cnt_next);
+  f_cnt_next = ctx.Ite(pop_pair, ctx.Sub(f_cnt_next, ctx.Const(2, 2)),
+                       f_cnt_next);
+  ts.SetNext(f_cnt, f_cnt_next);
+
+  design.acc.in_valid = in_valid;
+  design.acc.in_ready = in_ready;
+  design.acc.host_ready = host_ready;
+  design.acc.out_valid = out_valid;
+  design.acc.data_elems = {{pixel[0], pixel[1], pixel[2]}};
+  design.acc.out_elems = {{s2_out}};
+  ts.AddOutput("flow", s2_out);
+  return design;
+}
+
+}  // namespace aqed::accel

@@ -1,0 +1,43 @@
+// Optical-flow accelerator abstraction (paper Table 2, Rosetta suite,
+// RB bug).
+//
+// Rosetta's optical flow is a multi-stage dataflow pipeline with FIFOs
+// between stages; the bug class the paper reports is incorrect FIFO sizing.
+// Our abstraction keeps exactly that structure: stage 1 computes two
+// half-gradients per 3-pixel window element and pushes them through an
+// inter-stage FIFO; stage 2 pops a *pair* of half-results and combines them
+// into the flow value.
+//
+// With the correctly sized FIFO (depth 2) the pair always fits. The buggy
+// variant sizes it at depth 1: stage 1 blocks with the second half-result in
+// hand, stage 2 waits forever for a pair — a classic dataflow deadlock that
+// violates the accelerator response bound (RB).
+#pragma once
+
+#include <cstdint>
+
+#include "aqed/interface.h"
+#include "aqed/sac_instrument.h"
+#include "harness/random_testbench.h"
+#include "ir/transition_system.h"
+
+namespace aqed::accel {
+
+struct OptFlowConfig {
+  bool bug_fifo_sizing = false;  // inter-stage FIFO depth 1 instead of 2
+};
+
+struct OptFlowDesign {
+  core::AcceleratorInterface acc;
+};
+
+OptFlowDesign BuildOptFlow(ir::TransitionSystem& ts,
+                           const OptFlowConfig& config);
+
+// Golden flow value for one 3-pixel window: (p1-p0) + (p2-p1) = p2-p0.
+harness::GoldenFn OptFlowGolden();
+core::SpecFn OptFlowSpec();
+
+uint32_t OptFlowResponseBound();
+
+}  // namespace aqed::accel

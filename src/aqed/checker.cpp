@@ -1,0 +1,137 @@
+#include "aqed/checker.h"
+
+#include "support/status.h"
+
+namespace aqed::core {
+
+const char* BugKindName(BugKind kind) {
+  switch (kind) {
+    case BugKind::kNone:
+      return "none";
+    case BugKind::kFunctionalConsistency:
+      return "FC";
+    case BugKind::kEarlyOutput:
+      return "FC(early-output)";
+    case BugKind::kResponseBound:
+      return "RB";
+    case BugKind::kInputStarvation:
+      return "RB(starvation)";
+    case BugKind::kSingleActionCorrectness:
+      return "SAC";
+  }
+  return "?";
+}
+
+AqedResult RunAqed(ir::TransitionSystem& ts, const AcceleratorInterface& acc,
+                   const AqedOptions& options) {
+  // Map from bad index to bug kind as we instrument.
+  std::vector<std::pair<uint32_t, BugKind>> kinds;
+
+  if (options.check_fc) {
+    const FcInstrumentation fc = InstrumentFc(ts, acc, options.fc);
+    kinds.emplace_back(fc.fc_bad_index, BugKind::kFunctionalConsistency);
+    if (fc.has_early_output_bad) {
+      kinds.emplace_back(fc.early_output_bad_index, BugKind::kEarlyOutput);
+    }
+  }
+  if (options.rb.has_value()) {
+    RbOptions rb_options = *options.rb;
+    if (rb_options.progress_qualifier == ir::kNullNode) {
+      rb_options.progress_qualifier = acc.progress_qualifier;
+    }
+    const RbInstrumentation rb = InstrumentRb(ts, acc, rb_options);
+    kinds.emplace_back(rb.rb_bad_index, BugKind::kResponseBound);
+    if (rb.has_starve_bad) {
+      kinds.emplace_back(rb.starve_bad_index, BugKind::kInputStarvation);
+    }
+  }
+  if (options.sac_spec.has_value()) {
+    const SacInstrumentation sac =
+        InstrumentSac(ts, acc, *options.sac_spec, options.sac);
+    kinds.emplace_back(sac.sac_bad_index,
+                       BugKind::kSingleActionCorrectness);
+  }
+  AQED_CHECK(!kinds.empty(), "RunAqed with every property disabled");
+
+  bmc::BmcOptions bmc_options = options.bmc;
+  if (bmc_options.bad_filter.empty()) {
+    for (const auto& [bad_index, kind] : kinds) {
+      bmc_options.bad_filter.push_back(bad_index);
+    }
+  }
+
+  AqedResult result;
+  result.bmc = bmc::RunBmc(ts, bmc_options);
+  if (result.bmc.found_bug()) {
+    result.bug_found = true;
+    for (const auto& [bad_index, kind] : kinds) {
+      if (bad_index == result.bmc.trace.bad_index) {
+        result.kind = kind;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+AqedResult CheckAccelerator(const AcceleratorBuilder& build,
+                            const AqedOptions& options,
+                            std::unique_ptr<ir::TransitionSystem>* out_ts) {
+  struct PropertyRun {
+    AqedOptions options;
+    uint32_t bound;
+  };
+  // Cheapest property groups first: the RB and SAC monitors are small
+  // counters/comparators whose refutations are easy, while FC carries the
+  // symbolic orig/dup choice. A deadlocked design is reported in
+  // milliseconds by the RB pass instead of after deep FC refutations.
+  std::vector<PropertyRun> runs;
+  if (options.rb.has_value()) {
+    AqedOptions rb_only = options;
+    rb_only.check_fc = false;
+    rb_only.sac_spec.reset();
+    runs.push_back({std::move(rb_only),
+                    options.rb_bound ? options.rb_bound
+                                     : options.bmc.max_bound});
+  }
+  if (options.sac_spec.has_value()) {
+    AqedOptions sac_only = options;
+    sac_only.check_fc = false;
+    sac_only.rb.reset();
+    runs.push_back({std::move(sac_only),
+                    options.sac_bound ? options.sac_bound
+                                      : options.bmc.max_bound});
+  }
+  if (options.check_fc) {
+    AqedOptions fc_only = options;
+    fc_only.rb.reset();
+    fc_only.sac_spec.reset();
+    runs.push_back({std::move(fc_only),
+                    options.fc_bound ? options.fc_bound
+                                     : options.bmc.max_bound});
+  }
+  AQED_CHECK(!runs.empty(), "CheckAccelerator with every property disabled");
+
+  AqedResult combined;
+  double total_seconds = 0;
+  uint64_t total_conflicts = 0;
+  for (const PropertyRun& run : runs) {
+    auto ts = std::make_unique<ir::TransitionSystem>();
+    const AcceleratorInterface acc = build(*ts);
+    AqedOptions run_options = run.options;
+    run_options.bmc.max_bound = run.bound;
+    AqedResult result = RunAqed(*ts, acc, run_options);
+    total_seconds += result.bmc.seconds;
+    total_conflicts += result.bmc.conflicts;
+    const bool last = &run == &runs.back();
+    if (result.bug_found || last) {
+      result.bmc.seconds = total_seconds;
+      result.bmc.conflicts = total_conflicts;
+      if (out_ts != nullptr) *out_ts = std::move(ts);
+      return result;
+    }
+  }
+  return combined;  // unreachable
+}
+
+}  // namespace aqed::core

@@ -1,0 +1,87 @@
+// Top-level A-QED checker facade.
+//
+// Given an accelerator transition system and its interface description, the
+// checker instruments the requested universal properties (FC always unless
+// disabled; RB and SAC optionally), runs BMC, and decodes the outcome into a
+// per-property verdict with a validated minimum-length counterexample.
+//
+// This is the A-QED analogue of "write the aqed_top C++ harness and hand the
+// result to the model checker" in the paper's HLS flow.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "aqed/fc_instrument.h"
+#include "aqed/interface.h"
+#include "aqed/rb_instrument.h"
+#include "aqed/sac_instrument.h"
+#include "bmc/engine.h"
+#include "ir/transition_system.h"
+
+namespace aqed::core {
+
+// Which universal property a counterexample violated.
+enum class BugKind {
+  kNone,
+  kFunctionalConsistency,  // dup output differs from orig output
+  kEarlyOutput,            // output produced before its input (FC footnote 1)
+  kResponseBound,          // output did not arrive within tau (RB part 2)
+  kInputStarvation,        // rdin stayed low beyond the bound (RB part 1)
+  kSingleActionCorrectness,
+};
+
+const char* BugKindName(BugKind kind);
+
+struct AqedOptions {
+  bool check_fc = true;
+  FcOptions fc;
+  std::optional<RbOptions> rb;        // engaged when set
+  std::optional<SpecFn> sac_spec;     // engaged when set
+  SacOptions sac;
+  bmc::BmcOptions bmc;
+  // Per-property bound overrides for CheckAccelerator (0 = bmc.max_bound).
+  // RB counterexamples sit `tau` cycles deeper than FC ones, so they
+  // typically need a larger bound.
+  uint32_t fc_bound = 0;
+  uint32_t rb_bound = 0;
+  uint32_t sac_bound = 0;
+};
+
+struct AqedResult {
+  bool bug_found = false;
+  BugKind kind = BugKind::kNone;
+  bmc::BmcResult bmc;
+
+  // Counterexample length in clock cycles (0 when no bug).
+  uint32_t cex_cycles() const {
+    return bug_found ? bmc.trace.length() : 0;
+  }
+};
+
+// Instruments `ts` in place and runs BMC over all generated properties in
+// one combined model. `ts` must already contain the accelerator; the
+// monitors are added on top (pre-silicon only — the A-QED module never
+// ships with the design).
+AqedResult RunAqed(ir::TransitionSystem& ts, const AcceleratorInterface& acc,
+                   const AqedOptions& options);
+
+// Builds the accelerator into the given (fresh) transition system and
+// returns its interface.
+using AcceleratorBuilder =
+    std::function<AcceleratorInterface(ir::TransitionSystem&)>;
+
+// Preferred top-level entry point: checks each enabled property group (FC,
+// then RB, then SAC) on a *separately instrumented copy* of the design, so
+// each BMC run only carries the monitor it needs — a cone-of-influence
+// reduction that makes the (dominant) UNSAT refutations far cheaper.
+// Returns the first bug found, or the clean result of the last run.
+// `out_ts`, if given, receives the transition system of the reported run
+// (for trace formatting).
+AqedResult CheckAccelerator(
+    const AcceleratorBuilder& build, const AqedOptions& options,
+    std::unique_ptr<ir::TransitionSystem>* out_ts = nullptr);
+
+}  // namespace aqed::core

@@ -1,0 +1,170 @@
+#include "aqed/fc_instrument.h"
+
+#include "aqed/monitor_util.h"
+#include "support/status.h"
+
+namespace aqed::core {
+
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+FcInstrumentation InstrumentFc(ir::TransitionSystem& ts,
+                               const AcceleratorInterface& acc,
+                               const FcOptions& options) {
+  const Status valid = acc.Validate(ts);
+  AQED_CHECK(valid.ok(), "InstrumentFc: " + valid.message());
+  Context& ctx = ts.ctx();
+  FcInstrumentation fc;
+
+  const uint32_t batch = acc.batch_size();
+  const uint32_t idx_width = IndexWidth(batch);
+  const size_t in_size = acc.data_elems[0].size();
+  const size_t out_size = acc.out_elems[0].size();
+
+  // --- monitor control inputs (chosen freely by the BMC engine) ---------
+  fc.is_orig = ts.AddInput(options.label + ".is_orig", Sort::BitVec(1));
+  fc.is_dup = ts.AddInput(options.label + ".is_dup", Sort::BitVec(1));
+  fc.orig_idx = ts.AddInput(options.label + ".orig_idx",
+                            Sort::BitVec(idx_width));
+  fc.dup_idx = ts.AddInput(options.label + ".dup_idx",
+                           Sort::BitVec(idx_width));
+  if (batch < (uint64_t{1} << idx_width)) {
+    const NodeRef bound = ctx.Const(idx_width, batch);
+    ts.AddConstraint(ctx.Ult(fc.orig_idx, bound));
+    ts.AddConstraint(ctx.Ult(fc.dup_idx, bound));
+  }
+
+  // --- capture events ----------------------------------------------------
+  const NodeRef capture_in = ctx.And(acc.in_valid, acc.in_ready);
+  const NodeRef capture_out = ctx.And(acc.out_valid, acc.host_ready);
+
+  // --- monitor state -----------------------------------------------------
+  const NodeRef orig_labeled = Reg(ts, options.label + ".orig_labeled", 1, 0);
+  const NodeRef dup_labeled = Reg(ts, options.label + ".dup_labeled", 1, 0);
+  const NodeRef orig_done = Reg(ts, options.label + ".orig_done", 1, 0);
+  const NodeRef dup_done = Reg(ts, options.label + ".dup_done", 1, 0);
+  const NodeRef batch_ct =
+      Reg(ts, options.label + ".batch_ct", kCounterWidth, 0);
+  const NodeRef out_batch_ct =
+      Reg(ts, options.label + ".out_batch_ct", kCounterWidth, 0);
+  const NodeRef orig_batch =
+      Reg(ts, options.label + ".ORIG_BATCH", kCounterWidth, 0);
+  const NodeRef dup_batch =
+      Reg(ts, options.label + ".DUP_BATCH", kCounterWidth, 0);
+  const NodeRef orig_idx_reg =
+      Reg(ts, options.label + ".ORIG_IDX", idx_width, 0);
+  std::vector<NodeRef> orig_val(in_size);
+  for (size_t w = 0; w < in_size; ++w) {
+    orig_val[w] = Reg(ts, options.label + ".orig_val" + std::to_string(w),
+                      ctx.width(acc.data_elems[0][w]), 0);
+  }
+  std::vector<NodeRef> orig_ctx_val(acc.shared_context.size());
+  for (size_t c = 0; c < acc.shared_context.size(); ++c) {
+    orig_ctx_val[c] =
+        Reg(ts, options.label + ".orig_ctx" + std::to_string(c),
+            ctx.width(acc.shared_context[c]), 0);
+  }
+  std::vector<NodeRef> orig_out(out_size);
+  for (size_t w = 0; w < out_size; ++w) {
+    orig_out[w] = Reg(ts, options.label + ".orig_out" + std::to_string(w),
+                      ctx.width(acc.out_elems[0][w]), 0);
+  }
+
+  // --- aqed_in: label the original and the duplicate ----------------------
+  const std::vector<NodeRef> elem_at_orig_idx =
+      MuxByIndex(ctx, fc.orig_idx, acc.data_elems);
+  const std::vector<NodeRef> elem_at_dup_idx =
+      MuxByIndex(ctx, fc.dup_idx, acc.data_elems);
+
+  const NodeRef label_orig =
+      ctx.And(ctx.And(fc.is_orig, capture_in), ctx.Not(orig_labeled));
+
+  // Duplicate data must equal the original's: against the latched value
+  // when the original was captured in an earlier batch, or directly against
+  // the original element when both live in the same (current) batch.
+  const NodeRef match_latched =
+      ctx.And(AllEqual(ctx, elem_at_dup_idx, orig_val),
+              AllEqual(ctx, acc.shared_context, orig_ctx_val));
+  const NodeRef match_same_cycle =
+      ctx.And(AllEqual(ctx, elem_at_dup_idx, elem_at_orig_idx),
+              ctx.Ne(fc.dup_idx, fc.orig_idx));
+  const NodeRef label_dup = ctx.And(
+      ctx.And(ctx.And(fc.is_dup, capture_in), ctx.Not(dup_labeled)),
+      ctx.Or(ctx.And(orig_labeled, match_latched),
+             ctx.And(label_orig, match_same_cycle)));
+
+  LatchWhen(ts, orig_labeled, label_orig, ctx.True());
+  LatchWhen(ts, orig_batch, label_orig, batch_ct);
+  LatchWhen(ts, orig_idx_reg, label_orig, fc.orig_idx);
+  for (size_t w = 0; w < in_size; ++w) {
+    LatchWhen(ts, orig_val[w], label_orig, elem_at_orig_idx[w]);
+  }
+  for (size_t c = 0; c < acc.shared_context.size(); ++c) {
+    LatchWhen(ts, orig_ctx_val[c], label_orig, acc.shared_context[c]);
+  }
+  LatchWhen(ts, dup_labeled, label_dup, ctx.True());
+  LatchWhen(ts, dup_batch, label_dup, batch_ct);
+  CountWhen(ts, batch_ct, capture_in);
+
+  // --- aqed_out: record the original's output, check the duplicate's ------
+  const std::vector<NodeRef> out_at_orig_idx =
+      MuxByIndex(ctx, orig_idx_reg, acc.out_elems);
+
+  const NodeRef orig_out_event =
+      ctx.And(ctx.And(capture_out, orig_labeled),
+              ctx.And(ctx.Not(orig_done), ctx.Eq(out_batch_ct, orig_batch)));
+  LatchWhen(ts, orig_done, orig_out_event, ctx.True());
+  for (size_t w = 0; w < out_size; ++w) {
+    LatchWhen(ts, orig_out[w], orig_out_event, out_at_orig_idx[w]);
+  }
+
+  // The duplicate's output element arrives when its batch completes. Note
+  // dup_idx is only meaningful in the cycle the duplicate was labeled; latch
+  // it like the original's index.
+  const NodeRef dup_idx_reg =
+      Reg(ts, options.label + ".DUP_IDX", idx_width, 0);
+  LatchWhen(ts, dup_idx_reg, label_dup, fc.dup_idx);
+  const std::vector<NodeRef> out_at_dup_idx =
+      MuxByIndex(ctx, dup_idx_reg, acc.out_elems);
+
+  fc.dup_done_event =
+      ctx.And(ctx.And(capture_out, dup_labeled),
+              ctx.And(ctx.Not(dup_done), ctx.Eq(out_batch_ct, dup_batch)));
+  LatchWhen(ts, dup_done, fc.dup_done_event, ctx.True());
+  CountWhen(ts, out_batch_ct, capture_out);
+
+  // Same-batch originals complete in the same output batch as the
+  // duplicate: compare live; otherwise compare against the latched output.
+  const NodeRef same_batch = ctx.Eq(orig_batch, dup_batch);
+  NodeRef outputs_match = ctx.True();
+  for (size_t w = 0; w < out_size; ++w) {
+    const NodeRef expected =
+        ctx.Ite(same_batch, out_at_orig_idx[w], orig_out[w]);
+    outputs_match = ctx.And(outputs_match, ctx.Eq(out_at_dup_idx[w], expected));
+  }
+  fc.fc_check = outputs_match;
+  fc.orig_labeled = orig_labeled;
+  fc.dup_labeled = dup_labeled;
+
+  const NodeRef fc_violation =
+      ctx.And(fc.dup_done_event, ctx.Not(outputs_match));
+  fc.fc_bad_index = ts.AddBad(fc_violation, options.label);
+
+  if (options.check_early_output) {
+    // Strengthened FC (footnote 1): an output batch whose input batch has
+    // not been captured yet is a bug. A same-cycle capture (combinational
+    // completion) is tolerated.
+    const NodeRef early = ctx.And(
+        capture_out,
+        ctx.Or(ctx.Ugt(out_batch_ct, batch_ct),
+               ctx.And(ctx.Eq(out_batch_ct, batch_ct), ctx.Not(capture_in))));
+    fc.early_output_bad_index =
+        ts.AddBad(early, options.label + "_early_output");
+    fc.has_early_output_bad = true;
+  }
+
+  return fc;
+}
+
+}  // namespace aqed::core

@@ -1,0 +1,64 @@
+#include "aqed/interface.h"
+
+namespace aqed::core {
+
+Status AcceleratorInterface::Validate(const ir::TransitionSystem& ts) const {
+  const ir::Context& ctx = ts.ctx();
+  auto check_bit = [&](ir::NodeRef node, const char* what) -> Status {
+    if (node == ir::kNullNode) {
+      return Status::Error(std::string(what) + " signal is missing");
+    }
+    if (!ctx.sort(node).is_bitvec() || ctx.width(node) != 1) {
+      return Status::Error(std::string(what) + " signal is not 1 bit");
+    }
+    return Status::Ok();
+  };
+  for (auto [node, what] :
+       {std::pair{in_valid, "in_valid"}, std::pair{in_ready, "in_ready"},
+        std::pair{host_ready, "host_ready"},
+        std::pair{out_valid, "out_valid"}}) {
+    if (Status status = check_bit(node, what); !status.ok()) return status;
+  }
+  if (data_elems.empty()) return Status::Error("no data elements");
+  if (out_elems.size() != data_elems.size()) {
+    return Status::Error("output batch size differs from input batch size");
+  }
+  // Word sorts may differ by position (e.g. an action word next to data
+  // words) but must agree across batch elements position-by-position.
+  auto check_elems = [&](const std::vector<std::vector<ir::NodeRef>>& elems,
+                         const char* what) -> Status {
+    for (const auto& elem : elems) {
+      if (elem.empty()) {
+        return Status::Error(std::string("empty ") + what + " element");
+      }
+      if (elem.size() != elems[0].size()) {
+        return Status::Error(std::string("ragged ") + what + " elements");
+      }
+      for (size_t w = 0; w < elem.size(); ++w) {
+        if (!ctx.sort(elem[w]).is_bitvec()) {
+          return Status::Error(std::string(what) +
+                               " word is not a bitvector");
+        }
+        if (ctx.sort(elem[w]) != ctx.sort(elems[0][w])) {
+          return Status::Error(std::string(what) +
+                               " word sorts differ across batch elements");
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  if (Status status = check_elems(data_elems, "data"); !status.ok()) {
+    return status;
+  }
+  if (Status status = check_elems(out_elems, "output"); !status.ok()) {
+    return status;
+  }
+  for (ir::NodeRef node : shared_context) {
+    if (!ctx.sort(node).is_bitvec()) {
+      return Status::Error("shared-context signal is not a bitvector");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace aqed::core

@@ -1,0 +1,76 @@
+// Small shared helpers for building A-QED monitor logic inside a design's
+// transition system (registers with latch-enables, batch-element muxing,
+// saturating counters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/transition_system.h"
+
+namespace aqed::core {
+
+// Creates a register with an initial value; next function must be set later
+// (LatchWhen / SetNext).
+inline ir::NodeRef Reg(ir::TransitionSystem& ts, const std::string& name,
+                       uint32_t width, uint64_t init) {
+  return ts.AddState(name, ir::Sort::BitVec(width), init);
+}
+
+// reg' = enable ? value : reg
+inline void LatchWhen(ir::TransitionSystem& ts, ir::NodeRef reg,
+                      ir::NodeRef enable, ir::NodeRef value) {
+  ts.SetNext(reg, ts.ctx().Ite(enable, value, reg));
+}
+
+// Sticky flag: reg' = reg | set.
+inline void SetSticky(ir::TransitionSystem& ts, ir::NodeRef reg,
+                      ir::NodeRef set) {
+  ts.SetNext(reg, ts.ctx().Or(reg, set));
+}
+
+// counter' = increment ? counter + 1 : counter.
+inline void CountWhen(ir::TransitionSystem& ts, ir::NodeRef counter,
+                      ir::NodeRef increment) {
+  ir::Context& ctx = ts.ctx();
+  const ir::NodeRef one = ctx.Const(ctx.width(counter), 1);
+  ts.SetNext(counter, ctx.Ite(increment, ctx.Add(counter, one), counter));
+}
+
+// Selects element `index` from a per-element signal table:
+// result[w] = elems[index][w]. `index` values >= elems.size() select
+// element 0 (callers constrain the index range).
+inline std::vector<ir::NodeRef> MuxByIndex(
+    ir::Context& ctx, ir::NodeRef index,
+    const std::vector<std::vector<ir::NodeRef>>& elems) {
+  std::vector<ir::NodeRef> result = elems[0];
+  for (uint64_t e = 1; e < elems.size(); ++e) {
+    const ir::NodeRef hit =
+        ctx.Eq(index, ctx.Const(ctx.width(index), e));
+    for (size_t w = 0; w < result.size(); ++w) {
+      result[w] = ctx.Ite(hit, elems[e][w], result[w]);
+    }
+  }
+  return result;
+}
+
+// 1-bit conjunction of element-wise equality over two word vectors.
+inline ir::NodeRef AllEqual(ir::Context& ctx,
+                            const std::vector<ir::NodeRef>& a,
+                            const std::vector<ir::NodeRef>& b) {
+  ir::NodeRef acc = ctx.True();
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = ctx.And(acc, ctx.Eq(a[i], b[i]));
+  }
+  return acc;
+}
+
+// Width needed to index `count` elements (at least 1).
+inline uint32_t IndexWidth(uint32_t count) {
+  uint32_t width = 1;
+  while ((uint64_t{1} << width) < count) ++width;
+  return width;
+}
+
+}  // namespace aqed::core

@@ -1,0 +1,97 @@
+#include "aqed/rb_instrument.h"
+
+#include "aqed/monitor_util.h"
+#include "support/status.h"
+
+namespace aqed::core {
+
+using ir::Context;
+using ir::NodeRef;
+using ir::Sort;
+
+RbInstrumentation InstrumentRb(ir::TransitionSystem& ts,
+                               const AcceleratorInterface& acc,
+                               const RbOptions& options) {
+  const Status valid = acc.Validate(ts);
+  AQED_CHECK(valid.ok(), "InstrumentRb: " + valid.message());
+  Context& ctx = ts.ctx();
+  RbInstrumentation rb;
+
+  const NodeRef capture_in = ctx.And(acc.in_valid, acc.in_ready);
+  const NodeRef capture_out = ctx.And(acc.out_valid, acc.host_ready);
+  const NodeRef qualifier = options.progress_qualifier != ir::kNullNode
+                                ? options.progress_qualifier
+                                : ctx.True();
+
+  // --- part 2: output must arrive within tau host-ready cycles -----------
+  rb.is_tracked = ts.AddInput(options.label + ".is_tracked", Sort::BitVec(1));
+  const NodeRef tracked_labeled =
+      Reg(ts, options.label + ".tracked_labeled", 1, 0);
+  const NodeRef tracked_batch =
+      Reg(ts, options.label + ".TRACKED_BATCH", kCounterWidth, 0);
+  const NodeRef batch_ct =
+      Reg(ts, options.label + ".batch_ct", kCounterWidth, 0);
+  const NodeRef out_batch_ct =
+      Reg(ts, options.label + ".out_batch_ct", kCounterWidth, 0);
+  const NodeRef cnt_rdh = Reg(ts, options.label + ".cnt_rdh", kCounterWidth, 0);
+  const NodeRef cnt_in = Reg(ts, options.label + ".cnt_in", kCounterWidth, 0);
+
+  const NodeRef label_tracked = ctx.And(
+      ctx.And(rb.is_tracked, capture_in), ctx.Not(tracked_labeled));
+  LatchWhen(ts, tracked_labeled, label_tracked, ctx.True());
+  LatchWhen(ts, tracked_batch, label_tracked, batch_ct);
+  CountWhen(ts, batch_ct, capture_in);
+  CountWhen(ts, out_batch_ct, capture_out);
+  // Captured inputs observed *after* the tracked input (the label cycle
+  // itself counts the capture, hence the +1 below).
+  CountWhen(ts, cnt_in, ctx.And(tracked_labeled, capture_in));
+  // Host-ready cycles counted toward tau. The clock only runs once the
+  // accelerator has received the in_min inputs it needs before it can
+  // produce anything (e.g. a bank that must fill) — the paper's in_min
+  // customization (Sec. IV.C).
+  const NodeRef have_in_min =
+      ctx.Uge(ctx.Add(cnt_in, ctx.Const(kCounterWidth, 1)),
+              ctx.Const(kCounterWidth, options.in_min));
+  CountWhen(ts, cnt_rdh,
+            ctx.And(ctx.And(tracked_labeled, acc.host_ready),
+                    ctx.And(qualifier, have_in_min)));
+
+  // The tracked input's output batch has been produced once out_batch_ct
+  // passes its batch index.
+  const NodeRef rdy_out = ctx.Ugt(out_batch_ct, tracked_batch);
+
+  const NodeRef tau_reached =
+      ctx.Uge(cnt_rdh, ctx.Const(kCounterWidth, options.tau));
+  const NodeRef rb_violation =
+      ctx.And(ctx.And(tracked_labeled, ctx.Not(rdy_out)),
+              ctx.And(tau_reached, have_in_min));
+  rb.rb_bad_index = ts.AddBad(rb_violation, options.label);
+  rb.tracked_labeled = tracked_labeled;
+  rb.cnt_rdh = cnt_rdh;
+  rb.cnt_in = cnt_in;
+  rb.rdy_out = rdy_out;
+
+  // --- part 1: rdin must re-assert within rdin_bound cycles ---------------
+  if (options.rdin_bound > 0) {
+    const NodeRef low_streak =
+        Reg(ts, options.label + ".rdin_low_streak", kCounterWidth, 0);
+    // Only host-ready (and qualifier-enabled) cycles count: a finite-buffer
+    // accelerator whose host refuses to accept outputs is entitled to hold
+    // rdin low — it is starvation only if the host keeps giving it the
+    // chance to drain and rdin still never returns.
+    const NodeRef counting = ctx.And(acc.host_ready, qualifier);
+    ts.SetNext(
+        low_streak,
+        ctx.Ite(acc.in_ready, ctx.Const(kCounterWidth, 0),
+                ctx.Ite(counting,
+                        ctx.Add(low_streak, ctx.Const(kCounterWidth, 1)),
+                        low_streak)));
+    const NodeRef starved = ctx.Uge(
+        low_streak, ctx.Const(kCounterWidth, options.rdin_bound));
+    rb.starve_bad_index = ts.AddBad(starved, options.label + "_starvation");
+    rb.has_starve_bad = true;
+  }
+  return rb;
+}
+
+}  // namespace aqed::core

@@ -1,0 +1,61 @@
+// Response-Bound (RB) instrumentation — paper Sec. III.B / IV.C.
+//
+// Checks the two halves of the responsiveness property (Def. 3):
+//
+//   Part 1 (host starvation): the accelerator's input-ready signal `rdin`
+//   may never stay low for `rdin_bound` consecutive cycles.
+//
+//   Part 2 (output starvation): after a symbolically chosen input I is
+//   captured, once the host has been ready for `tau` cycles and at least
+//   `in_min` further input batches have been captured, the output for I must
+//   have been produced:
+//
+//       (cnt_rdh >= tau) && (cnt_in >= in_min) -> rdy_out
+//
+// `tau` is the design's response bound (the only design parameter A-QED
+// needs); `in_min` covers accelerators that require several inputs before
+// producing any output (e.g. windowed stencils).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aqed/interface.h"
+#include "ir/transition_system.h"
+
+namespace aqed::core {
+
+struct RbOptions {
+  // Part 2: maximum host-ready cycles the accelerator may take to produce
+  // the output of a captured input.
+  uint32_t tau = 8;
+  // Part 2: minimum number of captured input batches (including the tracked
+  // one) before any output is expected.
+  uint32_t in_min = 1;
+  // Part 1: maximum consecutive cycles `rdin` may stay low. 0 disables the
+  // part-1 check.
+  uint32_t rdin_bound = 0;
+  // Optional design signal (e.g. a host clock-enable) that qualifies
+  // progress: cycles where it is low count toward neither tau nor the
+  // part-1 streak — the design-specific A-QED customization of Sec. V.A.
+  ir::NodeRef progress_qualifier = ir::kNullNode;
+  std::string label = "aqed_rb";
+};
+
+struct RbInstrumentation {
+  uint32_t rb_bad_index = 0;        // part 2 violation
+  uint32_t starve_bad_index = 0;    // part 1 violation (if enabled)
+  bool has_starve_bad = false;
+
+  ir::NodeRef is_tracked = ir::kNullNode;  // free monitor control input
+  ir::NodeRef tracked_labeled = ir::kNullNode;
+  ir::NodeRef cnt_rdh = ir::kNullNode;
+  ir::NodeRef cnt_in = ir::kNullNode;
+  ir::NodeRef rdy_out = ir::kNullNode;
+};
+
+RbInstrumentation InstrumentRb(ir::TransitionSystem& ts,
+                               const AcceleratorInterface& acc,
+                               const RbOptions& options);
+
+}  // namespace aqed::core

@@ -1,0 +1,17 @@
+// Human-readable reporting of A-QED check outcomes.
+#pragma once
+
+#include <string>
+
+#include "aqed/checker.h"
+
+namespace aqed::core {
+
+// One-line verdict: property status, CEX length, runtime, solver effort.
+std::string SummarizeResult(const AqedResult& result);
+
+// Full report including the formatted counterexample trace (if any).
+std::string FormatResult(const ir::TransitionSystem& ts,
+                         const AqedResult& result);
+
+}  // namespace aqed::core

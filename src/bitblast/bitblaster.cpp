@@ -1,0 +1,333 @@
+#include "bitblast/bitblaster.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace aqed::bitblast {
+
+using sat::Lit;
+
+Bits BitBlaster::Constant(uint32_t width, uint64_t value) {
+  Bits bits(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    bits[i] = gates_.Constant(GetBit(value, i));
+  }
+  return bits;
+}
+
+Bits BitBlaster::Fresh(uint32_t width) {
+  Bits bits(width);
+  for (auto& bit : bits) bit = gates_.Fresh();
+  return bits;
+}
+
+ArrayBits BitBlaster::ConstantArray(uint32_t index_width, uint32_t elem_width,
+                                    uint64_t value) {
+  ArrayBits array;
+  array.elems.assign(uint64_t{1} << index_width, Constant(elem_width, value));
+  return array;
+}
+
+ArrayBits BitBlaster::FreshArray(uint32_t index_width, uint32_t elem_width) {
+  ArrayBits array;
+  array.elems.resize(uint64_t{1} << index_width);
+  for (auto& elem : array.elems) elem = Fresh(elem_width);
+  return array;
+}
+
+Bits BitBlaster::Not(const Bits& a) {
+  Bits out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = ~a[i];
+  return out;
+}
+
+Bits BitBlaster::And(const Bits& a, const Bits& b) {
+  Bits out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = gates_.And(a[i], b[i]);
+  return out;
+}
+
+Bits BitBlaster::Or(const Bits& a, const Bits& b) {
+  Bits out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = gates_.Or(a[i], b[i]);
+  return out;
+}
+
+Bits BitBlaster::Xor(const Bits& a, const Bits& b) {
+  Bits out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = gates_.Xor(a[i], b[i]);
+  return out;
+}
+
+Bits BitBlaster::Add(const Bits& a, const Bits& b) {
+  Bits out(a.size());
+  Lit carry = gates_.False();
+  for (size_t i = 0; i < a.size(); ++i) {
+    gates_.FullAdder(a[i], b[i], carry, out[i], carry);
+  }
+  return out;
+}
+
+Bits BitBlaster::Sub(const Bits& a, const Bits& b) {
+  // a - b == a + ~b + 1.
+  Bits out(a.size());
+  Lit carry = gates_.True();
+  for (size_t i = 0; i < a.size(); ++i) {
+    gates_.FullAdder(a[i], ~b[i], carry, out[i], carry);
+  }
+  return out;
+}
+
+Bits BitBlaster::Neg(const Bits& a) {
+  return Sub(Constant(static_cast<uint32_t>(a.size()), 0), a);
+}
+
+Bits BitBlaster::Mul(const Bits& a, const Bits& b) {
+  const uint32_t width = static_cast<uint32_t>(a.size());
+  Bits acc = Constant(width, 0);
+  for (uint32_t i = 0; i < width; ++i) {
+    if (gates_.IsFalse(b[i])) continue;
+    // acc += (a << i) gated by b[i]; bits above `width` are truncated.
+    Bits partial(width, gates_.False());
+    for (uint32_t j = i; j < width; ++j) {
+      partial[j] = gates_.And(a[j - i], b[i]);
+    }
+    acc = Add(acc, partial);
+  }
+  return acc;
+}
+
+void BitBlaster::Divide(const Bits& a, const Bits& b, Bits& quotient,
+                        Bits& remainder) {
+  const uint32_t width = static_cast<uint32_t>(a.size());
+  // Restoring long division with a (width+1)-bit partial remainder.
+  const Bits b_ext = Zext(b, width + 1);
+  Bits rem = Constant(width + 1, 0);
+  Bits quo(width, gates_.False());
+  for (uint32_t i = width; i-- > 0;) {
+    // rem = (rem << 1) | a[i]
+    rem.insert(rem.begin(), a[i]);
+    rem.pop_back();
+    const Lit geq = Ule(b_ext, rem);
+    quo[i] = geq;
+    rem = Ite(geq, Sub(rem, b_ext), rem);
+  }
+  Bits rem_trunc = Extract(rem, width - 1, 0);
+  // Division by zero: quotient all-ones, remainder the dividend.
+  const Lit divisor_zero = Eq(b, Constant(width, 0));
+  quotient = Ite(divisor_zero, Constant(width, WidthMask(width)), quo);
+  remainder = Ite(divisor_zero, a, rem_trunc);
+}
+
+Lit BitBlaster::Eq(const Bits& a, const Bits& b) {
+  Lit acc = gates_.True();
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = gates_.And(acc, gates_.Xnor(a[i], b[i]));
+  }
+  return acc;
+}
+
+Lit BitBlaster::Ult(const Bits& a, const Bits& b) {
+  // Ripple from LSB: lt_i = (~a_i & b_i) | (a_i == b_i) & lt_{i-1}.
+  Lit lt = gates_.False();
+  for (size_t i = 0; i < a.size(); ++i) {
+    lt = gates_.Or(gates_.And(~a[i], b[i]),
+                   gates_.And(gates_.Xnor(a[i], b[i]), lt));
+  }
+  return lt;
+}
+
+Lit BitBlaster::Ule(const Bits& a, const Bits& b) { return ~Ult(b, a); }
+
+Lit BitBlaster::Slt(const Bits& a, const Bits& b) {
+  // Signed compare == unsigned compare with inverted sign bits.
+  Bits a_flip = a;
+  Bits b_flip = b;
+  a_flip.back() = ~a_flip.back();
+  b_flip.back() = ~b_flip.back();
+  return Ult(a_flip, b_flip);
+}
+
+Lit BitBlaster::Sle(const Bits& a, const Bits& b) { return ~Slt(b, a); }
+
+Bits BitBlaster::ShiftConst(const Bits& a, int64_t amount, Lit fill) {
+  const int64_t width = static_cast<int64_t>(a.size());
+  Bits out(a.size(), fill);
+  for (int64_t j = 0; j < width; ++j) {
+    const int64_t src = j - amount;  // left shift by `amount`
+    if (src >= 0 && src < width) out[j] = a[src];
+  }
+  return out;
+}
+
+Bits BitBlaster::BarrelShift(const Bits& a, const Bits& amount, bool left,
+                             Lit fill) {
+  // Stages cover amounts < 128; any width <= 64 saturates to all-fill within
+  // those stages. Higher amount bits force all-fill directly.
+  const uint32_t stages =
+      std::min<uint32_t>(static_cast<uint32_t>(amount.size()), 7);
+  Bits result = a;
+  for (uint32_t k = 0; k < stages; ++k) {
+    const int64_t step = int64_t{1} << k;
+    Bits shifted = ShiftConst(result, left ? step : -step, fill);
+    result = Ite(amount[k], shifted, result);
+  }
+  Lit oversize = gates_.False();
+  for (size_t k = stages; k < amount.size(); ++k) {
+    oversize = gates_.Or(oversize, amount[k]);
+  }
+  if (!gates_.IsFalse(oversize)) {
+    result = Ite(oversize, Bits(a.size(), fill), result);
+  }
+  return result;
+}
+
+Bits BitBlaster::Shl(const Bits& a, const Bits& amount) {
+  return BarrelShift(a, amount, /*left=*/true, gates_.False());
+}
+
+Bits BitBlaster::Lshr(const Bits& a, const Bits& amount) {
+  return BarrelShift(a, amount, /*left=*/false, gates_.False());
+}
+
+Bits BitBlaster::Ashr(const Bits& a, const Bits& amount) {
+  return BarrelShift(a, amount, /*left=*/false, a.back());
+}
+
+Bits BitBlaster::Ite(Lit cond, const Bits& then_bits, const Bits& else_bits) {
+  Bits out(then_bits.size());
+  for (size_t i = 0; i < then_bits.size(); ++i) {
+    out[i] = gates_.Mux(cond, then_bits[i], else_bits[i]);
+  }
+  return out;
+}
+
+Bits BitBlaster::Concat(const Bits& high, const Bits& low) {
+  Bits out = low;
+  out.insert(out.end(), high.begin(), high.end());
+  return out;
+}
+
+Bits BitBlaster::Extract(const Bits& a, uint32_t hi, uint32_t lo) {
+  return Bits(a.begin() + lo, a.begin() + hi + 1);
+}
+
+Bits BitBlaster::Zext(const Bits& a, uint32_t new_width) {
+  Bits out = a;
+  out.resize(new_width, gates_.False());
+  return out;
+}
+
+Bits BitBlaster::Sext(const Bits& a, uint32_t new_width) {
+  Bits out = a;
+  out.resize(new_width, a.back());
+  return out;
+}
+
+Lit BitBlaster::IndexEquals(const Bits& index, uint64_t value) {
+  Lit acc = gates_.True();
+  for (size_t i = 0; i < index.size(); ++i) {
+    acc = gates_.And(acc, GetBit(value, static_cast<uint32_t>(i))
+                              ? index[i]
+                              : ~index[i]);
+  }
+  return acc;
+}
+
+Bits BitBlaster::Read(const ArrayBits& array, const Bits& index) {
+  AQED_CHECK(!array.elems.empty(), "read from empty array");
+  Bits result = array.elems[0];
+  for (uint64_t i = 1; i < array.elems.size(); ++i) {
+    result = Ite(IndexEquals(index, i), array.elems[i], result);
+  }
+  return result;
+}
+
+ArrayBits BitBlaster::Write(const ArrayBits& array, const Bits& index,
+                            const Bits& value) {
+  ArrayBits out;
+  out.elems.resize(array.elems.size());
+  for (uint64_t i = 0; i < array.elems.size(); ++i) {
+    out.elems[i] = Ite(IndexEquals(index, i), value, array.elems[i]);
+  }
+  return out;
+}
+
+ArrayBits BitBlaster::IteArray(Lit cond, const ArrayBits& then_val,
+                               const ArrayBits& else_val) {
+  ArrayBits out;
+  out.elems.resize(then_val.elems.size());
+  for (uint64_t i = 0; i < then_val.elems.size(); ++i) {
+    out.elems[i] = Ite(cond, then_val.elems[i], else_val.elems[i]);
+  }
+  return out;
+}
+
+Bits BitBlaster::EvalScalarOp(ir::Op op, uint32_t out_width,
+                              std::span<const Bits> operands, uint32_t aux0,
+                              uint32_t aux1) {
+  using ir::Op;
+  switch (op) {
+    case Op::kNot:
+      return Not(operands[0]);
+    case Op::kAnd:
+      return And(operands[0], operands[1]);
+    case Op::kOr:
+      return Or(operands[0], operands[1]);
+    case Op::kXor:
+      return Xor(operands[0], operands[1]);
+    case Op::kNeg:
+      return Neg(operands[0]);
+    case Op::kAdd:
+      return Add(operands[0], operands[1]);
+    case Op::kSub:
+      return Sub(operands[0], operands[1]);
+    case Op::kMul:
+      return Mul(operands[0], operands[1]);
+    case Op::kUdiv: {
+      Bits quotient, remainder;
+      Divide(operands[0], operands[1], quotient, remainder);
+      return quotient;
+    }
+    case Op::kUrem: {
+      Bits quotient, remainder;
+      Divide(operands[0], operands[1], quotient, remainder);
+      return remainder;
+    }
+    case Op::kEq:
+      return {Eq(operands[0], operands[1])};
+    case Op::kNe:
+      return {~Eq(operands[0], operands[1])};
+    case Op::kUlt:
+      return {Ult(operands[0], operands[1])};
+    case Op::kUle:
+      return {Ule(operands[0], operands[1])};
+    case Op::kSlt:
+      return {Slt(operands[0], operands[1])};
+    case Op::kSle:
+      return {Sle(operands[0], operands[1])};
+    case Op::kShl:
+      return Shl(operands[0], operands[1]);
+    case Op::kLshr:
+      return Lshr(operands[0], operands[1]);
+    case Op::kAshr:
+      return Ashr(operands[0], operands[1]);
+    case Op::kIte:
+      return Ite(operands[0][0], operands[1], operands[2]);
+    case Op::kConcat:
+      return Concat(operands[0], operands[1]);
+    case Op::kExtract:
+      return Extract(operands[0], aux0, aux1);
+    case Op::kZext:
+      return Zext(operands[0], out_width);
+    case Op::kSext:
+      return Sext(operands[0], out_width);
+    default:
+      AQED_CHECK(false, "EvalScalarOp: unsupported op");
+      return {};
+  }
+}
+
+}  // namespace aqed::bitblast

@@ -1,0 +1,91 @@
+// Word-level operation encodings over literal vectors (LSB-first).
+//
+// The BitBlaster is pure combinational plumbing: given the literal vectors of
+// a node's operands, it produces the literal vector of the result through the
+// GateBuilder. The BMC unroller owns the mapping from (node, frame) to
+// literal vectors and calls EvalOp per node.
+//
+// Encodings: ripple-carry add/sub, shift-and-add multiplier, restoring
+// divider, barrel shifters with oversize saturation, linear-scan array
+// read/write muxing. Exhaustively tested against ir::EvalScalarOp at small
+// widths (tests/bitblast_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitblast/gate_builder.h"
+#include "ir/node.h"
+
+namespace aqed::bitblast {
+
+// Bit vector of literals, least-significant bit first.
+using Bits = std::vector<sat::Lit>;
+
+// Blasted array value: one literal vector per element.
+struct ArrayBits {
+  std::vector<Bits> elems;
+};
+
+class BitBlaster {
+ public:
+  explicit BitBlaster(GateBuilder& gates) : gates_(gates) {}
+
+  GateBuilder& gates() { return gates_; }
+
+  // --- leaves ------------------------------------------------------------
+  Bits Constant(uint32_t width, uint64_t value);
+  Bits Fresh(uint32_t width);
+  ArrayBits ConstantArray(uint32_t index_width, uint32_t elem_width,
+                          uint64_t value);
+  ArrayBits FreshArray(uint32_t index_width, uint32_t elem_width);
+
+  // --- scalar operations -------------------------------------------------
+  Bits Not(const Bits& a);
+  Bits And(const Bits& a, const Bits& b);
+  Bits Or(const Bits& a, const Bits& b);
+  Bits Xor(const Bits& a, const Bits& b);
+  Bits Neg(const Bits& a);
+  Bits Add(const Bits& a, const Bits& b);
+  Bits Sub(const Bits& a, const Bits& b);
+  Bits Mul(const Bits& a, const Bits& b);
+  // Computes quotient and remainder together (SMT-LIB div-by-zero rules).
+  void Divide(const Bits& a, const Bits& b, Bits& quotient, Bits& remainder);
+  sat::Lit Eq(const Bits& a, const Bits& b);
+  sat::Lit Ult(const Bits& a, const Bits& b);
+  sat::Lit Ule(const Bits& a, const Bits& b);
+  sat::Lit Slt(const Bits& a, const Bits& b);
+  sat::Lit Sle(const Bits& a, const Bits& b);
+  Bits Shl(const Bits& a, const Bits& amount);
+  Bits Lshr(const Bits& a, const Bits& amount);
+  Bits Ashr(const Bits& a, const Bits& amount);
+  Bits Ite(sat::Lit cond, const Bits& then_bits, const Bits& else_bits);
+  Bits Concat(const Bits& high, const Bits& low);
+  Bits Extract(const Bits& a, uint32_t hi, uint32_t lo);
+  Bits Zext(const Bits& a, uint32_t new_width);
+  Bits Sext(const Bits& a, uint32_t new_width);
+
+  // --- array operations -----------------------------------------------------
+  Bits Read(const ArrayBits& array, const Bits& index);
+  ArrayBits Write(const ArrayBits& array, const Bits& index, const Bits& value);
+  ArrayBits IteArray(sat::Lit cond, const ArrayBits& then_val,
+                     const ArrayBits& else_val);
+
+  // Dispatches a scalar IR operation given operand bit vectors.
+  Bits EvalScalarOp(ir::Op op, uint32_t out_width,
+                    std::span<const Bits> operands, uint32_t aux0,
+                    uint32_t aux1);
+
+ private:
+  // Literal that is true iff `index` equals constant `value`.
+  sat::Lit IndexEquals(const Bits& index, uint64_t value);
+  // Shift by a constant amount with the given fill bit.
+  Bits ShiftConst(const Bits& a, int64_t amount, sat::Lit fill);
+  Bits BarrelShift(const Bits& a, const Bits& amount, bool left,
+                   sat::Lit fill);
+
+  GateBuilder& gates_;
+};
+
+}  // namespace aqed::bitblast

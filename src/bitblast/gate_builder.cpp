@@ -1,0 +1,130 @@
+#include "bitblast/gate_builder.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace aqed::bitblast {
+
+using sat::Lit;
+
+GateBuilder::GateBuilder(sat::Solver& solver) : solver_(solver) {
+  true_lit_ = Lit(solver_.NewVar(), /*negated=*/false);
+  solver_.AddClause({true_lit_});
+}
+
+Lit GateBuilder::Fresh() { return Lit(solver_.NewVar(), false); }
+
+Lit GateBuilder::And(Lit a, Lit b) {
+  // Constant folding and trivial cases.
+  if (IsFalse(a) || IsFalse(b) || a == ~b) return False();
+  if (IsTrue(a)) return b;
+  if (IsTrue(b) || a == b) return a;
+  // Normalize commutative operand order.
+  if (a.index() > b.index()) std::swap(a, b);
+  const std::pair<uint64_t, uint64_t> key{a.index(), b.index()};
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const Lit out = Fresh();
+  solver_.AddClause({~out, a});
+  solver_.AddClause({~out, b});
+  solver_.AddClause({out, ~a, ~b});
+  cache_.emplace(key, out);
+  ++num_gates_;
+  return out;
+}
+
+Lit GateBuilder::Xor(Lit a, Lit b) {
+  if (IsConstant(a)) return IsTrue(a) ? ~b : b;
+  if (IsConstant(b)) return IsTrue(b) ? ~a : a;
+  if (a == b) return False();
+  if (a == ~b) return True();
+  // Normalize: strip output polarity into the sign of the result so
+  // xor(a,b), xor(~a,b), ... share one gate.
+  bool flip = false;
+  if (a.negated()) {
+    a = ~a;
+    flip = !flip;
+  }
+  if (b.negated()) {
+    b = ~b;
+    flip = !flip;
+  }
+  if (a.index() > b.index()) std::swap(a, b);
+  const std::pair<uint64_t, uint64_t> key{(uint64_t{1} << 63) | a.index(),
+                                          b.index()};
+  Lit out;
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    out = it->second;
+  } else {
+    out = Fresh();
+    solver_.AddClause({~out, a, b});
+    solver_.AddClause({~out, ~a, ~b});
+    solver_.AddClause({out, ~a, b});
+    solver_.AddClause({out, a, ~b});
+    cache_.emplace(key, out);
+    ++num_gates_;
+  }
+  return flip ? ~out : out;
+}
+
+Lit GateBuilder::Mux(Lit sel, Lit then_lit, Lit else_lit) {
+  if (IsConstant(sel)) return IsTrue(sel) ? then_lit : else_lit;
+  if (then_lit == else_lit) return then_lit;
+  if (then_lit == ~else_lit) return Xor(sel, else_lit);
+  if (IsTrue(then_lit)) return Or(sel, else_lit);
+  if (IsFalse(then_lit)) return And(~sel, else_lit);
+  if (IsTrue(else_lit)) return Or(~sel, then_lit);
+  if (IsFalse(else_lit)) return And(sel, then_lit);
+  if (sel == then_lit) return Or(sel, else_lit);        // s?s:e == s|e
+  if (sel == ~then_lit) return And(~sel, else_lit);     // s?~s:e == ~s&e
+  if (sel == else_lit) return And(sel, then_lit);       // s?t:s == s&t
+  if (sel == ~else_lit) return Or(~sel, then_lit);      // s?t:~s == ~s|t
+  // Normalize: selector always positive.
+  if (sel.negated()) {
+    sel = ~sel;
+    std::swap(then_lit, else_lit);
+  }
+  const std::pair<uint64_t, uint64_t> key{
+      (uint64_t{1} << 62) | sel.index(),
+      (static_cast<uint64_t>(then_lit.index()) << 32) | else_lit.index()};
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  // Direct 6-clause encoding (with the two redundant clauses that give the
+  // solver arc consistency through the mux) — one variable instead of the
+  // three an AND/OR decomposition would allocate. Mux trees dominate the
+  // accelerator designs, so this matters.
+  const Lit out = Fresh();
+  solver_.AddClause({~sel, ~then_lit, out});
+  solver_.AddClause({~sel, then_lit, ~out});
+  solver_.AddClause({sel, ~else_lit, out});
+  solver_.AddClause({sel, else_lit, ~out});
+  solver_.AddClause({~then_lit, ~else_lit, out});
+  solver_.AddClause({then_lit, else_lit, ~out});
+  cache_.emplace(key, out);
+  ++num_gates_;
+  return out;
+}
+
+Lit GateBuilder::AndAll(std::span<const Lit> lits) {
+  Lit acc = True();
+  for (Lit lit : lits) acc = And(acc, lit);
+  return acc;
+}
+
+Lit GateBuilder::OrAll(std::span<const Lit> lits) {
+  Lit acc = False();
+  for (Lit lit : lits) acc = Or(acc, lit);
+  return acc;
+}
+
+void GateBuilder::FullAdder(Lit a, Lit b, Lit cin, Lit& sum, Lit& carry) {
+  sum = Xor(Xor(a, b), cin);
+  carry = Or(And(a, b), And(cin, Xor(a, b)));
+}
+
+void GateBuilder::Assert(Lit lit) {
+  AQED_CHECK(!IsFalse(lit), "asserting constant false");
+  if (IsTrue(lit)) return;
+  solver_.AddClause({lit});
+}
+
+}  // namespace aqed::bitblast

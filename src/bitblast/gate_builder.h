@@ -1,0 +1,70 @@
+// Structurally-hashed Tseitin gate construction over a SAT solver.
+//
+// This is the AIG-like layer between the word-level bit-blaster and CNF:
+// every gate is constant-folded, normalized (commutative operand ordering,
+// double-negation removal), and hash-consed, so identical subcircuits across
+// BMC frames share clauses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace aqed::bitblast {
+
+class GateBuilder {
+ public:
+  explicit GateBuilder(sat::Solver& solver);
+
+  sat::Solver& solver() { return solver_; }
+
+  sat::Lit True() const { return true_lit_; }
+  sat::Lit False() const { return ~true_lit_; }
+  sat::Lit Constant(bool value) const { return value ? True() : False(); }
+  bool IsTrue(sat::Lit lit) const { return lit == True(); }
+  bool IsFalse(sat::Lit lit) const { return lit == False(); }
+  bool IsConstant(sat::Lit lit) const { return IsTrue(lit) || IsFalse(lit); }
+
+  // Fresh unconstrained literal (symbolic input bit).
+  sat::Lit Fresh();
+
+  sat::Lit And(sat::Lit a, sat::Lit b);
+  sat::Lit Or(sat::Lit a, sat::Lit b) { return ~And(~a, ~b); }
+  sat::Lit Xor(sat::Lit a, sat::Lit b);
+  sat::Lit Xnor(sat::Lit a, sat::Lit b) { return ~Xor(a, b); }
+  sat::Lit Implies(sat::Lit a, sat::Lit b) { return ~And(a, ~b); }
+  // sel ? then_lit : else_lit
+  sat::Lit Mux(sat::Lit sel, sat::Lit then_lit, sat::Lit else_lit);
+
+  sat::Lit AndAll(std::span<const sat::Lit> lits);
+  sat::Lit OrAll(std::span<const sat::Lit> lits);
+
+  // sum / carry of a full adder (shares the majority/parity structure).
+  void FullAdder(sat::Lit a, sat::Lit b, sat::Lit cin, sat::Lit& sum,
+                 sat::Lit& carry);
+
+  // Asserts a literal as a unit clause.
+  void Assert(sat::Lit lit);
+
+  uint64_t num_gates() const { return num_gates_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& key) const {
+      return std::hash<uint64_t>{}(key.first * 0x9e3779b97f4a7c15ULL ^
+                                   key.second);
+    }
+  };
+
+  sat::Solver& solver_;
+  sat::Lit true_lit_;
+  // (tag | a.index, b.index) -> output literal. tag bit 63: xor vs and.
+  std::unordered_map<std::pair<uint64_t, uint64_t>, sat::Lit, KeyHash> cache_;
+  uint64_t num_gates_ = 0;
+};
+
+}  // namespace aqed::bitblast

@@ -1,0 +1,153 @@
+#include "bmc/engine.h"
+
+#include <numeric>
+
+#include "sat/preprocessor.h"
+#include "support/stats.h"
+#include "support/status.h"
+
+namespace aqed::bmc {
+
+namespace {
+
+// Outcome of one depth's satisfiability query.
+struct DepthQuery {
+  sat::SolveResult result = sat::SolveResult::kUnknown;
+  std::vector<sat::LBool> model;  // over the main solver's variables
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+};
+
+// Solves "target holds at this depth" on a preprocessed copy of the current
+// formula; the model (if any) is extended back over eliminated variables.
+DepthQuery SolvePreprocessed(const sat::Solver& main_solver, sat::Lit target,
+                             const BmcOptions& options) {
+  DepthQuery query;
+  sat::Cnf cnf;
+  main_solver.ExportClauses(cnf);
+  const std::vector<sat::Var> frozen = {target.var()};
+  const sat::PreprocessResult pre = sat::Preprocess(cnf, frozen);
+  if (pre.unsat) {
+    query.result = sat::SolveResult::kUnsat;
+    return query;
+  }
+  sat::Solver scratch(options.solver_options);
+  if (!sat::LoadCnf(pre.cnf, scratch)) {
+    query.result = sat::SolveResult::kUnsat;
+    return query;
+  }
+  if (options.conflict_budget >= 0) {
+    scratch.SetConflictBudget(options.conflict_budget);
+  }
+  const sat::Lit assumptions[] = {target};
+  query.result = scratch.Solve(assumptions);
+  query.conflicts = scratch.stats().conflicts;
+  query.decisions = scratch.stats().decisions;
+  if (query.result == sat::SolveResult::kSat) {
+    query.model = scratch.model();
+    query.model.resize(cnf.num_vars, sat::LBool::kUndef);
+    sat::ExtendModel(pre, query.model);
+  }
+  return query;
+}
+
+// Solves directly on the incremental main solver.
+DepthQuery SolveIncremental(sat::Solver& main_solver, sat::Lit target,
+                            const BmcOptions& options) {
+  DepthQuery query;
+  const uint64_t conflicts_before = main_solver.stats().conflicts;
+  const uint64_t decisions_before = main_solver.stats().decisions;
+  if (options.conflict_budget >= 0) {
+    main_solver.SetConflictBudget(options.conflict_budget);
+  }
+  const sat::Lit assumptions[] = {target};
+  query.result = main_solver.Solve(assumptions);
+  query.conflicts = main_solver.stats().conflicts - conflicts_before;
+  query.decisions = main_solver.stats().decisions - decisions_before;
+  if (query.result == sat::SolveResult::kSat) query.model = main_solver.model();
+  return query;
+}
+
+}  // namespace
+
+BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options) {
+  const Status valid = ts.Validate();
+  AQED_CHECK(valid.ok(), "RunBmc on invalid system: " + valid.message());
+
+  Stopwatch stopwatch;
+  sat::Solver solver(options.solver_options);
+  bitblast::GateBuilder gates(solver);
+  bitblast::BitBlaster blaster(gates);
+  Unroller unroller(ts, blaster);
+
+  std::vector<uint32_t> targets = options.bad_filter;
+  if (targets.empty()) {
+    targets.resize(ts.bads().size());
+    std::iota(targets.begin(), targets.end(), 0);
+  }
+  AQED_CHECK(!targets.empty(), "RunBmc with no bad predicates");
+
+  BmcResult result;
+  for (uint32_t depth = 0; depth < options.max_bound; ++depth) {
+    unroller.AddFrame();
+    result.frames_explored = depth + 1;
+
+    // any_bad holds iff some targeted bad predicate fires at this depth.
+    std::vector<sat::Lit> bad_lits;
+    bad_lits.reserve(targets.size());
+    for (uint32_t bad_index : targets) {
+      bad_lits.push_back(unroller.BadLit(depth, bad_index));
+    }
+    const sat::Lit any_bad = gates.OrAll(bad_lits);
+    if (gates.IsFalse(any_bad)) continue;  // statically unreachable here
+    if (solver.inconsistent()) break;       // constraints are contradictory
+
+    const DepthQuery query =
+        options.use_preprocessing
+            ? SolvePreprocessed(solver, any_bad, options)
+            : SolveIncremental(solver, any_bad, options);
+    result.conflicts += query.conflicts;
+    result.decisions += query.decisions;
+    if (query.result == sat::SolveResult::kUnknown) {
+      // Refutation budget exhausted at this depth. Counterexample queries
+      // are usually far easier than refutations, so keep deepening — the
+      // run is no longer a complete proof up to the bound, which the final
+      // outcome reflects if nothing is found.
+      result.refutation_complete = false;
+      continue;
+    }
+    if (query.result == sat::SolveResult::kUnsat) continue;
+
+    // Counterexample found: identify the violated bad predicate.
+    uint32_t hit = targets[0];
+    for (uint32_t bad_index : targets) {
+      const sat::Lit lit = unroller.BadLit(depth, bad_index);
+      const sat::LBool value = query.model[lit.var()];
+      const bool lit_true = lit.negated() ? value == sat::LBool::kFalse
+                                          : value == sat::LBool::kTrue;
+      if (lit_true) {
+        hit = bad_index;
+        break;
+      }
+    }
+    result.outcome = BmcResult::Outcome::kCounterexample;
+    result.trace = unroller.ExtractTrace(query.model, depth + 1, hit);
+    if (options.validate_counterexamples) {
+      result.trace_validated = ReplayTrace(ts, result.trace);
+      AQED_CHECK(result.trace_validated,
+                 "BMC counterexample failed simulator replay: " +
+                     result.trace.bad_label);
+    }
+    break;
+  }
+
+  if (result.outcome == BmcResult::Outcome::kBoundReached &&
+      !result.refutation_complete) {
+    result.outcome = BmcResult::Outcome::kUnknown;
+  }
+  result.seconds = stopwatch.ElapsedSeconds();
+  result.clauses = solver.num_clauses();
+  return result;
+}
+
+}  // namespace aqed::bmc

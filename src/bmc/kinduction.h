@@ -1,0 +1,56 @@
+// k-induction engine: unbounded safety proofs on top of the BMC substrate.
+//
+// BMC can only refute properties up to a bound; k-induction can *prove* them
+// for all depths (one of the paper's future-work directions for improving
+// A-QED scalability beyond plain BMC). For increasing k it checks:
+//
+//   base(k):  no bad state is reachable within k frames from reset
+//             (ordinary BMC);
+//   step(k):  from an arbitrary (not necessarily reachable) state, k
+//             consecutive good frames imply a good frame k+1 — i.e.
+//             ~bad@0 .. ~bad@k-1 && bad@k is UNSAT over a free initial
+//             state.
+//
+// If both hold, the property holds at every depth. Optional simple-path
+// (loop-freeness) constraints — all k+1 states pairwise distinct — make the
+// method complete for finite-state systems: without them, an unreachable
+// lasso that never touches a bad state can block convergence forever.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bmc/engine.h"
+#include "ir/transition_system.h"
+
+namespace aqed::bmc {
+
+struct KInductionOptions {
+  uint32_t max_k = 16;
+  // Add pairwise state-distinctness constraints to the inductive step.
+  bool simple_path = true;
+  // Restrict to these bad indices (empty = all, proved conjointly).
+  std::vector<uint32_t> bad_filter;
+  bool validate_counterexamples = true;
+  sat::Solver::Options solver_options;
+};
+
+struct KInductionResult {
+  enum class Outcome {
+    kProved,          // the bad states are unreachable at every depth
+    kCounterexample,  // reachable: `trace` holds the witness
+    kUnknown,         // not (k-)inductive within max_k
+  };
+  Outcome outcome = Outcome::kUnknown;
+  uint32_t k = 0;  // proof induction depth / counterexample depth
+  Trace trace;
+  bool trace_validated = false;
+  double seconds = 0;
+
+  bool proved() const { return outcome == Outcome::kProved; }
+};
+
+KInductionResult RunKInduction(const ir::TransitionSystem& ts,
+                               const KInductionOptions& options);
+
+}  // namespace aqed::bmc

@@ -1,0 +1,74 @@
+#include "bmc/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/simulator.h"
+
+namespace aqed::bmc {
+
+namespace {
+
+// Applies the trace's initial-state values and drives one simulator run,
+// invoking `on_cycle(sim, t)` after each cycle's Eval.
+template <typename OnCycle>
+void Drive(const Trace& trace, sim::Simulator& sim, OnCycle&& on_cycle) {
+  sim.Reset();
+  for (const auto& [state, value] : trace.initial_states) {
+    sim.SetState(state, value);
+  }
+  for (const auto& [state, values] : trace.initial_arrays) {
+    sim.SetArrayState(state, values);
+  }
+  for (uint32_t t = 0; t < trace.length(); ++t) {
+    for (const auto& [input, value] : trace.inputs[t]) {
+      sim.SetInput(input, value);
+    }
+    sim.Eval();
+    on_cycle(sim, t);
+    if (t + 1 < trace.length()) sim.Step();
+  }
+}
+
+}  // namespace
+
+bool ReplayTrace(const ir::TransitionSystem& ts, const Trace& trace) {
+  if (trace.length() == 0) return false;
+  sim::Simulator sim(ts);
+  bool ok = true;
+  Drive(trace, sim, [&](const sim::Simulator& s, uint32_t t) {
+    if (!s.ConstraintsHold()) ok = false;
+    if (t + 1 == trace.length()) {
+      const auto active = s.ActiveBads();
+      if (std::find(active.begin(), active.end(), trace.bad_index) ==
+          active.end()) {
+        ok = false;
+      }
+    }
+  });
+  return ok;
+}
+
+std::string FormatTrace(const ir::TransitionSystem& ts, const Trace& trace) {
+  std::ostringstream out;
+  out << "counterexample for \"" << trace.bad_label << "\" ("
+      << trace.length() << " cycles)\n";
+  if (trace.length() == 0) return out.str();
+  sim::Simulator sim(ts);
+  Drive(trace, sim, [&](const sim::Simulator& s, uint32_t t) {
+    out << "cycle " << t << ":";
+    for (ir::NodeRef input : ts.inputs()) {
+      if (!ts.ctx().sort(input).is_bitvec()) continue;
+      out << ' ' << ts.ctx().node(input).name << '=' << s.Value(input);
+    }
+    out << " |";
+    for (const auto& [name, node] : ts.outputs()) {
+      if (!ts.ctx().sort(node).is_bitvec()) continue;
+      out << ' ' << name << '=' << s.Value(node);
+    }
+    out << '\n';
+  });
+  return out.str();
+}
+
+}  // namespace aqed::bmc

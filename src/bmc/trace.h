@@ -1,0 +1,38 @@
+// Counterexample traces: concrete input assignments per cycle plus initial
+// state values, with replay-based validation against the simulator and
+// human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/transition_system.h"
+
+namespace aqed::bmc {
+
+// A finite input sequence witnessing a bad-state reachability.
+struct Trace {
+  uint32_t bad_index = 0;
+  std::string bad_label;
+  // inputs[t][input_node] = value at cycle t. Trace length == inputs.size().
+  std::vector<std::unordered_map<ir::NodeRef, uint64_t>> inputs;
+  // Values of every state at cycle 0 (needed when states are uninitialized;
+  // redundant but harmless otherwise).
+  std::unordered_map<ir::NodeRef, uint64_t> initial_states;
+  std::unordered_map<ir::NodeRef, std::vector<uint64_t>> initial_arrays;
+
+  uint32_t length() const { return static_cast<uint32_t>(inputs.size()); }
+};
+
+// Replays `trace` on a fresh simulator. Returns true iff all environment
+// constraints hold at every cycle and the trace's bad predicate is active at
+// the final cycle. This is the independent check applied to every BMC
+// counterexample before it is reported.
+bool ReplayTrace(const ir::TransitionSystem& ts, const Trace& trace);
+
+// Formats the trace as a cycle-by-cycle table of inputs and named outputs.
+std::string FormatTrace(const ir::TransitionSystem& ts, const Trace& trace);
+
+}  // namespace aqed::bmc

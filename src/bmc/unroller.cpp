@@ -1,0 +1,180 @@
+#include "bmc/unroller.h"
+
+#include <array>
+
+#include "support/status.h"
+
+namespace aqed::bmc {
+
+using bitblast::ArrayBits;
+using bitblast::Bits;
+using ir::Node;
+using ir::NodeRef;
+using ir::Op;
+using ir::Sort;
+
+Unroller::Unroller(const ir::TransitionSystem& ts,
+                   bitblast::BitBlaster& blaster, bool free_initial_state)
+    : ts_(ts), blaster_(blaster), free_initial_state_(free_initial_state) {}
+
+void Unroller::AddFrame() {
+  const uint32_t frame = num_frames();
+  const ir::Context& ctx = ts_.ctx();
+  auto& scalars = scalar_frames_.emplace_back(ctx.num_nodes());
+  auto& arrays = array_frames_.emplace_back(ctx.num_nodes());
+
+  for (NodeRef ref = 1; ref < ctx.num_nodes(); ++ref) {
+    const Node& node = ctx.node(ref);
+    switch (node.op) {
+      case Op::kConst:
+        scalars[ref] = blaster_.Constant(node.sort.width, node.const_val);
+        continue;
+      case Op::kConstArray:
+        arrays[ref] = blaster_.ConstantArray(
+            node.sort.index_width, node.sort.elem_width,
+            ctx.node(node.operands[0]).const_val);
+        continue;
+      case Op::kInput:
+        scalars[ref] = blaster_.Fresh(node.sort.width);
+        continue;
+      case Op::kState: {
+        if (frame == 0) {
+          const bool initialized = ts_.has_init(ref) && !free_initial_state_;
+          if (node.sort.is_bitvec()) {
+            scalars[ref] = initialized
+                               ? blaster_.Constant(node.sort.width,
+                                                   ts_.init_value(ref))
+                               : blaster_.Fresh(node.sort.width);
+          } else {
+            arrays[ref] =
+                initialized
+                    ? blaster_.ConstantArray(node.sort.index_width,
+                                             node.sort.elem_width,
+                                             ts_.init_value(ref))
+                    : blaster_.FreshArray(node.sort.index_width,
+                                          node.sort.elem_width);
+          }
+        } else {
+          const NodeRef next = ts_.next(ref);
+          if (node.sort.is_bitvec()) {
+            scalars[ref] = scalar_frames_[frame - 1][next];
+          } else {
+            arrays[ref] = array_frames_[frame - 1][next];
+          }
+        }
+        continue;
+      }
+      case Op::kIte:
+        if (node.sort.is_array()) {
+          arrays[ref] = blaster_.IteArray(scalars[node.operands[0]][0],
+                                          arrays[node.operands[1]],
+                                          arrays[node.operands[2]]);
+          continue;
+        }
+        break;
+      case Op::kRead:
+        scalars[ref] = blaster_.Read(arrays[node.operands[0]],
+                                     scalars[node.operands[1]]);
+        continue;
+      case Op::kWrite:
+        arrays[ref] = blaster_.Write(arrays[node.operands[0]],
+                                     scalars[node.operands[1]],
+                                     scalars[node.operands[2]]);
+        continue;
+      default:
+        break;
+    }
+    // Generic scalar operation.
+    std::array<Bits, 3> operand_bits;
+    for (size_t i = 0; i < node.operands.size(); ++i) {
+      operand_bits[i] = scalars[node.operands[i]];
+    }
+    scalars[ref] = blaster_.EvalScalarOp(
+        node.op, node.sort.width,
+        std::span(operand_bits.data(), node.operands.size()), node.aux0,
+        node.aux1);
+  }
+
+  // Environment assumptions hold in every frame.
+  for (NodeRef constraint : ts_.constraints()) {
+    blaster_.gates().Assert(scalars[constraint][0]);
+  }
+}
+
+sat::Lit Unroller::FramesEqual(uint32_t frame_a, uint32_t frame_b) {
+  bitblast::GateBuilder& gates = blaster_.gates();
+  sat::Lit equal = gates.True();
+  for (NodeRef state : ts_.states()) {
+    if (ts_.ctx().sort(state).is_bitvec()) {
+      equal = gates.And(equal,
+                        blaster_.Eq(scalar_frames_[frame_a][state],
+                                    scalar_frames_[frame_b][state]));
+    } else {
+      const ArrayBits& a = array_frames_[frame_a][state];
+      const ArrayBits& b = array_frames_[frame_b][state];
+      for (size_t i = 0; i < a.elems.size(); ++i) {
+        equal = gates.And(equal, blaster_.Eq(a.elems[i], b.elems[i]));
+      }
+    }
+  }
+  return equal;
+}
+
+sat::Lit Unroller::BadLit(uint32_t frame, uint32_t bad_index) const {
+  return scalar_frames_[frame][ts_.bads()[bad_index]][0];
+}
+
+const Bits& Unroller::NodeBits(NodeRef node, uint32_t frame) const {
+  return scalar_frames_[frame][node];
+}
+
+uint64_t Unroller::ModelOfBits(std::span<const sat::LBool> model,
+                               const Bits& bits) const {
+  uint64_t value = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    // Unassigned model bits (possible for don't-care inputs) default to 0.
+    const sat::Lit lit = bits[i];
+    const sat::LBool var_value = model[lit.var()];
+    const bool lit_true = lit.negated() ? var_value == sat::LBool::kFalse
+                                        : var_value == sat::LBool::kTrue;
+    if (lit_true) value |= uint64_t{1} << i;
+  }
+  return value;
+}
+
+uint64_t Unroller::ModelValue(std::span<const sat::LBool> model,
+                              NodeRef node, uint32_t frame) const {
+  return ModelOfBits(model, scalar_frames_[frame][node]);
+}
+
+Trace Unroller::ExtractTrace(std::span<const sat::LBool> model,
+                             uint32_t length,
+                             uint32_t bad_index) const {
+  AQED_CHECK(length >= 1 && length <= num_frames(), "trace length invalid");
+  Trace trace;
+  trace.bad_index = bad_index;
+  trace.bad_label = ts_.bad_labels()[bad_index];
+  trace.inputs.resize(length);
+  for (uint32_t t = 0; t < length; ++t) {
+    for (NodeRef input : ts_.inputs()) {
+      trace.inputs[t][input] =
+          ModelOfBits(model, scalar_frames_[t][input]);
+    }
+  }
+  for (NodeRef state : ts_.states()) {
+    if (ts_.ctx().sort(state).is_bitvec()) {
+      trace.initial_states[state] =
+          ModelOfBits(model, scalar_frames_[0][state]);
+    } else {
+      const ArrayBits& array = array_frames_[0][state];
+      std::vector<uint64_t> values(array.elems.size());
+      for (size_t i = 0; i < array.elems.size(); ++i) {
+        values[i] = ModelOfBits(model, array.elems[i]);
+      }
+      trace.initial_arrays[state] = std::move(values);
+    }
+  }
+  return trace;
+}
+
+}  // namespace aqed::bmc

@@ -1,0 +1,65 @@
+// Time-frame expansion of a transition system into CNF.
+//
+// Frame t maps every IR node to a literal vector. Inputs get fresh literals
+// per frame; states are init constants (or fresh literals when
+// uninitialized) at frame 0 and the previous frame's next-function bits
+// afterwards; environment constraints are asserted in every frame. The
+// expansion is eager per frame and iterative (node order is topological).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bitblast/bitblaster.h"
+#include "bmc/trace.h"
+#include "ir/transition_system.h"
+
+namespace aqed::bmc {
+
+class Unroller {
+ public:
+  // `free_initial_state` ignores declared init values and gives every state
+  // fresh literals at frame 0 — the unrolling used by the inductive step of
+  // k-induction (any state, not just the reset state).
+  Unroller(const ir::TransitionSystem& ts, bitblast::BitBlaster& blaster,
+           bool free_initial_state = false);
+
+  // Expands one more time frame (frame index == previous num_frames()).
+  void AddFrame();
+  uint32_t num_frames() const {
+    return static_cast<uint32_t>(scalar_frames_.size());
+  }
+
+  // Literal of bad predicate `bad_index` in `frame`.
+  sat::Lit BadLit(uint32_t frame, uint32_t bad_index) const;
+
+  // Literal vector of a scalar node in a frame.
+  const bitblast::Bits& NodeBits(ir::NodeRef node, uint32_t frame) const;
+
+  // Reads a scalar node's value in a frame out of a satisfying model
+  // (indexed by variable; unassigned bits read as 0).
+  uint64_t ModelValue(std::span<const sat::LBool> model, ir::NodeRef node,
+                      uint32_t frame) const;
+
+  // Builds a full input/initial-state trace of `length` frames from a model.
+  Trace ExtractTrace(std::span<const sat::LBool> model, uint32_t length,
+                     uint32_t bad_index) const;
+
+  // Literal that is true iff every state (registers and memories) holds the
+  // same value in `frame_a` and `frame_b` — used for simple-path
+  // (loop-freeness) constraints in k-induction.
+  sat::Lit FramesEqual(uint32_t frame_a, uint32_t frame_b);
+
+ private:
+  uint64_t ModelOfBits(std::span<const sat::LBool> model,
+                       const bitblast::Bits& bits) const;
+
+  const ir::TransitionSystem& ts_;
+  bitblast::BitBlaster& blaster_;
+  const bool free_initial_state_;
+  std::vector<std::vector<bitblast::Bits>> scalar_frames_;      // [frame][node]
+  std::vector<std::vector<bitblast::ArrayBits>> array_frames_;  // [frame][node]
+};
+
+}  // namespace aqed::bmc

@@ -1,0 +1,109 @@
+#include "bmc/vcd.h"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "support/bits.h"
+
+namespace aqed::bmc {
+
+namespace {
+
+// VCD identifier codes: short strings over the printable range.
+std::string IdCode(uint32_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+void WriteValue(std::ostream& out, uint64_t value, uint32_t width,
+                const std::string& code) {
+  if (width == 1) {
+    out << (value & 1) << code << '\n';
+    return;
+  }
+  out << 'b';
+  for (uint32_t bit = width; bit-- > 0;) {
+    out << ((value >> bit) & 1);
+  }
+  out << ' ' << code << '\n';
+}
+
+struct Signal {
+  ir::NodeRef node;
+  std::string name;
+  uint32_t width;
+  std::string code;
+  uint64_t last = ~uint64_t{0};  // force an initial dump
+};
+
+}  // namespace
+
+void WriteVcd(const ir::TransitionSystem& ts, const Trace& trace,
+              std::ostream& out) {
+  std::vector<Signal> signals;
+  uint32_t next_code = 0;
+  auto add_signal = [&](ir::NodeRef node, const std::string& name) {
+    if (!ts.ctx().sort(node).is_bitvec()) return;
+    signals.push_back(
+        {node, name, ts.ctx().width(node), IdCode(next_code++)});
+  };
+  for (ir::NodeRef input : ts.inputs()) {
+    add_signal(input, ts.ctx().node(input).name);
+  }
+  for (ir::NodeRef state : ts.states()) {
+    add_signal(state, ts.ctx().node(state).name);
+  }
+  for (const auto& [name, node] : ts.outputs()) add_signal(node, name);
+
+  out << "$comment A-QED counterexample: " << trace.bad_label
+      << " $end\n$timescale 1ns $end\n$scope module aqed $end\n";
+  for (const Signal& signal : signals) {
+    // VCD identifiers may not contain whitespace; map '.' to '_' for
+    // maximum viewer compatibility.
+    std::string name = signal.name;
+    for (char& c : name) {
+      if (c == ' ' || c == '.') c = '_';
+    }
+    out << "$var wire " << signal.width << ' ' << signal.code << ' ' << name
+        << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  sim::Simulator sim(ts);
+  for (const auto& [state, value] : trace.initial_states) {
+    sim.SetState(state, value);
+  }
+  for (const auto& [state, values] : trace.initial_arrays) {
+    sim.SetArrayState(state, values);
+  }
+  for (uint32_t t = 0; t < trace.length(); ++t) {
+    for (const auto& [input, value] : trace.inputs[t]) {
+      sim.SetInput(input, value);
+    }
+    sim.Eval();
+    out << '#' << t << '\n';
+    for (Signal& signal : signals) {
+      const uint64_t value = sim.Value(signal.node);
+      if (value != signal.last) {
+        WriteValue(out, value, signal.width, signal.code);
+        signal.last = value;
+      }
+    }
+    if (t + 1 < trace.length()) sim.Step();
+  }
+  out << '#' << trace.length() << '\n';
+}
+
+std::string ToVcd(const ir::TransitionSystem& ts, const Trace& trace) {
+  std::ostringstream out;
+  WriteVcd(ts, trace, out);
+  return out.str();
+}
+
+}  // namespace aqed::bmc

@@ -1,0 +1,20 @@
+// VCD (Value Change Dump) export of counterexample traces, so A-QED
+// counterexamples open directly in waveform viewers (GTKWave, Surfer) next
+// to the design's RTL simulation — the debug workflow of Observation 3.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bmc/trace.h"
+#include "ir/transition_system.h"
+
+namespace aqed::bmc {
+
+// Replays `trace` and writes one VCD timestep per cycle covering all design
+// inputs, all (scalar) states, and all named outputs.
+void WriteVcd(const ir::TransitionSystem& ts, const Trace& trace,
+              std::ostream& out);
+std::string ToVcd(const ir::TransitionSystem& ts, const Trace& trace);
+
+}  // namespace aqed::bmc

@@ -1,0 +1,32 @@
+#include "harness/conventional_flow.h"
+
+#include "support/stats.h"
+
+namespace aqed::harness {
+
+CampaignResult RunCampaign(
+    const std::function<core::AcceleratorInterface(ir::TransitionSystem&)>&
+        build,
+    const GoldenFn& golden, const CampaignOptions& options) {
+  CampaignResult campaign;
+  Stopwatch stopwatch;
+  for (uint32_t seed = 0; seed < options.num_seeds; ++seed) {
+    ir::TransitionSystem ts;
+    const core::AcceleratorInterface acc = build(ts);
+    Rng rng(options.base_seed + seed);
+    const TestbenchResult result =
+        RunRandomTestbench(ts, acc, golden, rng, options.testbench);
+    if (result.bug_detected()) {
+      campaign.bug_detected = true;
+      campaign.outcome = result.outcome;
+      campaign.detection_cycle = result.detection_cycle;
+      campaign.total_cycles_simulated += result.detection_cycle + 1;
+      break;
+    }
+    campaign.total_cycles_simulated += options.testbench.max_cycles;
+  }
+  campaign.seconds = stopwatch.ElapsedSeconds();
+  return campaign;
+}
+
+}  // namespace aqed::harness

@@ -1,0 +1,35 @@
+// Multi-seed conventional-verification campaign: the simulation-budgeted
+// random-testbench flow A-QED is compared against in Table 1 and Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "harness/random_testbench.h"
+
+namespace aqed::harness {
+
+struct CampaignOptions {
+  uint32_t num_seeds = 16;
+  uint64_t base_seed = 0xA9EDA9ED;
+  TestbenchOptions testbench;
+};
+
+struct CampaignResult {
+  bool bug_detected = false;
+  TestbenchResult::Outcome outcome = TestbenchResult::Outcome::kClean;
+  // Detection latency (cycles into the failing test) of the first failing
+  // seed — the conventional flow's counterexample trace length.
+  uint64_t detection_cycle = 0;
+  uint64_t total_cycles_simulated = 0;
+  double seconds = 0;
+};
+
+// Builds a fresh design per seed via `build` (returns the interface) and
+// simulates it against `golden` until a bug is found or seeds run out.
+CampaignResult RunCampaign(
+    const std::function<core::AcceleratorInterface(ir::TransitionSystem&)>&
+        build,
+    const GoldenFn& golden, const CampaignOptions& options);
+
+}  // namespace aqed::harness

@@ -1,0 +1,162 @@
+#include "harness/random_testbench.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/simulator.h"
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace aqed::harness {
+
+using core::AcceleratorInterface;
+using ir::NodeRef;
+
+TestbenchResult RunRandomTestbench(const ir::TransitionSystem& ts,
+                                   const AcceleratorInterface& acc,
+                                   const GoldenFn& golden, Rng& rng,
+                                   const TestbenchOptions& options) {
+  const Status valid = acc.Validate(ts);
+  AQED_CHECK(valid.ok(), "RunRandomTestbench: " + valid.message());
+
+  sim::Simulator simulator(ts);
+  TestbenchResult result;
+
+  // Classify the design's free inputs.
+  std::vector<NodeRef> data_inputs;
+  for (const auto& elem : acc.data_elems) {
+    for (NodeRef word : elem) {
+      if (ts.ctx().node(word).op == ir::Op::kInput) data_inputs.push_back(word);
+    }
+  }
+  std::vector<NodeRef> other_inputs;
+  std::vector<std::pair<NodeRef, uint64_t>> pinned;
+  for (NodeRef input : ts.inputs()) {
+    if (input == acc.in_valid || input == acc.host_ready) continue;
+    if (std::find(data_inputs.begin(), data_inputs.end(), input) !=
+        data_inputs.end()) {
+      continue;
+    }
+    bool is_pinned = false;
+    for (const auto& [name, value] : options.pinned_inputs) {
+      if (ts.ctx().node(input).name == name) {
+        pinned.emplace_back(input, value);
+        is_pinned = true;
+        break;
+      }
+    }
+    if (!is_pinned) other_inputs.push_back(input);
+  }
+
+  // Scoreboard: expected outputs per pending batch, in capture order.
+  std::deque<std::vector<std::vector<uint64_t>>> pending;
+  uint64_t ready_cycles_waiting = 0;
+  uint64_t input_starved_cycles = 0;
+  bool mismatch_seen = false;
+
+  auto random_data = [&](uint32_t width) -> uint64_t {
+    if (options.data_pool == 0) return rng.NextBits(width);
+    // A small value pool keeps duplicate stimulus frequent.
+    return Truncate(rng.NextBelow(options.data_pool) * 0x9e37ULL + 3, width);
+  };
+
+  for (uint64_t cycle = 0; cycle < options.max_cycles; ++cycle) {
+    simulator.SetInput(acc.in_valid,
+                       rng.Chance(options.in_valid_prob, 256) ? 1 : 0);
+    simulator.SetInput(acc.host_ready,
+                       rng.Chance(options.host_ready_prob, 256) ? 1 : 0);
+    for (NodeRef word : data_inputs) {
+      simulator.SetInput(word, random_data(ts.ctx().width(word)));
+    }
+    for (NodeRef input : other_inputs) {
+      simulator.SetInput(input, rng.NextBits(ts.ctx().width(input)));
+    }
+    for (const auto& [input, value] : pinned) {
+      simulator.SetInput(input, value);
+    }
+    simulator.Eval();
+
+    if (!simulator.ConstraintsHold()) {
+      result.outcome = TestbenchResult::Outcome::kConstraintViolation;
+      result.detection_cycle = cycle;
+      return result;
+    }
+
+    const bool capture_in = simulator.Value(acc.in_valid) != 0 &&
+                            simulator.Value(acc.in_ready) != 0;
+    const bool capture_out = simulator.Value(acc.out_valid) != 0 &&
+                             simulator.Value(acc.host_ready) != 0;
+
+    if (capture_in) {
+      ++result.inputs_captured;
+      std::vector<uint64_t> context;
+      context.reserve(acc.shared_context.size());
+      for (NodeRef node : acc.shared_context) {
+        context.push_back(simulator.Value(node));
+      }
+      std::vector<std::vector<uint64_t>> expected_batch;
+      for (const auto& elem : acc.data_elems) {
+        std::vector<uint64_t> words;
+        words.reserve(elem.size());
+        for (NodeRef word : elem) words.push_back(simulator.Value(word));
+        expected_batch.push_back(golden(words, context));
+      }
+      pending.push_back(std::move(expected_batch));
+    }
+
+    if (capture_out) {
+      ready_cycles_waiting = 0;
+      if (pending.empty()) {
+        // Output with no corresponding input: report as a mismatch.
+        result.outcome = TestbenchResult::Outcome::kMismatch;
+        result.detection_cycle = cycle;
+        return result;
+      }
+      const auto expected_batch = pending.front();
+      pending.pop_front();
+      ++result.outputs_checked;
+      for (uint32_t e = 0; e < acc.batch_size(); ++e) {
+        for (size_t w = 0; w < acc.out_elems[e].size(); ++w) {
+          if (simulator.Value(acc.out_elems[e][w]) != expected_batch[e][w]) {
+            if (options.end_of_test_checking) {
+              mismatch_seen = true;  // reported when the test finishes
+            } else {
+              result.outcome = TestbenchResult::Outcome::kMismatch;
+              result.detection_cycle = cycle;
+              return result;
+            }
+          }
+        }
+      }
+    } else if (!pending.empty() && simulator.Value(acc.host_ready) != 0) {
+      if (++ready_cycles_waiting >= options.hang_timeout) {
+        result.outcome = TestbenchResult::Outcome::kHang;
+        result.detection_cycle = cycle;
+        return result;
+      }
+    }
+
+    // Input starvation: the testbench keeps offering transactions with the
+    // host ready, yet the accelerator never accepts one.
+    if (capture_in || capture_out) {
+      input_starved_cycles = 0;
+    } else if (simulator.Value(acc.in_valid) != 0 &&
+               simulator.Value(acc.host_ready) != 0) {
+      if (++input_starved_cycles >= options.hang_timeout) {
+        result.outcome = TestbenchResult::Outcome::kHang;
+        result.detection_cycle = cycle;
+        return result;
+      }
+    }
+
+    simulator.Step();
+  }
+  if (mismatch_seen) {
+    // End-of-test comparison failed: the failure trace is the whole test.
+    result.outcome = TestbenchResult::Outcome::kMismatch;
+    result.detection_cycle = options.max_cycles;
+  }
+  return result;
+}
+
+}  // namespace aqed::harness

@@ -1,0 +1,31 @@
+// BTOR2 export: serializes a transition system in the word-level
+// model-checking exchange format (Niemetz et al., CAV 2018), so designs and
+// A-QED-instrumented models can be cross-checked with external checkers
+// (btormc, AVR, Pono) or inspected with standard tooling.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ir/transition_system.h"
+#include "support/status.h"
+
+namespace aqed::ir {
+
+// Writes the system in BTOR2 text format. Node names are attached as
+// symbols to inputs and states; bad/constraint lines carry their labels as
+// trailing comments.
+void ExportBtor2(const TransitionSystem& ts, std::ostream& out);
+std::string ToBtor2(const TransitionSystem& ts);
+
+// Parses BTOR2 text into a transition system. Supports the word-level core
+// used by this library (bitvector/array sorts; const/constd/consth; input/
+// state/init/next/constraint/bad/output; the operator set of ir::Op).
+// Init values must be constants. Returns an error Status for unsupported
+// or malformed lines.
+StatusOr<std::unique_ptr<TransitionSystem>> ImportBtor2(std::istream& in);
+StatusOr<std::unique_ptr<TransitionSystem>> ImportBtor2String(
+    const std::string& text);
+
+}  // namespace aqed::ir

@@ -1,0 +1,88 @@
+// Concrete semantics of scalar (non-array) IR operations.
+//
+// Shared by the Context's constant folder and the cycle-accurate simulator so
+// the two can never disagree; the bit-blaster is tested for equivalence
+// against these semantics exhaustively at small widths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ir/node.h"
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace aqed::ir {
+
+// Evaluates a scalar operation. `vals[i]` holds the canonical value of
+// operand i and `widths[i]` its width. `out_width` is the result width.
+inline uint64_t EvalScalarOp(Op op, uint32_t out_width,
+                             std::span<const uint64_t> vals,
+                             std::span<const uint32_t> widths, uint32_t aux0,
+                             uint32_t aux1) {
+  switch (op) {
+    case Op::kNot:
+      return Truncate(~vals[0], out_width);
+    case Op::kAnd:
+      return vals[0] & vals[1];
+    case Op::kOr:
+      return vals[0] | vals[1];
+    case Op::kXor:
+      return vals[0] ^ vals[1];
+    case Op::kNeg:
+      return Truncate(~vals[0] + 1, out_width);
+    case Op::kAdd:
+      return Truncate(vals[0] + vals[1], out_width);
+    case Op::kSub:
+      return Truncate(vals[0] - vals[1], out_width);
+    case Op::kMul:
+      return Truncate(vals[0] * vals[1], out_width);
+    case Op::kUdiv:
+      return vals[1] == 0 ? WidthMask(out_width)
+                          : Truncate(vals[0] / vals[1], out_width);
+    case Op::kUrem:
+      return vals[1] == 0 ? vals[0] : Truncate(vals[0] % vals[1], out_width);
+    case Op::kEq:
+      return vals[0] == vals[1] ? 1 : 0;
+    case Op::kNe:
+      return vals[0] != vals[1] ? 1 : 0;
+    case Op::kUlt:
+      return vals[0] < vals[1] ? 1 : 0;
+    case Op::kUle:
+      return vals[0] <= vals[1] ? 1 : 0;
+    case Op::kSlt:
+      return SignExtend(vals[0], widths[0]) < SignExtend(vals[1], widths[1])
+                 ? 1
+                 : 0;
+    case Op::kSle:
+      return SignExtend(vals[0], widths[0]) <= SignExtend(vals[1], widths[1])
+                 ? 1
+                 : 0;
+    case Op::kShl:
+      return vals[1] >= widths[0] ? 0
+                                  : Truncate(vals[0] << vals[1], out_width);
+    case Op::kLshr:
+      return vals[1] >= widths[0] ? 0 : (vals[0] >> vals[1]);
+    case Op::kAshr: {
+      const int64_t a = SignExtend(vals[0], widths[0]);
+      const uint64_t shift = vals[1] >= widths[0] ? widths[0] - 1 : vals[1];
+      return Truncate(static_cast<uint64_t>(a >> shift), out_width);
+    }
+    case Op::kIte:
+      return vals[0] != 0 ? vals[1] : vals[2];
+    case Op::kConcat:
+      return Truncate((vals[0] << widths[1]) | vals[1], out_width);
+    case Op::kExtract:
+      return Truncate(vals[0] >> aux1, aux0 - aux1 + 1);
+    case Op::kZext:
+      return vals[0];
+    case Op::kSext:
+      return Truncate(static_cast<uint64_t>(SignExtend(vals[0], widths[0])),
+                      out_width);
+    default:
+      AQED_CHECK(false, "EvalScalarOp: not a scalar operation");
+      return 0;
+  }
+}
+
+}  // namespace aqed::ir

@@ -1,0 +1,53 @@
+#include "ir/node.h"
+
+#include <string>
+
+namespace aqed::ir {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kConstArray: return "const_array";
+    case Op::kInput: return "input";
+    case Op::kState: return "state";
+    case Op::kNot: return "not";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNeg: return "neg";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kUdiv: return "udiv";
+    case Op::kUrem: return "urem";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kUlt: return "ult";
+    case Op::kUle: return "ule";
+    case Op::kSlt: return "slt";
+    case Op::kSle: return "sle";
+    case Op::kShl: return "shl";
+    case Op::kLshr: return "lshr";
+    case Op::kAshr: return "ashr";
+    case Op::kIte: return "ite";
+    case Op::kConcat: return "concat";
+    case Op::kExtract: return "extract";
+    case Op::kZext: return "zext";
+    case Op::kSext: return "sext";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+  }
+  return "?";
+}
+
+bool OpIsLeaf(Op op) {
+  return op == Op::kConst || op == Op::kInput || op == Op::kState;
+}
+
+std::string Sort::ToString() const {
+  if (is_bitvec()) return "bv" + std::to_string(width);
+  return "array[2^" + std::to_string(index_width) + " x bv" +
+         std::to_string(elem_width) + "]";
+}
+
+}  // namespace aqed::ir

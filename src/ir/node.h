@@ -1,0 +1,98 @@
+// Word-level IR node definitions.
+//
+// The IR is a hash-consed DAG of bitvector/array operations, in the spirit of
+// BTOR2: rich enough to describe synchronous accelerator designs (registers,
+// datapaths, memories, handshakes), small enough to bit-blast exactly.
+// Bitvector widths are limited to 64 bits (see support/bits.h), which covers
+// the accelerator datapaths in all case studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bits.h"
+
+namespace aqed::ir {
+
+// Index of a node inside its Context. 0 is reserved as "no node".
+using NodeRef = uint32_t;
+inline constexpr NodeRef kNullNode = 0;
+
+enum class SortKind : uint8_t { kBitVec, kArray };
+
+// Sort of a node: a bitvector of some width, or an array (memory) of
+// 2^index_width elements, each elem_width bits wide.
+struct Sort {
+  SortKind kind = SortKind::kBitVec;
+  uint32_t width = 0;        // bitvector width (kBitVec)
+  uint32_t index_width = 0;  // log2(#elements)   (kArray)
+  uint32_t elem_width = 0;   // element width     (kArray)
+
+  static Sort BitVec(uint32_t width) { return {SortKind::kBitVec, width, 0, 0}; }
+  static Sort Array(uint32_t index_width, uint32_t elem_width) {
+    return {SortKind::kArray, 0, index_width, elem_width};
+  }
+
+  bool is_bitvec() const { return kind == SortKind::kBitVec; }
+  bool is_array() const { return kind == SortKind::kArray; }
+  uint64_t num_elements() const { return uint64_t{1} << index_width; }
+  bool operator==(const Sort&) const = default;
+
+  std::string ToString() const;
+};
+
+enum class Op : uint8_t {
+  // Leaves
+  kConst,       // const_val
+  kConstArray,  // operand: default element value (must be kConst)
+  kInput,       // free symbolic input (fresh every cycle in BMC)
+  kState,       // register / memory; init+next owned by TransitionSystem
+  // Bitwise
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  // Arithmetic (unsigned two's complement)
+  kNeg,
+  kAdd,
+  kSub,
+  kMul,
+  kUdiv,  // division by zero yields all-ones (SMT-LIB convention)
+  kUrem,  // remainder by zero yields the dividend
+  // Comparison (1-bit result)
+  kEq,
+  kNe,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+  // Shifts (shift amount is the second operand; oversized shifts saturate)
+  kShl,
+  kLshr,
+  kAshr,
+  // Structure
+  kIte,      // operands: cond (1 bit), then, else
+  kConcat,   // operands: high, low
+  kExtract,  // operand: value; aux0 = hi bit, aux1 = lo bit
+  kZext,     // operand: value; width from sort
+  kSext,
+  // Arrays
+  kRead,   // operands: array, index -> elem_width bitvec
+  kWrite,  // operands: array, index, value -> array
+};
+
+const char* OpName(Op op);
+bool OpIsLeaf(Op op);
+
+struct Node {
+  Op op = Op::kConst;
+  Sort sort;
+  uint64_t const_val = 0;  // kConst only (canonical: truncated to width)
+  uint32_t aux0 = 0;       // kExtract: hi
+  uint32_t aux1 = 0;       // kExtract: lo
+  std::vector<NodeRef> operands;
+  std::string name;  // kInput / kState only
+};
+
+}  // namespace aqed::ir

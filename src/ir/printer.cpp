@@ -1,0 +1,43 @@
+#include "ir/printer.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace aqed::ir {
+
+void Print(const TransitionSystem& ts, std::ostream& out) {
+  const Context& ctx = ts.ctx();
+  for (NodeRef ref = 1; ref < ctx.num_nodes(); ++ref) {
+    const Node& node = ctx.node(ref);
+    out << ref << ' ' << OpName(node.op) << ' ' << node.sort.ToString();
+    if (node.op == Op::kConst) out << " value=" << node.const_val;
+    if (node.op == Op::kExtract) {
+      out << " [" << node.aux0 << ':' << node.aux1 << ']';
+    }
+    if (!node.name.empty()) out << " \"" << node.name << '"';
+    for (NodeRef operand : node.operands) out << ' ' << operand;
+    out << '\n';
+  }
+  for (NodeRef state : ts.states()) {
+    out << "next " << state << " <- " << ts.next(state);
+    if (ts.has_init(state)) out << " init=" << ts.init_value(state);
+    out << '\n';
+  }
+  for (NodeRef constraint : ts.constraints()) {
+    out << "constraint " << constraint << '\n';
+  }
+  for (size_t i = 0; i < ts.bads().size(); ++i) {
+    out << "bad " << ts.bads()[i] << " \"" << ts.bad_labels()[i] << "\"\n";
+  }
+  for (const auto& [name, node] : ts.outputs()) {
+    out << "output \"" << name << "\" " << node << '\n';
+  }
+}
+
+std::string ToString(const TransitionSystem& ts) {
+  std::ostringstream out;
+  Print(ts, out);
+  return out.str();
+}
+
+}  // namespace aqed::ir

@@ -1,0 +1,15 @@
+// Human-readable dump of a transition system, in a BTOR2-like line format,
+// for debugging design builders and instrumentation passes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/transition_system.h"
+
+namespace aqed::ir {
+
+void Print(const TransitionSystem& ts, std::ostream& out);
+std::string ToString(const TransitionSystem& ts);
+
+}  // namespace aqed::ir

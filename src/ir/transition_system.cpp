@@ -1,0 +1,64 @@
+#include "ir/transition_system.h"
+
+namespace aqed::ir {
+
+NodeRef TransitionSystem::AddInput(const std::string& name, Sort sort) {
+  return ctx_.Input(name, sort);
+}
+
+NodeRef TransitionSystem::AddState(const std::string& name, Sort sort,
+                                   std::optional<uint64_t> init_value) {
+  const NodeRef state = ctx_.State(name, sort);
+  if (init_value.has_value()) {
+    if (sort.is_bitvec()) {
+      init_[state] = Truncate(*init_value, sort.width);
+    } else {
+      init_[state] = Truncate(*init_value, sort.elem_width);
+    }
+  }
+  return state;
+}
+
+void TransitionSystem::SetNext(NodeRef state, NodeRef next) {
+  AQED_CHECK(ctx_.node(state).op == Op::kState, "SetNext on non-state");
+  AQED_CHECK(ctx_.sort(state) == ctx_.sort(next), "SetNext sort mismatch");
+  next_[state] = next;
+}
+
+void TransitionSystem::SetInit(NodeRef state, uint64_t init_value) {
+  AQED_CHECK(ctx_.node(state).op == Op::kState, "SetInit on non-state");
+  const Sort& sort = ctx_.sort(state);
+  init_[state] = Truncate(init_value,
+                          sort.is_bitvec() ? sort.width : sort.elem_width);
+}
+
+void TransitionSystem::AddConstraint(NodeRef condition) {
+  AQED_CHECK(ctx_.width(condition) == 1, "constraint must be 1 bit");
+  constraints_.push_back(condition);
+}
+
+uint32_t TransitionSystem::AddBad(NodeRef condition,
+                                  const std::string& label) {
+  AQED_CHECK(ctx_.width(condition) == 1, "bad predicate must be 1 bit");
+  bads_.push_back(condition);
+  bad_labels_.push_back(label);
+  return static_cast<uint32_t>(bads_.size()) - 1;
+}
+
+void TransitionSystem::AddOutput(const std::string& name, NodeRef node) {
+  outputs_.emplace_back(name, node);
+}
+
+NodeRef TransitionSystem::next(NodeRef state) const {
+  auto it = next_.find(state);
+  AQED_CHECK(it != next_.end(), "state has no next function");
+  return it->second;
+}
+
+uint64_t TransitionSystem::init_value(NodeRef state) const {
+  auto it = init_.find(state);
+  AQED_CHECK(it != init_.end(), "state has no initial value");
+  return it->second;
+}
+
+}  // namespace aqed::ir

@@ -1,0 +1,77 @@
+// Synchronous transition system over the word-level IR.
+//
+// This is the formal object of the paper's Def. 1: a finite-state system with
+// inputs, registered state (init/next), invariant constraints on the inputs
+// (the environment assumptions), named outputs, and "bad" predicates whose
+// reachability BMC checks. One TransitionSystem owns one Context.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/context.h"
+#include "support/status.h"
+
+namespace aqed::ir {
+
+class TransitionSystem {
+ public:
+  Context& ctx() { return ctx_; }
+  const Context& ctx() const { return ctx_; }
+
+  // Creates a free input of the given sort, fresh every cycle under BMC.
+  NodeRef AddInput(const std::string& name, Sort sort);
+
+  // Creates a register/memory state. If `init` is given it must be a
+  // constant (kConst / kConstArray); states without init start symbolic.
+  NodeRef AddState(const std::string& name, Sort sort,
+                   std::optional<uint64_t> init_value = std::nullopt);
+
+  // Defines the next-state function of `state` (mandatory for every state).
+  void SetNext(NodeRef state, NodeRef next);
+
+  // Sets/overrides the initial value of an existing state (importers use
+  // this when init lines arrive after the state declaration).
+  void SetInit(NodeRef state, uint64_t init_value);
+
+  // Asserts `condition` (1-bit) as an environment assumption every cycle.
+  void AddConstraint(NodeRef condition);
+
+  // Registers `condition` (1-bit) as a property violation to search for.
+  // Returns the bad-state index used by the BMC engine.
+  uint32_t AddBad(NodeRef condition, const std::string& label);
+
+  // Names a signal for tracing / simulation visibility.
+  void AddOutput(const std::string& name, NodeRef node);
+
+  NodeRef next(NodeRef state) const;
+  bool has_init(NodeRef state) const { return init_.contains(state); }
+  // Initial value of a (bitvector or array) state; arrays are uniform-init.
+  uint64_t init_value(NodeRef state) const;
+
+  const std::vector<NodeRef>& inputs() const { return ctx_.inputs(); }
+  const std::vector<NodeRef>& states() const { return ctx_.states(); }
+  const std::vector<NodeRef>& constraints() const { return constraints_; }
+  const std::vector<NodeRef>& bads() const { return bads_; }
+  const std::vector<std::string>& bad_labels() const { return bad_labels_; }
+  const std::vector<std::pair<std::string, NodeRef>>& outputs() const {
+    return outputs_;
+  }
+
+  // Structural well-formedness check (widths, next-function coverage).
+  Status Validate() const;
+
+ private:
+  Context ctx_;
+  std::unordered_map<NodeRef, NodeRef> next_;
+  std::unordered_map<NodeRef, uint64_t> init_;
+  std::vector<NodeRef> constraints_;
+  std::vector<NodeRef> bads_;
+  std::vector<std::string> bad_labels_;
+  std::vector<std::pair<std::string, NodeRef>> outputs_;
+};
+
+}  // namespace aqed::ir

@@ -1,0 +1,160 @@
+// Structural validation of transition systems: every state has a next
+// function of matching sort; all operation nodes are well-sorted. Operation
+// sorting is largely enforced at construction time by Context's AQED_CHECKs;
+// Validate() re-verifies the graph so that hand-assembled or instrumented
+// systems get a uniform error report instead of a hard abort.
+#include <string>
+
+#include "ir/transition_system.h"
+
+namespace aqed::ir {
+
+namespace {
+
+Status CheckNode(const Context& ctx, NodeRef ref) {
+  const Node& node = ctx.node(ref);
+  auto error = [&](const std::string& message) {
+    return Status::Error("node " + std::to_string(ref) + " (" +
+                         std::string(OpName(node.op)) + "): " + message);
+  };
+  auto operand_sort = [&](size_t i) { return ctx.sort(node.operands[i]); };
+
+  switch (node.op) {
+    case Op::kConst:
+      if (!node.sort.is_bitvec() || node.sort.width == 0 ||
+          node.sort.width > kMaxWidth) {
+        return error("invalid constant sort");
+      }
+      if (node.const_val != Truncate(node.const_val, node.sort.width)) {
+        return error("constant value not canonical");
+      }
+      return Status::Ok();
+    case Op::kConstArray:
+      if (!node.sort.is_array()) return error("const_array with scalar sort");
+      if (!operand_sort(0).is_bitvec() ||
+          operand_sort(0).width != node.sort.elem_width) {
+        return error("const_array element width mismatch");
+      }
+      return Status::Ok();
+    case Op::kInput:
+    case Op::kState:
+      return Status::Ok();
+    case Op::kNot:
+    case Op::kNeg:
+      if (operand_sort(0) != node.sort) return error("operand sort mismatch");
+      return Status::Ok();
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kUdiv:
+    case Op::kUrem:
+      if (operand_sort(0) != node.sort || operand_sort(1) != node.sort) {
+        return error("operand sort mismatch");
+      }
+      return Status::Ok();
+    case Op::kEq:
+    case Op::kNe:
+      if (node.sort != Sort::BitVec(1)) return error("comparison not 1 bit");
+      if (operand_sort(0) != operand_sort(1)) {
+        return error("comparison operand sorts differ");
+      }
+      return Status::Ok();
+    case Op::kUlt:
+    case Op::kUle:
+    case Op::kSlt:
+    case Op::kSle:
+      if (node.sort != Sort::BitVec(1)) return error("comparison not 1 bit");
+      if (!operand_sort(0).is_bitvec() ||
+          operand_sort(0) != operand_sort(1)) {
+        return error("comparison operand sorts differ");
+      }
+      return Status::Ok();
+    case Op::kShl:
+    case Op::kLshr:
+    case Op::kAshr:
+      if (operand_sort(0) != node.sort) return error("shift value sort");
+      if (!operand_sort(1).is_bitvec()) return error("shift amount sort");
+      return Status::Ok();
+    case Op::kIte:
+      if (operand_sort(0) != Sort::BitVec(1)) return error("ite condition");
+      if (operand_sort(1) != node.sort || operand_sort(2) != node.sort) {
+        return error("ite branch sorts");
+      }
+      return Status::Ok();
+    case Op::kConcat:
+      if (!node.sort.is_bitvec() ||
+          operand_sort(0).width + operand_sort(1).width != node.sort.width) {
+        return error("concat width mismatch");
+      }
+      return Status::Ok();
+    case Op::kExtract:
+      if (node.aux0 < node.aux1 || node.aux0 >= operand_sort(0).width ||
+          node.sort.width != node.aux0 - node.aux1 + 1) {
+        return error("extract range invalid");
+      }
+      return Status::Ok();
+    case Op::kZext:
+    case Op::kSext:
+      if (!node.sort.is_bitvec() ||
+          node.sort.width < operand_sort(0).width) {
+        return error("extension narrows value");
+      }
+      return Status::Ok();
+    case Op::kRead:
+      if (!operand_sort(0).is_array() ||
+          node.sort.width != operand_sort(0).elem_width ||
+          operand_sort(1).width != operand_sort(0).index_width) {
+        return error("read sorts invalid");
+      }
+      return Status::Ok();
+    case Op::kWrite:
+      if (node.sort != operand_sort(0) ||
+          operand_sort(1).width != node.sort.index_width ||
+          operand_sort(2).width != node.sort.elem_width) {
+        return error("write sorts invalid");
+      }
+      return Status::Ok();
+  }
+  return error("unknown operation");
+}
+
+}  // namespace
+
+Status TransitionSystem::Validate() const {
+  for (NodeRef ref = 1; ref < ctx_.num_nodes(); ++ref) {
+    // Operands must precede users (topological node order).
+    for (NodeRef operand : ctx_.node(ref).operands) {
+      if (operand == kNullNode || operand >= ref) {
+        return Status::Error("node " + std::to_string(ref) +
+                             ": operand order violated");
+      }
+    }
+    if (Status status = CheckNode(ctx_, ref); !status.ok()) return status;
+  }
+  for (NodeRef state : states()) {
+    if (!next_.contains(state)) {
+      return Status::Error("state '" + ctx_.node(state).name +
+                           "' has no next function");
+    }
+    if (ctx_.sort(next_.at(state)) != ctx_.sort(state)) {
+      return Status::Error("state '" + ctx_.node(state).name +
+                           "' next sort mismatch");
+    }
+  }
+  for (NodeRef constraint : constraints_) {
+    if (ctx_.sort(constraint) != Sort::BitVec(1)) {
+      return Status::Error("constraint is not 1 bit");
+    }
+  }
+  for (NodeRef bad : bads_) {
+    if (ctx_.sort(bad) != Sort::BitVec(1)) {
+      return Status::Error("bad predicate is not 1 bit");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace aqed::ir

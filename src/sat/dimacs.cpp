@@ -1,0 +1,82 @@
+#include "sat/dimacs.h"
+
+#include <istream>
+#include <sstream>
+
+#include "sat/solver.h"
+
+namespace aqed::sat {
+
+StatusOr<Cnf> ParseDimacs(std::istream& in) {
+  Cnf cnf;
+  bool header_seen = false;
+  uint64_t expected_clauses = 0;
+  std::string line;
+  std::vector<Lit> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      int64_t vars = 0, clauses = 0;
+      header >> p >> fmt >> vars >> clauses;
+      if (fmt != "cnf" || vars < 0 || clauses < 0) {
+        return Status::Error("malformed DIMACS header: " + line);
+      }
+      cnf.num_vars = static_cast<uint32_t>(vars);
+      expected_clauses = static_cast<uint64_t>(clauses);
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) return Status::Error("clause before DIMACS header");
+    std::istringstream body(line);
+    int64_t dimacs_lit = 0;
+    while (body >> dimacs_lit) {
+      if (dimacs_lit == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const uint64_t var = static_cast<uint64_t>(
+          dimacs_lit > 0 ? dimacs_lit : -dimacs_lit) - 1;
+      if (var >= cnf.num_vars) {
+        return Status::Error("literal exceeds declared variable count");
+      }
+      current.emplace_back(static_cast<Var>(var), dimacs_lit < 0);
+    }
+  }
+  if (!current.empty()) return Status::Error("unterminated clause");
+  if (expected_clauses != cnf.clauses.size()) {
+    return Status::Error("clause count mismatch with header");
+  }
+  return cnf;
+}
+
+StatusOr<Cnf> ParseDimacsString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseDimacs(in);
+}
+
+std::string ToDimacs(const Cnf& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (Lit lit : clause) {
+      const int64_t dimacs_lit =
+          (static_cast<int64_t>(lit.var()) + 1) * (lit.negated() ? -1 : 1);
+      out << dimacs_lit << ' ';
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+bool LoadCnf(const Cnf& cnf, Solver& solver) {
+  while (solver.num_vars() < cnf.num_vars) solver.NewVar();
+  for (const auto& clause : cnf.clauses) {
+    if (!solver.AddClause(clause)) return false;
+  }
+  return true;
+}
+
+}  // namespace aqed::sat

@@ -1,0 +1,31 @@
+// DIMACS CNF import/export, for interoperability with external SAT tooling
+// and for the solver's randomized differential tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+#include "support/status.h"
+
+namespace aqed::sat {
+
+// A raw CNF formula: clause list over variables 0..num_vars-1.
+struct Cnf {
+  uint32_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+// Parses DIMACS text ("p cnf V C" header, clauses terminated by 0).
+StatusOr<Cnf> ParseDimacs(std::istream& in);
+StatusOr<Cnf> ParseDimacsString(const std::string& text);
+
+// Serializes to DIMACS text.
+std::string ToDimacs(const Cnf& cnf);
+
+// Loads a CNF into a solver (creating variables 0..num_vars-1).
+// Returns false if the formula is trivially unsatisfiable.
+bool LoadCnf(const Cnf& cnf, class Solver& solver);
+
+}  // namespace aqed::sat

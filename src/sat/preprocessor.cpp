@@ -1,0 +1,265 @@
+#include "sat/preprocessor.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace aqed::sat {
+
+namespace {
+
+// Working state for the eliminator: clauses with lazy deletion plus
+// occurrence lists.
+class Eliminator {
+ public:
+  Eliminator(const Cnf& cnf, const std::vector<Var>& frozen,
+             const PreprocessOptions& options)
+      : options_(options),
+        num_vars_(cnf.num_vars),
+        frozen_(cnf.num_vars, 0),
+        assigned_(cnf.num_vars, LBool::kUndef),
+        occ_(2 * static_cast<size_t>(cnf.num_vars)) {
+    for (Var var : frozen) frozen_[var] = 1;
+    for (const auto& clause : cnf.clauses) AddClause(clause);
+  }
+
+  bool unsat() const { return unsat_; }
+
+  void Run(PreprocessResult& result) {
+    PropagateAll();
+    for (int pass = 0; pass < 3 && !unsat_; ++pass) {
+      bool changed = false;
+      for (Var var = 0; var < num_vars_ && !unsat_; ++var) {
+        if (frozen_[var] || assigned_[var] != LBool::kUndef) continue;
+        if (TryEliminate(var, result)) {
+          changed = true;
+          PropagateAll();
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  Cnf Export() const {
+    Cnf out;
+    out.num_vars = num_vars_;
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+      if (alive_[i]) out.clauses.push_back(clauses_[i]);
+    }
+    // Unit clauses for propagated assignments.
+    for (Var var = 0; var < num_vars_; ++var) {
+      if (assigned_[var] != LBool::kUndef) {
+        out.clauses.push_back({Lit(var, assigned_[var] == LBool::kFalse)});
+      }
+    }
+    return out;
+  }
+
+ private:
+  LBool Value(Lit lit) const {
+    return lit.negated() ? Negate(assigned_[lit.var()])
+                         : assigned_[lit.var()];
+  }
+
+  // Adds a clause (after removing false literals and duplicates); detects
+  // tautologies and satisfied clauses. Returns its index or -1.
+  void AddClause(std::vector<Lit> clause) {
+    std::sort(clause.begin(), clause.end(),
+              [](Lit a, Lit b) { return a.index() < b.index(); });
+    std::vector<Lit> cleaned;
+    Lit prev = kLitUndef;
+    for (Lit lit : clause) {
+      if (Value(lit) == LBool::kTrue || lit == ~prev) return;  // satisfied
+      if (Value(lit) == LBool::kFalse || lit == prev) continue;
+      cleaned.push_back(lit);
+      prev = lit;
+    }
+    if (cleaned.empty()) {
+      unsat_ = true;
+      return;
+    }
+    if (cleaned.size() == 1) {
+      Enqueue(cleaned[0]);
+      return;
+    }
+    const uint32_t index = static_cast<uint32_t>(clauses_.size());
+    for (Lit lit : cleaned) occ_[lit.index()].push_back(index);
+    clauses_.push_back(std::move(cleaned));
+    alive_.push_back(1);
+  }
+
+  void Enqueue(Lit lit) {
+    if (Value(lit) == LBool::kTrue) return;
+    if (Value(lit) == LBool::kFalse) {
+      unsat_ = true;
+      return;
+    }
+    assigned_[lit.var()] = lit.negated() ? LBool::kFalse : LBool::kTrue;
+    units_.push_back(lit);
+  }
+
+  // Exhaustive unit propagation over the clause database.
+  void PropagateAll() {
+    while (!units_.empty() && !unsat_) {
+      const Lit lit = units_.back();
+      units_.pop_back();
+      // Clauses satisfied by lit die; clauses containing ~lit shrink.
+      for (uint32_t index : occ_[lit.index()]) {
+        alive_[index] = 0;
+      }
+      const auto falsified = occ_[(~lit).index()];
+      for (uint32_t index : falsified) {
+        if (!alive_[index]) continue;
+        std::vector<Lit> shrunk;
+        for (Lit other : clauses_[index]) {
+          if (other != ~lit) shrunk.push_back(other);
+        }
+        alive_[index] = 0;
+        AddClause(std::move(shrunk));
+        if (unsat_) return;
+      }
+    }
+  }
+
+  // Collects alive clause indices containing `lit`, compacting the list.
+  std::vector<uint32_t> AliveOcc(Lit lit) {
+    auto& list = occ_[lit.index()];
+    std::vector<uint32_t> alive_list;
+    size_t kept = 0;
+    for (uint32_t index : list) {
+      if (!alive_[index]) continue;
+      list[kept++] = index;
+      alive_list.push_back(index);
+    }
+    list.resize(kept);
+    return alive_list;
+  }
+
+  // Resolves two clauses on `var`; returns false if tautological.
+  bool Resolve(const std::vector<Lit>& pos, const std::vector<Lit>& neg,
+               Var var, std::vector<Lit>& out) const {
+    out.clear();
+    for (Lit lit : pos) {
+      if (lit.var() != var) out.push_back(lit);
+    }
+    for (Lit lit : neg) {
+      if (lit.var() == var) continue;
+      bool tautology = false;
+      bool duplicate = false;
+      for (Lit existing : out) {
+        if (existing == ~lit) tautology = true;
+        if (existing == lit) duplicate = true;
+      }
+      if (tautology) return false;
+      if (!duplicate) out.push_back(lit);
+    }
+    return true;
+  }
+
+  bool TryEliminate(Var var, PreprocessResult& result) {
+    const Lit pos_lit(var, false);
+    const Lit neg_lit(var, true);
+    const auto pos = AliveOcc(pos_lit);
+    const auto neg = AliveOcc(neg_lit);
+    const size_t total = pos.size() + neg.size();
+    if (total == 0) return false;
+    if (pos.size() > options_.occurrence_limit ||
+        neg.size() > options_.occurrence_limit) {
+      return false;
+    }
+    for (uint32_t index : pos) {
+      if (clauses_[index].size() > options_.clause_size_limit) return false;
+    }
+    for (uint32_t index : neg) {
+      if (clauses_[index].size() > options_.clause_size_limit) return false;
+    }
+
+    // Count resolvents (pure literals have zero).
+    std::vector<std::vector<Lit>> resolvents;
+    std::vector<Lit> scratch;
+    for (uint32_t pi : pos) {
+      for (uint32_t ni : neg) {
+        if (Resolve(clauses_[pi], clauses_[ni], var, scratch)) {
+          resolvents.push_back(scratch);
+          if (resolvents.size() >
+              total + static_cast<size_t>(std::max(options_.grow, 0))) {
+            return false;
+          }
+        }
+      }
+    }
+
+    // Commit: move the variable's clauses to the reconstruction stack and
+    // add the resolvents.
+    PreprocessResult::Elimination elimination;
+    elimination.var = var;
+    for (uint32_t index : pos) {
+      elimination.clauses.push_back(clauses_[index]);
+      alive_[index] = 0;
+    }
+    for (uint32_t index : neg) {
+      elimination.clauses.push_back(clauses_[index]);
+      alive_[index] = 0;
+    }
+    result.eliminated.push_back(std::move(elimination));
+    for (auto& resolvent : resolvents) {
+      AddClause(std::move(resolvent));
+      if (unsat_) return true;
+    }
+    return true;
+  }
+
+  const PreprocessOptions options_;
+  const uint32_t num_vars_;
+  std::vector<uint8_t> frozen_;
+  std::vector<LBool> assigned_;
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<uint8_t> alive_;
+  std::vector<std::vector<uint32_t>> occ_;
+  std::vector<Lit> units_;
+  bool unsat_ = false;
+};
+
+}  // namespace
+
+PreprocessResult Preprocess(const Cnf& cnf, const std::vector<Var>& frozen,
+                            const PreprocessOptions& options) {
+  PreprocessResult result;
+  Eliminator eliminator(cnf, frozen, options);
+  eliminator.Run(result);
+  result.unsat = eliminator.unsat();
+  if (!result.unsat) result.cnf = eliminator.Export();
+  result.cnf.num_vars = cnf.num_vars;
+  return result;
+}
+
+void ExtendModel(const PreprocessResult& result, std::vector<LBool>& model) {
+  auto lit_true = [&model](Lit lit) {
+    // Unassigned variables uniformly read as false.
+    const bool var_true = model[lit.var()] == LBool::kTrue;
+    return lit.negated() ? !var_true : var_true;
+  };
+  for (auto it = result.eliminated.rbegin(); it != result.eliminated.rend();
+       ++it) {
+    // v = true works iff every clause containing ~v is satisfied elsewhere.
+    bool can_be_true = true;
+    for (const auto& clause : it->clauses) {
+      bool contains_neg = false;
+      bool satisfied_elsewhere = false;
+      for (Lit lit : clause) {
+        if (lit.var() == it->var) {
+          if (lit.negated()) contains_neg = true;
+          continue;
+        }
+        if (lit_true(lit)) satisfied_elsewhere = true;
+      }
+      if (contains_neg && !satisfied_elsewhere) {
+        can_be_true = false;
+        break;
+      }
+    }
+    model[it->var] = can_be_true ? LBool::kTrue : LBool::kFalse;
+  }
+}
+
+}  // namespace aqed::sat

@@ -1,0 +1,607 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sat/dimacs.h"
+#include "support/status.h"
+
+namespace aqed::sat {
+
+// ---------------------------------------------------------------------------
+// Clause arena
+// ---------------------------------------------------------------------------
+
+CRef Solver::AllocClause(std::span<const Lit> lits, bool learnt) {
+  const CRef cref = static_cast<CRef>(arena_.size());
+  arena_.push_back((static_cast<uint32_t>(lits.size()) << 1) |
+                   (learnt ? 1u : 0u));
+  arena_.push_back(0);  // activity bits
+  arena_.push_back(0);  // literal block distance (learnt clauses)
+  for (Lit lit : lits) arena_.push_back(lit.index());
+  return cref;
+}
+
+float Solver::ClauseActivity(CRef cref) const {
+  float activity;
+  std::memcpy(&activity, &arena_[cref + 1], sizeof(activity));
+  return activity;
+}
+
+void Solver::SetClauseActivity(CRef cref, float activity) {
+  std::memcpy(&arena_[cref + 1], &activity, sizeof(activity));
+}
+
+void Solver::ShrinkClause(CRef cref, uint32_t new_size) {
+  arena_[cref] = (new_size << 1) | (arena_[cref] & 1);
+}
+
+// ---------------------------------------------------------------------------
+// Variables and clauses
+// ---------------------------------------------------------------------------
+
+Var Solver::NewVar() {
+  const Var var = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  model_.push_back(LBool::kUndef);
+  polarity_.push_back(1);  // default phase: false
+  activity_.push_back(0.0);
+  reason_.push_back(kCRefUndef);
+  level_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_index_.push_back(kVarUndef);
+  InsertVarOrder(var);
+  return var;
+}
+
+bool Solver::AddClause(std::span<const Lit> lits) {
+  AQED_CHECK(DecisionLevel() == 0, "AddClause requires decision level 0");
+  if (!ok_) return false;
+
+  // Sort, deduplicate, drop false literals, detect tautologies and
+  // satisfied clauses.
+  std::vector<Lit> cleaned(lits.begin(), lits.end());
+  std::sort(cleaned.begin(), cleaned.end(),
+            [](Lit a, Lit b) { return a.index() < b.index(); });
+  std::vector<Lit> out;
+  out.reserve(cleaned.size());
+  Lit prev = kLitUndef;
+  for (Lit lit : cleaned) {
+    AQED_CHECK(lit.var() < num_vars(), "literal over unknown variable");
+    if (Value(lit) == LBool::kTrue || lit == ~prev) return true;  // satisfied
+    if (Value(lit) != LBool::kFalse && lit != prev) {
+      out.push_back(lit);
+      prev = lit;
+    }
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    UncheckedEnqueue(out[0], kCRefUndef);
+    ok_ = (Propagate() == kCRefUndef);
+    return ok_;
+  }
+  const CRef cref = AllocClause(out, /*learnt=*/false);
+  clauses_.push_back(cref);
+  ++num_problem_clauses_;
+  AttachClause(cref);
+  return true;
+}
+
+void Solver::AttachClause(CRef cref) {
+  const Lit* lits = ClauseLits(cref);
+  AQED_CHECK(ClauseSize(cref) >= 2, "attach on short clause");
+  watches_[(~lits[0]).index()].push_back({cref, lits[1]});
+  watches_[(~lits[1]).index()].push_back({cref, lits[0]});
+}
+
+void Solver::DetachClause(CRef cref) {
+  const Lit* lits = ClauseLits(cref);
+  for (int i = 0; i < 2; ++i) {
+    auto& watch_list = watches_[(~lits[i]).index()];
+    auto it = std::find_if(watch_list.begin(), watch_list.end(),
+                           [&](const Watcher& w) { return w.cref == cref; });
+    AQED_CHECK(it != watch_list.end(), "watcher missing in detach");
+    *it = watch_list.back();
+    watch_list.pop_back();
+  }
+}
+
+bool Solver::Locked(CRef cref) const {
+  const Lit first = ClauseLits(cref)[0];
+  return Value(first) == LBool::kTrue && reason_[first.var()] == cref;
+}
+
+void Solver::RemoveClause(CRef cref) {
+  DetachClause(cref);
+  if (Locked(cref)) reason_[ClauseLits(cref)[0].var()] = kCRefUndef;
+  // Arena space is not reclaimed; BMC instances at our scale fit comfortably.
+}
+
+void Solver::ExportClauses(Cnf& out) const {
+  AQED_CHECK(DecisionLevel() == 0, "ExportClauses requires decision level 0");
+  out.num_vars = num_vars();
+  out.clauses.clear();
+  for (const Lit lit : trail_) {
+    out.clauses.push_back({lit});  // level-0 facts
+  }
+  for (const CRef cref : clauses_) {
+    const Lit* lits = ClauseLits(cref);
+    out.clauses.emplace_back(lits, lits + ClauseSize(cref));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Assignment trail and propagation
+// ---------------------------------------------------------------------------
+
+void Solver::UncheckedEnqueue(Lit lit, CRef reason) {
+  AQED_CHECK(Value(lit) == LBool::kUndef, "enqueue of assigned literal");
+  assigns_[lit.var()] = lit.negated() ? LBool::kFalse : LBool::kTrue;
+  reason_[lit.var()] = reason;
+  level_[lit.var()] = DecisionLevel();
+  trail_.push_back(lit);
+}
+
+CRef Solver::Propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is true; visit watchers of p.
+    ++stats_.propagations;
+    auto& watch_list = watches_[p.index()];
+    size_t keep = 0;
+    size_t i = 0;
+    for (; i < watch_list.size(); ++i) {
+      const Watcher w = watch_list[i];
+      if (Value(w.blocker) == LBool::kTrue) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      const CRef cref = w.cref;
+      Lit* lits = ClauseLits(cref);
+      const uint32_t size = ClauseSize(cref);
+      // Ensure the false literal (~p) is at position 1.
+      const Lit false_lit = ~p;
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      AQED_CHECK(lits[1] == false_lit, "watch invariant violated");
+      // If the other watched literal is true, the clause is satisfied.
+      if (Value(lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = {cref, lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (uint32_t j = 2; j < size; ++j) {
+        if (Value(lits[j]) != LBool::kFalse) {
+          std::swap(lits[1], lits[j]);
+          watches_[(~lits[1]).index()].push_back({cref, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      watch_list[keep++] = {cref, lits[0]};
+      if (Value(lits[0]) == LBool::kFalse) {
+        confl = cref;
+        qhead_ = static_cast<uint32_t>(trail_.size());
+        // Copy back the remaining watchers and stop.
+        for (++i; i < watch_list.size(); ++i) watch_list[keep++] = watch_list[i];
+        break;
+      }
+      UncheckedEnqueue(lits[0], cref);
+    }
+    watch_list.resize(keep);
+    if (confl != kCRefUndef) break;
+  }
+  return confl;
+}
+
+void Solver::CancelUntil(uint32_t target_level) {
+  if (DecisionLevel() <= target_level) return;
+  for (size_t i = trail_.size(); i-- > trail_lim_[target_level];) {
+    const Var var = trail_[i].var();
+    assigns_[var] = LBool::kUndef;
+    if (options_.use_phase_saving) {
+      polarity_[var] = trail_[i].negated() ? 1 : 0;
+    }
+    InsertVarOrder(var);
+  }
+  qhead_ = trail_lim_[target_level];
+  trail_.resize(trail_lim_[target_level]);
+  trail_lim_.resize(target_level);
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis (first UIP with deep minimization)
+// ---------------------------------------------------------------------------
+
+void Solver::Analyze(CRef confl, std::vector<Lit>& out_learnt,
+                     uint32_t& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(kLitUndef);  // placeholder for the asserting literal
+
+  Lit p = kLitUndef;
+  int path_count = 0;
+  size_t index = trail_.size();
+
+  do {
+    AQED_CHECK(confl != kCRefUndef, "missing antecedent in analysis");
+    if (ClauseLearnt(confl)) ClaBumpActivity(confl);
+    const Lit* lits = ClauseLits(confl);
+    const uint32_t size = ClauseSize(confl);
+    for (uint32_t j = (p == kLitUndef) ? 0 : 1; j < size; ++j) {
+      const Lit q = lits[j];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      VarBumpActivity(q.var());
+      seen_[q.var()] = 1;
+      if (level_[q.var()] >= DecisionLevel()) {
+        ++path_count;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+    // Select next literal on the current level to resolve on.
+    while (!seen_[trail_[--index].var()]) {
+    }
+    p = trail_[index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Minimize: remove literals whose negation is implied by the rest.
+  analyze_toclear_.assign(out_learnt.begin(), out_learnt.end());
+  size_t kept = 1;
+  const size_t original_size = out_learnt.size();
+  for (size_t i = 1; i < out_learnt.size(); ++i) {
+    const Lit lit = out_learnt[i];
+    if (!options_.use_minimization || reason_[lit.var()] == kCRefUndef ||
+        !LitRedundant(lit)) {
+      out_learnt[kept++] = lit;
+    }
+  }
+  out_learnt.resize(kept);
+  stats_.minimized_literals += original_size - kept;
+  stats_.learnt_literals += out_learnt.size();
+
+  // Find backtrack level: highest level among out_learnt[1..].
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    size_t max_pos = 1;
+    for (size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level_[out_learnt[i].var()] > level_[out_learnt[max_pos].var()]) {
+        max_pos = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_pos]);
+    out_btlevel = level_[out_learnt[1].var()];
+  }
+
+  for (Lit lit : analyze_toclear_) seen_[lit.var()] = 0;
+}
+
+// Checks whether `lit` (a non-asserting literal of the learnt clause) is
+// implied by the remaining seen literals; iterative DFS over antecedents.
+bool Solver::LitRedundant(Lit lit) {
+  minimize_stack_.clear();
+  minimize_stack_.push_back(lit);
+  const size_t toclear_base = analyze_toclear_.size();
+  while (!minimize_stack_.empty()) {
+    const Lit current = minimize_stack_.back();
+    minimize_stack_.pop_back();
+    const CRef reason = reason_[current.var()];
+    AQED_CHECK(reason != kCRefUndef, "redundancy check hit a decision");
+    const Lit* lits = ClauseLits(reason);
+    const uint32_t size = ClauseSize(reason);
+    for (uint32_t i = 1; i < size; ++i) {
+      const Lit q = lits[i];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      if (reason_[q.var()] == kCRefUndef) {
+        // Reached a decision that is not part of the clause: not redundant.
+        for (size_t j = toclear_base; j < analyze_toclear_.size(); ++j) {
+          seen_[analyze_toclear_[j].var()] = 0;
+        }
+        analyze_toclear_.resize(toclear_base);
+        return false;
+      }
+      seen_[q.var()] = 1;
+      analyze_toclear_.push_back(q);
+      minimize_stack_.push_back(q);
+    }
+  }
+  return true;
+}
+
+// Computes which assumptions were responsible for forcing ~p.
+void Solver::AnalyzeFinal(Lit p, std::vector<Lit>& out_conflict) {
+  out_conflict.clear();
+  out_conflict.push_back(p);
+  if (DecisionLevel() == 0) return;
+  seen_[p.var()] = 1;
+  for (size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    const Var var = trail_[i].var();
+    if (!seen_[var]) continue;
+    if (reason_[var] == kCRefUndef) {
+      AQED_CHECK(level_[var] > 0, "decision at level 0");
+      out_conflict.push_back(~trail_[i]);
+    } else {
+      const Lit* lits = ClauseLits(reason_[var]);
+      const uint32_t size = ClauseSize(reason_[var]);
+      for (uint32_t j = 1; j < size; ++j) {
+        if (level_[lits[j].var()] > 0) seen_[lits[j].var()] = 1;
+      }
+    }
+    seen_[var] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Heuristics
+// ---------------------------------------------------------------------------
+
+void Solver::VarBumpActivity(Var var) {
+  if ((activity_[var] += var_inc_) > 1e100) {
+    for (auto& activity : activity_) activity *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (HeapInHeap(var)) HeapUp(heap_index_[var]);
+}
+
+void Solver::VarDecayActivity() { var_inc_ /= options_.var_decay; }
+
+void Solver::ClaBumpActivity(CRef cref) {
+  float activity = ClauseActivity(cref) + static_cast<float>(cla_inc_);
+  if (activity > 1e20f) {
+    for (CRef learnt : learnts_) {
+      SetClauseActivity(learnt, ClauseActivity(learnt) * 1e-20f);
+    }
+    cla_inc_ *= 1e-20;
+    activity = ClauseActivity(cref) + static_cast<float>(cla_inc_);
+  }
+  SetClauseActivity(cref, activity);
+}
+
+void Solver::ClaDecayActivity() { cla_inc_ /= options_.clause_decay; }
+
+bool Solver::HeapLess(Var a, Var b) const {
+  return activity_[a] > activity_[b];
+}
+
+void Solver::HeapUp(uint32_t pos) {
+  const Var var = heap_[pos];
+  while (pos > 0) {
+    const uint32_t parent = (pos - 1) >> 1;
+    if (!HeapLess(var, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    heap_index_[heap_[pos]] = pos;
+    pos = parent;
+  }
+  heap_[pos] = var;
+  heap_index_[var] = pos;
+}
+
+void Solver::HeapDown(uint32_t pos) {
+  const Var var = heap_[pos];
+  const uint32_t size = static_cast<uint32_t>(heap_.size());
+  for (;;) {
+    uint32_t child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size && HeapLess(heap_[child + 1], heap_[child])) ++child;
+    if (!HeapLess(heap_[child], var)) break;
+    heap_[pos] = heap_[child];
+    heap_index_[heap_[pos]] = pos;
+    pos = child;
+  }
+  heap_[pos] = var;
+  heap_index_[var] = pos;
+}
+
+void Solver::InsertVarOrder(Var var) {
+  if (HeapInHeap(var)) return;
+  heap_.push_back(var);
+  heap_index_[var] = static_cast<uint32_t>(heap_.size()) - 1;
+  HeapUp(heap_index_[var]);
+}
+
+Var Solver::HeapPop() {
+  const Var top = heap_[0];
+  heap_index_[top] = kVarUndef;
+  heap_[0] = heap_.back();
+  heap_index_[heap_[0]] = 0;
+  heap_.pop_back();
+  if (!heap_.empty()) HeapDown(0);
+  return top;
+}
+
+Lit Solver::PickBranchLit() {
+  Var next = kVarUndef;
+  if (options_.use_vsids) {
+    while (!heap_.empty()) {
+      const Var candidate = HeapPop();
+      if (Value(candidate) == LBool::kUndef) {
+        next = candidate;
+        break;
+      }
+    }
+  } else {
+    for (Var var = 0; var < num_vars(); ++var) {
+      if (Value(var) == LBool::kUndef) {
+        next = var;
+        break;
+      }
+    }
+  }
+  if (next == kVarUndef) return kLitUndef;
+  const bool negated =
+      options_.use_phase_saving ? polarity_[next] != 0 : true;
+  return Lit(next, negated);
+}
+
+// ---------------------------------------------------------------------------
+// Learnt-clause database reduction
+// ---------------------------------------------------------------------------
+
+void Solver::ReduceDB() {
+  ++stats_.reduce_db_rounds;
+  max_learnts_ *= 1.1;  // allow the database to grow over time
+  // Glucose-style: clauses with small literal-block distance encode tight
+  // dependencies between few decision levels and are kept unconditionally;
+  // the rest are ranked worst-first (high LBD, then low activity).
+  std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+    if (ClauseLbd(a) != ClauseLbd(b)) return ClauseLbd(a) > ClauseLbd(b);
+    return ClauseActivity(a) < ClauseActivity(b);
+  });
+  size_t kept = 0;
+  const size_t half = learnts_.size() / 2;
+  for (size_t i = 0; i < learnts_.size(); ++i) {
+    const CRef cref = learnts_[i];
+    const bool removable = ClauseSize(cref) > 2 && ClauseLbd(cref) > 3 &&
+                           !Locked(cref) && i < half;
+    if (removable) {
+      RemoveClause(cref);
+    } else {
+      learnts_[kept++] = cref;
+    }
+  }
+  learnts_.resize(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+uint64_t Solver::Luby(uint64_t i) {
+  // Finds the subsequence value for the Luby restart sequence
+  // 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return uint64_t{1} << seq;
+}
+
+SolveResult Solver::Search(int64_t conflicts_budget) {
+  int64_t conflicts_here = 0;
+  std::vector<Lit> learnt;
+  for (;;) {
+    const CRef confl = Propagate();
+    if (confl != kCRefUndef) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (DecisionLevel() == 0) return SolveResult::kUnsat;
+      uint32_t backtrack_level = 0;
+      Analyze(confl, learnt, backtrack_level);
+      CancelUntil(backtrack_level);
+      if (learnt.size() == 1) {
+        UncheckedEnqueue(learnt[0], kCRefUndef);
+      } else {
+        const CRef cref = AllocClause(learnt, /*learnt=*/true);
+        // Literal block distance: number of distinct decision levels in the
+        // clause (computed after backtracking bumps nothing, so use the
+        // recorded levels).
+        lbd_levels_.clear();
+        for (const Lit lit : learnt) lbd_levels_.push_back(level_[lit.var()]);
+        std::sort(lbd_levels_.begin(), lbd_levels_.end());
+        const uint32_t lbd = static_cast<uint32_t>(
+            std::unique(lbd_levels_.begin(), lbd_levels_.end()) -
+            lbd_levels_.begin());
+        SetClauseLbd(cref, lbd);
+        learnts_.push_back(cref);
+        AttachClause(cref);
+        ClaBumpActivity(cref);
+        UncheckedEnqueue(learnt[0], cref);
+      }
+      VarDecayActivity();
+      ClaDecayActivity();
+      continue;
+    }
+
+    // No conflict.
+    if (conflicts_budget >= 0 && conflicts_here >= conflicts_budget) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;  // restart (or budget exhausted)
+    }
+    if (options_.use_reduce_db &&
+        static_cast<double>(learnts_.size()) >= max_learnts_ + trail_.size()) {
+      ReduceDB();
+    }
+
+    Lit next = kLitUndef;
+    while (DecisionLevel() < assumptions_.size()) {
+      const Lit assumption = assumptions_[DecisionLevel()];
+      if (Value(assumption) == LBool::kTrue) {
+        NewDecisionLevel();  // dummy level, already satisfied
+      } else if (Value(assumption) == LBool::kFalse) {
+        AnalyzeFinal(~assumption, conflict_);
+        return SolveResult::kUnsat;
+      } else {
+        next = assumption;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      ++stats_.decisions;
+      next = PickBranchLit();
+      if (next == kLitUndef) {
+        // All variables assigned: model found.
+        model_ = assigns_;
+        return SolveResult::kSat;
+      }
+    }
+    NewDecisionLevel();
+    UncheckedEnqueue(next, kCRefUndef);
+  }
+}
+
+SolveResult Solver::Solve(std::span<const Lit> assumptions) {
+  conflict_.clear();
+  if (!ok_) return SolveResult::kUnsat;
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  for (Lit assumption : assumptions_) {
+    AQED_CHECK(assumption.var() < num_vars(), "assumption over unknown var");
+  }
+  max_learnts_ = std::max<double>(static_cast<double>(num_problem_clauses_) / 3.0, 1000.0);
+
+  const int64_t budget = conflict_budget_;
+  conflict_budget_ = -1;  // one-shot budget
+  int64_t total_conflicts = 0;
+  SolveResult result = SolveResult::kUnknown;
+  for (uint64_t restart = 0; result == SolveResult::kUnknown; ++restart) {
+    int64_t this_restart = options_.use_restarts
+                               ? static_cast<int64_t>(Luby(restart)) *
+                                     options_.restart_base
+                               : -1;
+    if (budget >= 0) {
+      const int64_t remaining = budget - total_conflicts;
+      if (remaining <= 0) break;
+      this_restart = this_restart < 0
+                         ? remaining
+                         : std::min<int64_t>(this_restart, remaining);
+    }
+    const uint64_t conflicts_before = stats_.conflicts;
+    result = Search(this_restart);
+    total_conflicts +=
+        static_cast<int64_t>(stats_.conflicts - conflicts_before);
+    if (result == SolveResult::kUnknown) ++stats_.restarts;
+  }
+  CancelUntil(0);
+  return result;
+}
+
+}  // namespace aqed::sat

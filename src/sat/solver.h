@@ -1,0 +1,204 @@
+// CDCL SAT solver in the MiniSat lineage.
+//
+// Features: two-watched-literal propagation, VSIDS decision heuristic with a
+// binary order heap, phase saving, first-UIP conflict analysis with deep
+// clause minimization, Luby restarts, activity-driven learnt-clause database
+// reduction, and incremental solving under assumptions with failed-assumption
+// (unsat core over assumptions) extraction.
+//
+// Every heuristic can be disabled through Options; the SAT-ablation benchmark
+// (bench_ablation_sat) uses this to quantify each feature's contribution on
+// A-QED BMC workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace aqed::sat {
+
+// Reference to a clause in the arena (word offset). kCRefUndef = none.
+using CRef = uint32_t;
+inline constexpr CRef kCRefUndef = ~CRef{0};
+
+class Solver {
+ public:
+  struct Options {
+    bool use_vsids = true;           // false: lowest-index unassigned var
+    bool use_phase_saving = true;    // false: always decide negative
+    bool use_minimization = true;    // false: raw 1UIP clauses
+    bool use_restarts = true;        // false: single unbounded search
+    bool use_reduce_db = true;       // false: keep every learnt clause
+    double var_decay = 0.95;
+    double clause_decay = 0.999;
+    int restart_base = 100;          // conflicts per Luby unit
+  };
+
+  struct Statistics {
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t conflicts = 0;
+    uint64_t restarts = 0;
+    uint64_t learnt_literals = 0;
+    uint64_t minimized_literals = 0;  // removed by clause minimization
+    uint64_t reduce_db_rounds = 0;
+  };
+
+  Solver() = default;
+  explicit Solver(const Options& options) : options_(options) {}
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // Creates a fresh variable and returns it.
+  Var NewVar();
+  uint32_t num_vars() const { return static_cast<uint32_t>(assigns_.size()); }
+
+  // Adds a clause over existing variables. Returns false if the formula
+  // became trivially unsatisfiable (empty clause / conflicting units).
+  bool AddClause(std::span<const Lit> lits);
+  bool AddClause(std::initializer_list<Lit> lits) {
+    return AddClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  // Solves under the given assumptions. All assumption literals must be over
+  // existing variables.
+  SolveResult Solve(std::span<const Lit> assumptions = {});
+
+  // Sets a conflict budget for the next Solve call; the call returns
+  // kUnknown when exceeded. Negative: unlimited.
+  void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+  // Model access after kSat.
+  const std::vector<LBool>& model() const { return model_; }
+  LBool ModelValue(Var var) const { return model_[var]; }
+  bool ModelBool(Var var) const { return model_[var] == LBool::kTrue; }
+  LBool ModelValue(Lit lit) const {
+    return lit.negated() ? Negate(model_[lit.var()]) : model_[lit.var()];
+  }
+
+  // After kUnsat under assumptions: the subset of assumptions (negated) that
+  // formed the final conflict.
+  const std::vector<Lit>& failed_assumptions() const { return conflict_; }
+
+  // Exports the current problem clauses (including level-0 unit facts) for
+  // external preprocessing. Learnt clauses are not included.
+  void ExportClauses(struct Cnf& out) const;
+
+  const Statistics& stats() const { return stats_; }
+  uint64_t num_clauses() const { return num_problem_clauses_; }
+  uint64_t num_learnts() const { return learnts_.size(); }
+  bool inconsistent() const { return !ok_; }
+
+ private:
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // --- clause arena ----------------------------------------------------
+  // Layout per clause: [size<<1 | learnt][activity bits][lbd][lits ...]
+  uint32_t ClauseSize(CRef cref) const { return arena_[cref] >> 1; }
+  bool ClauseLearnt(CRef cref) const { return (arena_[cref] & 1) != 0; }
+  Lit* ClauseLits(CRef cref) {
+    return reinterpret_cast<Lit*>(&arena_[cref + 3]);
+  }
+  const Lit* ClauseLits(CRef cref) const {
+    return reinterpret_cast<const Lit*>(&arena_[cref + 3]);
+  }
+  uint32_t ClauseLbd(CRef cref) const { return arena_[cref + 2]; }
+  void SetClauseLbd(CRef cref, uint32_t lbd) { arena_[cref + 2] = lbd; }
+  float ClauseActivity(CRef cref) const;
+  void SetClauseActivity(CRef cref, float activity);
+  void ShrinkClause(CRef cref, uint32_t new_size);
+  CRef AllocClause(std::span<const Lit> lits, bool learnt);
+
+  // --- assignment / trail ----------------------------------------------
+  LBool Value(Var var) const { return assigns_[var]; }
+  LBool Value(Lit lit) const {
+    return lit.negated() ? Negate(assigns_[lit.var()]) : assigns_[lit.var()];
+  }
+  uint32_t DecisionLevel() const {
+    return static_cast<uint32_t>(trail_lim_.size());
+  }
+  void NewDecisionLevel() {
+    trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+  }
+  void UncheckedEnqueue(Lit lit, CRef reason);
+  CRef Propagate();
+  void CancelUntil(uint32_t level);
+
+  // --- conflict analysis -------------------------------------------------
+  void Analyze(CRef confl, std::vector<Lit>& out_learnt,
+               uint32_t& out_btlevel);
+  bool LitRedundant(Lit lit);
+  void AnalyzeFinal(Lit p, std::vector<Lit>& out_conflict);
+
+  // --- heuristics --------------------------------------------------------
+  void VarBumpActivity(Var var);
+  void VarDecayActivity();
+  void ClaBumpActivity(CRef cref);
+  void ClaDecayActivity();
+  Lit PickBranchLit();
+  void InsertVarOrder(Var var);
+  // Order heap (max-heap on activity).
+  void HeapUp(uint32_t pos);
+  void HeapDown(uint32_t pos);
+  bool HeapLess(Var a, Var b) const;
+  Var HeapPop();
+  bool HeapInHeap(Var var) const { return heap_index_[var] != kVarUndef; }
+
+  // --- clause management ---------------------------------------------------
+  void AttachClause(CRef cref);
+  void DetachClause(CRef cref);
+  void RemoveClause(CRef cref);
+  bool Locked(CRef cref) const;
+  void ReduceDB();
+
+  // --- top-level search ---------------------------------------------------
+  SolveResult Search(int64_t conflicts_budget);
+  static uint64_t Luby(uint64_t i);
+
+  Options options_;
+  Statistics stats_;
+
+  std::vector<uint32_t> arena_;
+  std::vector<CRef> clauses_;  // problem clauses
+  std::vector<CRef> learnts_;
+  uint64_t num_problem_clauses_ = 0;
+
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<uint8_t> polarity_;      // saved phase (1 = last was false)
+  std::vector<double> activity_;
+  std::vector<CRef> reason_;
+  std::vector<uint32_t> level_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+
+  std::vector<Lit> trail_;
+  std::vector<uint32_t> trail_lim_;
+  uint32_t qhead_ = 0;
+
+  // Order heap.
+  std::vector<Var> heap_;
+  std::vector<uint32_t> heap_index_;
+
+  // Analysis scratch.
+  std::vector<uint8_t> seen_;
+  std::vector<uint32_t> lbd_levels_;
+  std::vector<Lit> analyze_toclear_;
+  std::vector<Lit> minimize_stack_;
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_;
+
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  double max_learnts_ = 0;
+  int64_t conflict_budget_ = -1;
+  bool ok_ = true;
+};
+
+}  // namespace aqed::sat

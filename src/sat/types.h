@@ -1,0 +1,67 @@
+// Core value types for the CDCL SAT solver: variables, literals, and the
+// three-valued assignment domain.
+//
+// Literal encoding follows the MiniSat convention: a literal is
+// 2*var + sign, where sign == 1 means the negated literal. This keeps
+// literal-indexed arrays (watch lists, assignment tables) dense.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace aqed::sat {
+
+using Var = uint32_t;
+
+inline constexpr Var kVarUndef = ~Var{0};
+
+class Lit {
+ public:
+  constexpr Lit() : index_(~uint32_t{0}) {}
+  constexpr Lit(Var var, bool negated) : index_(2 * var + (negated ? 1 : 0)) {}
+
+  static constexpr Lit FromIndex(uint32_t index) {
+    Lit lit;
+    lit.index_ = index;
+    return lit;
+  }
+
+  constexpr Var var() const { return index_ >> 1; }
+  constexpr bool negated() const { return (index_ & 1) != 0; }
+  constexpr uint32_t index() const { return index_; }
+
+  constexpr Lit operator~() const { return FromIndex(index_ ^ 1); }
+  constexpr bool operator==(const Lit& other) const = default;
+
+ private:
+  uint32_t index_;
+};
+
+inline constexpr Lit kLitUndef{};
+
+// Three-valued assignment: true / false / unassigned.
+enum class LBool : uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+// Negation that maps undef to undef.
+constexpr LBool Negate(LBool value) {
+  switch (value) {
+    case LBool::kTrue:
+      return LBool::kFalse;
+    case LBool::kFalse:
+      return LBool::kTrue;
+    default:
+      return LBool::kUndef;
+  }
+}
+
+// Result of a (possibly budgeted) solve call.
+enum class SolveResult : uint8_t { kSat, kUnsat, kUnknown };
+
+}  // namespace aqed::sat
+
+template <>
+struct std::hash<aqed::sat::Lit> {
+  size_t operator()(const aqed::sat::Lit& lit) const noexcept {
+    return std::hash<uint32_t>{}(lit.index());
+  }
+};

@@ -1,0 +1,170 @@
+#include "sim/simulator.h"
+
+#include <array>
+
+#include "ir/eval.h"
+
+namespace aqed::sim {
+
+using ir::Node;
+using ir::NodeRef;
+using ir::Op;
+using ir::Sort;
+
+Simulator::Simulator(const ir::TransitionSystem& ts) : ts_(ts) {
+  scalar_.resize(ts_.ctx().num_nodes(), 0);
+  array_.resize(ts_.ctx().num_nodes());
+  Reset();
+}
+
+void Simulator::Reset() {
+  cycle_ = 0;
+  evaluated_ = false;
+  input_scalar_.clear();
+  state_scalar_.clear();
+  state_array_.clear();
+  for (NodeRef state : ts_.states()) {
+    const Sort& sort = ts_.ctx().sort(state);
+    const uint64_t init = ts_.has_init(state) ? ts_.init_value(state) : 0;
+    if (sort.is_bitvec()) {
+      state_scalar_[state] = init;
+    } else {
+      state_array_[state].assign(sort.num_elements(), init);
+    }
+  }
+}
+
+void Simulator::SetState(NodeRef state, uint64_t value) {
+  const Sort& sort = ts_.ctx().sort(state);
+  AQED_CHECK(sort.is_bitvec(), "SetState on array state");
+  state_scalar_[state] = Truncate(value, sort.width);
+  evaluated_ = false;
+}
+
+void Simulator::SetArrayState(NodeRef state, std::vector<uint64_t> values) {
+  const Sort& sort = ts_.ctx().sort(state);
+  AQED_CHECK(sort.is_array(), "SetArrayState on scalar state");
+  AQED_CHECK(values.size() == sort.num_elements(),
+             "SetArrayState size mismatch");
+  for (auto& value : values) value = Truncate(value, sort.elem_width);
+  state_array_[state] = std::move(values);
+  evaluated_ = false;
+}
+
+void Simulator::SetInput(NodeRef input, uint64_t value) {
+  const Sort& sort = ts_.ctx().sort(input);
+  AQED_CHECK(sort.is_bitvec(), "array inputs are not supported");
+  input_scalar_[input] = Truncate(value, sort.width);
+  evaluated_ = false;
+}
+
+void Simulator::EvalNode(NodeRef ref) {
+  const Node& node = ts_.ctx().node(ref);
+  switch (node.op) {
+    case Op::kConst:
+      scalar_[ref] = node.const_val;
+      return;
+    case Op::kConstArray:
+      array_[ref].assign(node.sort.num_elements(),
+                         scalar_[node.operands[0]]);
+      return;
+    case Op::kInput: {
+      auto it = input_scalar_.find(ref);
+      scalar_[ref] = it == input_scalar_.end() ? 0 : it->second;
+      return;
+    }
+    case Op::kState:
+      if (node.sort.is_bitvec()) {
+        scalar_[ref] = state_scalar_.at(ref);
+      } else {
+        array_[ref] = state_array_.at(ref);
+      }
+      return;
+    case Op::kIte:
+      if (node.sort.is_array()) {
+        array_[ref] = scalar_[node.operands[0]] != 0
+                          ? array_[node.operands[1]]
+                          : array_[node.operands[2]];
+        return;
+      }
+      break;  // scalar ite handled below
+    case Op::kRead: {
+      const auto& base = array_[node.operands[0]];
+      const uint64_t index = scalar_[node.operands[1]];
+      scalar_[ref] = base[index];
+      return;
+    }
+    case Op::kWrite: {
+      array_[ref] = array_[node.operands[0]];
+      array_[ref][scalar_[node.operands[1]]] = scalar_[node.operands[2]];
+      return;
+    }
+    default:
+      break;
+  }
+  // Generic scalar operation.
+  std::array<uint64_t, 3> vals{};
+  std::array<uint32_t, 3> widths{};
+  const size_t arity = node.operands.size();
+  for (size_t i = 0; i < arity; ++i) {
+    vals[i] = scalar_[node.operands[i]];
+    widths[i] = ts_.ctx().width(node.operands[i]);
+  }
+  scalar_[ref] = ir::EvalScalarOp(node.op, node.sort.width,
+                                  std::span(vals.data(), arity),
+                                  std::span(widths.data(), arity), node.aux0,
+                                  node.aux1);
+}
+
+void Simulator::Eval() {
+  // Node order is topological (operands precede users), so a single pass
+  // evaluates the whole combinational fabric.
+  for (NodeRef ref = 1; ref < ts_.ctx().num_nodes(); ++ref) EvalNode(ref);
+  evaluated_ = true;
+}
+
+void Simulator::Step() {
+  AQED_CHECK(evaluated_, "Step without preceding Eval");
+  for (NodeRef state : ts_.states()) {
+    const NodeRef next = ts_.next(state);
+    if (ts_.ctx().sort(state).is_bitvec()) {
+      state_scalar_[state] = scalar_[next];
+    } else {
+      state_array_[state] = array_[next];
+    }
+  }
+  input_scalar_.clear();
+  ++cycle_;
+  evaluated_ = false;
+}
+
+uint64_t Simulator::Value(NodeRef node) const {
+  AQED_CHECK(evaluated_, "Value before Eval");
+  AQED_CHECK(ts_.ctx().sort(node).is_bitvec(), "Value on array node");
+  return scalar_[node];
+}
+
+const std::vector<uint64_t>& Simulator::ArrayValue(NodeRef node) const {
+  AQED_CHECK(evaluated_, "ArrayValue before Eval");
+  AQED_CHECK(ts_.ctx().sort(node).is_array(), "ArrayValue on scalar node");
+  return array_[node];
+}
+
+bool Simulator::ConstraintsHold() const {
+  AQED_CHECK(evaluated_, "ConstraintsHold before Eval");
+  for (NodeRef constraint : ts_.constraints()) {
+    if (scalar_[constraint] == 0) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> Simulator::ActiveBads() const {
+  AQED_CHECK(evaluated_, "ActiveBads before Eval");
+  std::vector<uint32_t> active;
+  for (size_t i = 0; i < ts_.bads().size(); ++i) {
+    if (scalar_[ts_.bads()[i]] != 0) active.push_back(static_cast<uint32_t>(i));
+  }
+  return active;
+}
+
+}  // namespace aqed::sim

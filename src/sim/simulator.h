@@ -1,0 +1,65 @@
+// Cycle-accurate concrete simulator for transition systems.
+//
+// Drives one design cycle at a time: set inputs, Eval() the combinational
+// fabric, inspect signals / constraints / bad predicates, then Step() to
+// latch next-state values. Used by the conventional-verification baseline
+// (random testbenches) and by the BMC engine to replay and validate every
+// counterexample before it is reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/transition_system.h"
+
+namespace aqed::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(const ir::TransitionSystem& ts);
+
+  // Returns all states to their initial values (uninitialized states to 0)
+  // and resets the cycle counter.
+  void Reset();
+
+  // Overrides the current value of a state (e.g. to replay a trace that
+  // starts from a symbolic initial state).
+  void SetState(ir::NodeRef state, uint64_t value);
+  void SetArrayState(ir::NodeRef state, std::vector<uint64_t> values);
+
+  // Sets a (bitvector) input for the current cycle. Unset inputs are 0.
+  void SetInput(ir::NodeRef input, uint64_t value);
+
+  // Evaluates the combinational fabric for the current cycle.
+  void Eval();
+
+  // Latches next-state values; requires a preceding Eval() this cycle.
+  void Step();
+
+  // Signal inspection (valid after Eval / before Step for comb. nodes).
+  uint64_t Value(ir::NodeRef node) const;
+  const std::vector<uint64_t>& ArrayValue(ir::NodeRef node) const;
+
+  // True iff every environment constraint holds this cycle.
+  bool ConstraintsHold() const;
+  // Indices of bad predicates that are true this cycle.
+  std::vector<uint32_t> ActiveBads() const;
+
+  uint64_t cycle() const { return cycle_; }
+
+ private:
+  void EvalNode(ir::NodeRef ref);
+
+  const ir::TransitionSystem& ts_;
+  std::vector<uint64_t> scalar_;               // per node
+  std::vector<std::vector<uint64_t>> array_;   // per node (arrays only)
+  std::unordered_map<ir::NodeRef, uint64_t> input_scalar_;
+  std::unordered_map<ir::NodeRef, uint64_t> state_scalar_;
+  std::unordered_map<ir::NodeRef, std::vector<uint64_t>> state_array_;
+  uint64_t cycle_ = 0;
+  bool evaluated_ = false;
+};
+
+}  // namespace aqed::sim

@@ -1,0 +1,37 @@
+// Fixed-width bit manipulation helpers for word-level values.
+//
+// All word-level values in the IR and simulator are stored as uint64_t with
+// semantics defined by an explicit bit width in [1, 64]; bits above the width
+// are always kept zero ("canonical" form).
+#pragma once
+
+#include <cstdint>
+
+namespace aqed {
+
+// Maximum bitvector width supported by the word-level IR.
+inline constexpr uint32_t kMaxWidth = 64;
+
+// All-ones mask for a width in [1, 64].
+constexpr uint64_t WidthMask(uint32_t width) {
+  return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+// Truncates `value` to `width` bits (canonical form).
+constexpr uint64_t Truncate(uint64_t value, uint32_t width) {
+  return value & WidthMask(width);
+}
+
+// Sign-extends the low `width` bits of `value` to 64 bits.
+constexpr int64_t SignExtend(uint64_t value, uint32_t width) {
+  if (width >= 64) return static_cast<int64_t>(value);
+  const uint64_t sign_bit = uint64_t{1} << (width - 1);
+  return static_cast<int64_t>((value ^ sign_bit) - sign_bit);
+}
+
+// Extracts bit `index` of `value`.
+constexpr bool GetBit(uint64_t value, uint32_t index) {
+  return ((value >> index) & 1u) != 0;
+}
+
+}  // namespace aqed

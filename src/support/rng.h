@@ -1,0 +1,30 @@
+// Deterministic pseudo-random number generation for testbenches and
+// randomized tests. xoshiro256** — fast, high quality, reproducible across
+// platforms (unlike std::mt19937 distributions).
+#pragma once
+
+#include <cstdint>
+
+namespace aqed {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform value in [0, bound). `bound` must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform value of the given bit width (canonical form).
+  uint64_t NextBits(uint32_t width);
+
+  // True with probability numerator/denominator.
+  bool Chance(uint32_t numerator, uint32_t denominator);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace aqed

@@ -1,0 +1,62 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "support/status.h"
+
+namespace aqed {
+
+void MinAvgMax::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+double MinAvgMax::min() const {
+  AQED_CHECK(count_ > 0, "min() on empty accumulator");
+  return min_;
+}
+
+double MinAvgMax::avg() const {
+  AQED_CHECK(count_ > 0, "avg() on empty accumulator");
+  return sum_ / static_cast<double>(count_);
+}
+
+double MinAvgMax::max() const {
+  AQED_CHECK(count_ > 0, "max() on empty accumulator");
+  return max_;
+}
+
+std::string MinAvgMax::ToString(int precision) const {
+  if (count_ == 0) return "-";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f, %.*f, %.*f", precision, min(),
+                precision, avg(), precision, max());
+  return buf;
+}
+
+namespace {
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : start_ns_(NowNs()) {}
+
+void Stopwatch::Reset() { start_ns_ = NowNs(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(NowNs() - start_ns_) * 1e-9;
+}
+
+}  // namespace aqed

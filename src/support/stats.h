@@ -1,0 +1,42 @@
+// Streaming statistics accumulators used by the benchmark harnesses to
+// report the paper's [min, avg, max] columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aqed {
+
+// Accumulates min/avg/max over a stream of doubles.
+class MinAvgMax {
+ public:
+  void Add(double value);
+
+  bool empty() const { return count_ == 0; }
+  uint64_t count() const { return count_; }
+  double min() const;
+  double avg() const;
+  double max() const;
+
+  // Formats as "min, avg, max" with the given precision.
+  std::string ToString(int precision = 1) const;
+
+ private:
+  uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+// Wall-clock stopwatch (monotonic).
+class Stopwatch {
+ public:
+  Stopwatch();
+  void Reset();
+  double ElapsedSeconds() const;
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace aqed

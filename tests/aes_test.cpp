@@ -1,0 +1,170 @@
+// AES accelerator: golden-model agreement, clean A-QED pass, and the four
+// buggy variants of Table 2 caught by FC (with the common-key shared-context
+// customization).
+#include <gtest/gtest.h>
+
+#include "accel/aes.h"
+#include "accel/aes_internal.h"
+#include "aqed/checker.h"
+#include "aqed/report.h"
+#include "harness/conventional_flow.h"
+#include "sim/simulator.h"
+
+namespace aqed {
+namespace {
+
+using accel::AesBug;
+using accel::AesConfig;
+using accel::AesGoldenEncrypt;
+using accel::BuildAes;
+
+TEST(AesGoldenTest, RoundPrimitivesBehave) {
+  // The S-box is a permutation.
+  bool seen[16] = {};
+  for (uint8_t value : accel::aes_internal::kSbox) {
+    ASSERT_LT(value, 16);
+    EXPECT_FALSE(seen[value]);
+    seen[value] = true;
+  }
+  // Encryption depends on every input bit (smoke avalanche check).
+  const uint64_t base = AesGoldenEncrypt(0x1234, 0xBEEF, 3);
+  for (uint32_t bit = 0; bit < 16; ++bit) {
+    EXPECT_NE(AesGoldenEncrypt(0x1234 ^ (1u << bit), 0xBEEF, 3), base)
+        << "block bit " << bit;
+  }
+  EXPECT_NE(AesGoldenEncrypt(0x1234, 0xBEEF ^ 1, 3), base);
+}
+
+// Drives the accelerator and compares against the golden model.
+void RunAgainstGolden(const AesConfig& config, uint32_t num_txns,
+                      uint64_t seed) {
+  ir::TransitionSystem ts;
+  const auto design = BuildAes(ts, config);
+  ASSERT_TRUE(ts.Validate().ok());
+  sim::Simulator sim(ts);
+  Rng rng(seed);
+
+  uint32_t sent = 0, received = 0;
+  std::vector<std::vector<uint64_t>> expected;  // per txn, per batch elem
+  for (int cycle = 0; cycle < 1000 && received < num_txns; ++cycle) {
+    const bool try_send = sent < num_txns && rng.Chance(3, 4);
+    sim.SetInput(design.acc.in_valid, try_send ? 1 : 0);
+    std::vector<uint64_t> blocks;
+    for (uint32_t b = 0; b < config.batch_size; ++b) {
+      const uint64_t block = rng.NextBits(16);
+      sim.SetInput(design.acc.data_elems[b][0], block);
+      blocks.push_back(block);
+    }
+    const uint64_t key = rng.NextBits(16);
+    sim.SetInput(design.key, key);
+    sim.SetInput(design.acc.host_ready, 1);
+    sim.Eval();
+    if (try_send && sim.Value(design.acc.in_ready)) {
+      std::vector<uint64_t> outs;
+      for (uint64_t block : blocks) {
+        outs.push_back(AesGoldenEncrypt(block, key, config.rounds));
+      }
+      expected.push_back(std::move(outs));
+      ++sent;
+    }
+    if (sim.Value(design.acc.out_valid)) {
+      ASSERT_LT(received, expected.size());
+      for (uint32_t b = 0; b < config.batch_size; ++b) {
+        EXPECT_EQ(sim.Value(design.acc.out_elems[b][0]),
+                  expected[received][b])
+            << "txn " << received << " elem " << b;
+      }
+      ++received;
+    }
+    sim.Step();
+  }
+  EXPECT_EQ(received, num_txns);
+}
+
+TEST(AesSim, MatchesGoldenSingleBatch) {
+  AesConfig config;
+  RunAgainstGolden(config, 10, 11);
+}
+
+TEST(AesSim, MatchesGoldenWideBatch) {
+  AesConfig config;
+  config.batch_size = 3;
+  RunAgainstGolden(config, 8, 12);
+}
+
+TEST(AesSim, MatchesGoldenMoreRounds) {
+  AesConfig config;
+  config.rounds = 5;
+  RunAgainstGolden(config, 6, 13);
+}
+
+core::AqedOptions AesAqedOptions(const AesConfig& config) {
+  core::AqedOptions options;
+  core::RbOptions rb;
+  rb.tau = accel::AesResponseBound(config);
+  options.rb = rb;
+  options.fc_bound = 14;
+  options.rb_bound = 20;
+  options.bmc.conflict_budget = 400000;
+  return options;
+}
+
+TEST(AesAqed, CleanDesignPasses) {
+  AesConfig config;
+  config.rounds = 2;
+  auto options = AesAqedOptions(config);
+  options.fc_bound = 8;
+  options.rb_bound = 12;
+  options.bmc.conflict_budget = -1;
+  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto result = core::CheckAccelerator(
+      [&](ir::TransitionSystem& t) { return BuildAes(t, config).acc; },
+      options, &ts);
+  EXPECT_FALSE(result.bug_found) << core::FormatResult(*ts, result);
+}
+
+class AesBugTest : public ::testing::TestWithParam<AesBug> {};
+
+TEST_P(AesBugTest, FcCatchesBuggyVariant) {
+  AesConfig config;
+  config.rounds = 2;
+  config.bug = GetParam();
+  const auto result = core::CheckAccelerator(
+      [&](ir::TransitionSystem& t) { return BuildAes(t, config).acc; },
+      AesAqedOptions(config));
+  ASSERT_TRUE(result.bug_found)
+      << accel::AesBugName(GetParam()) << ": "
+      << core::SummarizeResult(result);
+  EXPECT_TRUE(result.kind == core::BugKind::kFunctionalConsistency ||
+              result.kind == core::BugKind::kEarlyOutput)
+      << core::BugKindName(result.kind);
+  EXPECT_TRUE(result.bmc.trace_validated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AesBugTest,
+                         ::testing::Values(AesBug::kV1KeyScheduleStale,
+                                           AesBug::kV2QueueOverflow,
+                                           AesBug::kV3KeySampleLate,
+                                           AesBug::kV4RoundSkip),
+                         [](const auto& info) {
+                           return std::string(accel::AesBugName(info.param));
+                         });
+
+TEST(AesConventional, RandomTestbenchCatchesVariants) {
+  for (AesBug bug : {AesBug::kV1KeyScheduleStale, AesBug::kV2QueueOverflow,
+                     AesBug::kV3KeySampleLate, AesBug::kV4RoundSkip}) {
+    AesConfig config;
+    config.rounds = 2;
+    config.bug = bug;
+    harness::CampaignOptions options;
+    options.num_seeds = 4;
+    options.testbench.max_cycles = 20000;
+    const auto campaign = harness::RunCampaign(
+        [&](ir::TransitionSystem& ts) { return BuildAes(ts, config).acc; },
+        accel::AesGolden(config), options);
+    EXPECT_TRUE(campaign.bug_detected) << accel::AesBugName(bug);
+  }
+}
+
+}  // namespace
+}  // namespace aqed

@@ -1,0 +1,193 @@
+// Property-based soundness testing of the FC monitor.
+//
+//  * No false positives: randomly generated *consistent* accelerators
+//    (random per-transaction functions, random latencies, random queue
+//    depths) must never trip FC/early-output within the bound.
+//  * No false negatives on seeded inconsistencies: flipping one output bit
+//    under a random history-dependent condition must be caught.
+//  * Model boundary (Sec. II): an accelerator with an *interfering*
+//    operation (a running accumulator) is outside the A-QED model, and FC
+//    duly flags it — mirroring the three memory-controller configurations
+//    the paper had to exclude.
+#include <gtest/gtest.h>
+
+#include "aqed/checker.h"
+#include "aqed/monitor_util.h"
+#include "aqed/report.h"
+#include "support/rng.h"
+
+namespace aqed::core {
+namespace {
+
+using ir::NodeRef;
+using ir::Sort;
+
+struct RandomToyParams {
+  uint32_t latency = 1;        // execute cycles
+  uint64_t mul_const = 1;      // f(x) = (x * mul) ^ xor_const + add_const
+  uint64_t xor_const = 0;
+  uint64_t add_const = 0;
+  bool queue_two_deep = false;  // staging register in front of the engine
+  bool seeded_inconsistency = false;
+};
+
+AcceleratorInterface BuildRandomToy(ir::TransitionSystem& ts,
+                                    const RandomToyParams& params) {
+  auto& ctx = ts.ctx();
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(8));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+
+  // Optional 1-entry staging queue.
+  const NodeRef staged = Reg(ts, "staged", 1, 0);
+  const NodeRef stage_data = Reg(ts, "stage_data", 8, 0);
+
+  const NodeRef busy = Reg(ts, "busy", 1, 0);
+  const NodeRef wait = Reg(ts, "wait", 3, 0);
+  const NodeRef held = Reg(ts, "held", 8, 0);
+  const NodeRef out_pending = Reg(ts, "out_pending", 1, 0);
+  const NodeRef out_reg = Reg(ts, "out_reg", 8, 0);
+  const NodeRef parity = Reg(ts, "parity", 1, 0);  // history bit
+
+  NodeRef in_ready;
+  if (params.queue_two_deep) {
+    in_ready = ctx.Not(staged);
+  } else {
+    in_ready = ctx.And(ctx.Not(busy), ctx.Not(out_pending));
+  }
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  const NodeRef out_valid = out_pending;
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  // Issue into the engine.
+  NodeRef issue;
+  NodeRef issue_data;
+  if (params.queue_two_deep) {
+    issue = ctx.And(staged, ctx.And(ctx.Not(busy), ctx.Not(out_pending)));
+    issue_data = stage_data;
+    ts.SetNext(staged, ctx.Ite(capture, ctx.True(),
+                               ctx.Ite(issue, ctx.False(), staged)));
+    LatchWhen(ts, stage_data, capture, in_data);
+  } else {
+    issue = capture;
+    issue_data = in_data;
+    ts.SetNext(staged, staged);
+    ts.SetNext(stage_data, stage_data);
+  }
+
+  LatchWhen(ts, held, issue, issue_data);
+  const NodeRef waited =
+      ctx.Uge(wait, ctx.Const(3, params.latency - 1));
+  const NodeRef finish = ctx.And(busy, waited);
+  ts.SetNext(busy, ctx.Ite(issue, ctx.True(),
+                           ctx.Ite(finish, ctx.False(), busy)));
+  ts.SetNext(wait, ctx.Ite(issue, ctx.Const(3, 0),
+                           ctx.Ite(busy, ctx.Add(wait, ctx.Const(3, 1)),
+                                   wait)));
+
+  NodeRef value = ctx.Mul(held, ctx.Const(8, params.mul_const));
+  value = ctx.Xor(value, ctx.Const(8, params.xor_const));
+  value = ctx.Add(value, ctx.Const(8, params.add_const));
+  if (params.seeded_inconsistency) {
+    value = ctx.Ite(parity, ctx.Xor(value, ctx.Const(8, 0x10)), value);
+  }
+  ts.SetNext(parity, ctx.Ite(issue, ctx.Not(parity), parity));
+  LatchWhen(ts, out_reg, finish, value);
+  ts.SetNext(out_pending, ctx.Ite(finish, ctx.True(),
+                                  ctx.Ite(drain, ctx.False(), out_pending)));
+
+  AcceleratorInterface acc;
+  acc.in_valid = in_valid;
+  acc.in_ready = in_ready;
+  acc.host_ready = host_ready;
+  acc.out_valid = out_valid;
+  acc.data_elems = {{in_data}};
+  acc.out_elems = {{out_reg}};
+  return acc;
+}
+
+class FcSoundnessFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FcSoundnessFuzz, ConsistentDesignsNeverTripAndSeededBugsAlwaysDo) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    RandomToyParams params;
+    params.latency = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+    params.mul_const = 1 + 2 * rng.NextBelow(8);  // odd => bijective
+    params.xor_const = rng.NextBits(8);
+    params.add_const = rng.NextBits(8);
+    params.queue_two_deep = rng.Chance(1, 2);
+
+    {
+      ir::TransitionSystem ts;
+      const auto acc = BuildRandomToy(ts, params);
+      AqedOptions options;
+      options.bmc.max_bound = 9;
+      const auto result = RunAqed(ts, acc, options);
+      EXPECT_FALSE(result.bug_found)
+          << "FALSE POSITIVE seed=" << GetParam() << " round=" << round
+          << " lat=" << params.latency << " q2=" << params.queue_two_deep
+          << "\n"
+          << FormatResult(ts, result);
+    }
+    {
+      ir::TransitionSystem ts;
+      RandomToyParams buggy = params;
+      buggy.seeded_inconsistency = true;
+      const auto acc = BuildRandomToy(ts, buggy);
+      AqedOptions options;
+      options.bmc.max_bound = 16;
+      const auto result = RunAqed(ts, acc, options);
+      EXPECT_TRUE(result.bug_found)
+          << "FALSE NEGATIVE seed=" << GetParam() << " round=" << round;
+      if (result.bug_found) {
+        EXPECT_EQ(result.kind, BugKind::kFunctionalConsistency);
+        EXPECT_TRUE(result.bmc.trace_validated);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FcSoundnessFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Interfering operations are outside the model: a running accumulator
+// (out_n = sum of inputs so far) legitimately returns different outputs for
+// equal inputs, and FC flags it. The paper excluded three memory-controller
+// configurations for exactly this reason (Sec. V.A).
+TEST(ModelBoundaryTest, InterferingAccumulatorIsFlaggedByFc) {
+  ir::TransitionSystem ts;
+  auto& ctx = ts.ctx();
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(8));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+  const NodeRef total = Reg(ts, "total", 8, 0);
+  const NodeRef out_pending = Reg(ts, "out_pending", 1, 0);
+  const NodeRef out_reg = Reg(ts, "out_reg", 8, 0);
+
+  const NodeRef in_ready = ctx.Not(out_pending);
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  const NodeRef drain = ctx.And(out_pending, host_ready);
+  const NodeRef new_total = ctx.Add(total, in_data);
+  LatchWhen(ts, total, capture, new_total);
+  LatchWhen(ts, out_reg, capture, new_total);
+  ts.SetNext(out_pending, ctx.Ite(capture, ctx.True(),
+                                  ctx.Ite(drain, ctx.False(), out_pending)));
+
+  AcceleratorInterface acc;
+  acc.in_valid = in_valid;
+  acc.in_ready = in_ready;
+  acc.host_ready = host_ready;
+  acc.out_valid = out_pending;
+  acc.data_elems = {{in_data}};
+  acc.out_elems = {{out_reg}};
+
+  AqedOptions options;
+  options.bmc.max_bound = 10;
+  const auto result = RunAqed(ts, acc, options);
+  ASSERT_TRUE(result.bug_found);
+  EXPECT_EQ(result.kind, BugKind::kFunctionalConsistency);
+}
+
+}  // namespace
+}  // namespace aqed::core

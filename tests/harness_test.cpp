@@ -1,0 +1,181 @@
+// Conventional-flow harness tests: scoreboard mismatch detection, hang
+// detection (output and input starvation), pinned inputs, and campaign
+// semantics — exercised on small purpose-built designs.
+#include <gtest/gtest.h>
+
+#include "aqed/monitor_util.h"
+#include "harness/conventional_flow.h"
+
+namespace aqed::harness {
+namespace {
+
+using ir::NodeRef;
+using ir::Sort;
+
+struct ToyKnobs {
+  uint64_t increment = 1;      // design computes x + increment
+  bool respect_gate = true;    // honours the "gate" input when true
+  bool deadlock_after = false; // stop producing outputs after 3 transactions
+};
+
+// Single-transaction-in-flight accelerator computing x+increment with a
+// 1-cycle latency; has an extra free input "gate" that (when respected)
+// pauses output production while low.
+core::AcceleratorInterface BuildToy(ir::TransitionSystem& ts,
+                                    const ToyKnobs& knobs) {
+  auto& ctx = ts.ctx();
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(8));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+  const NodeRef gate = ts.AddInput("gate", Sort::BitVec(1));
+
+  const NodeRef out_pending = core::Reg(ts, "out_pending", 1, 0);
+  const NodeRef out_reg = core::Reg(ts, "out_reg", 8, 0);
+  const NodeRef txn_count = core::Reg(ts, "txn_count", 4, 0);
+
+  const NodeRef in_ready = ctx.Not(out_pending);
+  const NodeRef capture = ctx.And(in_valid, in_ready);
+  NodeRef out_valid = out_pending;
+  if (knobs.respect_gate) out_valid = ctx.And(out_valid, gate);
+  if (knobs.deadlock_after) {
+    out_valid =
+        ctx.And(out_valid, ctx.Ult(txn_count, ctx.Const(4, 4)));
+  }
+  const NodeRef drain = ctx.And(out_valid, host_ready);
+
+  core::LatchWhen(ts, out_reg, capture,
+                  ctx.Add(in_data, ctx.Const(8, knobs.increment)));
+  ts.SetNext(out_pending, ctx.Ite(capture, ctx.True(),
+                                  ctx.Ite(drain, ctx.False(), out_pending)));
+  core::CountWhen(ts, txn_count, capture);
+
+  core::AcceleratorInterface acc;
+  acc.in_valid = in_valid;
+  acc.in_ready = in_ready;
+  acc.host_ready = host_ready;
+  acc.out_valid = out_valid;
+  acc.data_elems = {{in_data}};
+  acc.out_elems = {{out_reg}};
+  return acc;
+}
+
+GoldenFn PlusOne() {
+  return [](const std::vector<uint64_t>& in, const std::vector<uint64_t>&) {
+    return std::vector<uint64_t>{(in[0] + 1) & 0xFF};
+  };
+}
+
+TestbenchOptions BaseOptions() {
+  TestbenchOptions options;
+  options.max_cycles = 2000;
+  options.hang_timeout = 100;
+  // The toy's "gate" is random by default; pin it high so outputs flow.
+  options.pinned_inputs = {{"gate", 1}};
+  return options;
+}
+
+TEST(RandomTestbenchTest, CleanDesignRunsClean) {
+  ir::TransitionSystem ts;
+  const auto acc = BuildToy(ts, {});
+  Rng rng(1);
+  const auto result = RunRandomTestbench(ts, acc, PlusOne(), rng,
+                                         BaseOptions());
+  EXPECT_FALSE(result.bug_detected());
+  EXPECT_GT(result.outputs_checked, 100u);
+  // The last transaction may still be in flight when the budget expires.
+  EXPECT_LE(result.inputs_captured - result.outputs_checked, 1u);
+}
+
+TEST(RandomTestbenchTest, WrongIncrementDetectedAsMismatch) {
+  ir::TransitionSystem ts;
+  ToyKnobs knobs;
+  knobs.increment = 2;
+  const auto acc = BuildToy(ts, knobs);
+  Rng rng(2);
+  const auto result = RunRandomTestbench(ts, acc, PlusOne(), rng,
+                                         BaseOptions());
+  EXPECT_EQ(result.outcome, TestbenchResult::Outcome::kMismatch);
+  EXPECT_LT(result.detection_cycle, 10u);  // first checked output fails
+}
+
+TEST(RandomTestbenchTest, DeadlockDetectedAsHang) {
+  ir::TransitionSystem ts;
+  ToyKnobs knobs;
+  knobs.deadlock_after = true;
+  const auto acc = BuildToy(ts, knobs);
+  Rng rng(3);
+  const auto result = RunRandomTestbench(ts, acc, PlusOne(), rng,
+                                         BaseOptions());
+  EXPECT_EQ(result.outcome, TestbenchResult::Outcome::kHang);
+}
+
+TEST(RandomTestbenchTest, UnpinnedGateStallsButNoFalseAlarm) {
+  // With "gate" toggling randomly the design is slower but still correct;
+  // the hang timeout must not produce a false alarm.
+  ir::TransitionSystem ts;
+  const auto acc = BuildToy(ts, {});
+  Rng rng(4);
+  TestbenchOptions options = BaseOptions();
+  options.pinned_inputs.clear();
+  const auto result = RunRandomTestbench(ts, acc, PlusOne(), rng, options);
+  EXPECT_FALSE(result.bug_detected());
+}
+
+TEST(RandomTestbenchTest, PinnedInputHidesGateSensitiveBug) {
+  // A bug visible only while gate is low: corrupt data when !gate at
+  // capture. Pinning gate=1 (the testbench assumption) hides it; an
+  // unpinned bench finds it.
+  auto build = [](ir::TransitionSystem& ts) {
+    auto& ctx = ts.ctx();
+    const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+    const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(8));
+    const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+    const NodeRef gate = ts.AddInput("gate", Sort::BitVec(1));
+    const NodeRef out_pending = core::Reg(ts, "out_pending", 1, 0);
+    const NodeRef out_reg = core::Reg(ts, "out_reg", 8, 0);
+    const NodeRef in_ready = ctx.Not(out_pending);
+    const NodeRef capture = ctx.And(in_valid, in_ready);
+    const NodeRef drain = ctx.And(out_pending, host_ready);
+    const NodeRef computed = ctx.Ite(
+        gate, ctx.Add(in_data, ctx.Const(8, 1)), ctx.Const(8, 0xEE));
+    core::LatchWhen(ts, out_reg, capture, computed);
+    ts.SetNext(out_pending,
+               ctx.Ite(capture, ctx.True(),
+                       ctx.Ite(drain, ctx.False(), out_pending)));
+    core::AcceleratorInterface acc;
+    acc.in_valid = in_valid;
+    acc.in_ready = in_ready;
+    acc.host_ready = host_ready;
+    acc.out_valid = out_pending;
+    acc.data_elems = {{in_data}};
+    acc.out_elems = {{out_reg}};
+    return acc;
+  };
+
+  CampaignOptions pinned;
+  pinned.num_seeds = 3;
+  pinned.testbench.max_cycles = 2000;
+  pinned.testbench.pinned_inputs = {{"gate", 1}};
+  EXPECT_FALSE(RunCampaign(build, PlusOne(), pinned).bug_detected);
+
+  CampaignOptions unpinned = pinned;
+  unpinned.testbench.pinned_inputs.clear();
+  EXPECT_TRUE(RunCampaign(build, PlusOne(), unpinned).bug_detected);
+}
+
+TEST(CampaignTest, AccumulatesCyclesAcrossSeeds) {
+  const auto campaign = RunCampaign(
+      [](ir::TransitionSystem& ts) { return BuildToy(ts, {}); }, PlusOne(),
+      [] {
+        CampaignOptions options;
+        options.num_seeds = 3;
+        options.testbench.max_cycles = 500;
+        options.testbench.pinned_inputs = {{"gate", 1}};
+        return options;
+      }());
+  EXPECT_FALSE(campaign.bug_detected);
+  EXPECT_EQ(campaign.total_cycles_simulated, 3u * 500u);
+}
+
+}  // namespace
+}  // namespace aqed::harness

@@ -1,0 +1,141 @@
+// Preprocessor (bounded variable elimination) tests: satisfiability
+// preservation, frozen variables, and model reconstruction — randomized
+// differential testing against the plain solver and brute force.
+#include <gtest/gtest.h>
+
+#include "sat/preprocessor.h"
+#include "sat/solver.h"
+#include "support/rng.h"
+
+namespace aqed::sat {
+namespace {
+
+Lit Pos(Var v) { return Lit(v, false); }
+Lit NegL(Var v) { return Lit(v, true); }
+
+bool EvalCnf(const Cnf& cnf, const std::vector<LBool>& model) {
+  for (const auto& clause : cnf.clauses) {
+    bool satisfied = false;
+    for (Lit lit : clause) {
+      const bool var_true = model[lit.var()] == LBool::kTrue;
+      if (lit.negated() ? !var_true : var_true) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+bool BruteForceSat(const Cnf& cnf) {
+  for (uint64_t a = 0; a < (uint64_t{1} << cnf.num_vars); ++a) {
+    std::vector<LBool> model(cnf.num_vars);
+    for (Var v = 0; v < cnf.num_vars; ++v) {
+      model[v] = (a >> v) & 1 ? LBool::kTrue : LBool::kFalse;
+    }
+    if (EvalCnf(cnf, model)) return true;
+  }
+  return false;
+}
+
+TEST(PreprocessorTest, EliminatesSingleUseGateVariable) {
+  // g <-> (a & b) as Tseitin; g used once in (g | c). BVE should remove g.
+  Cnf cnf;
+  cnf.num_vars = 4;  // a=0 b=1 g=2 c=3
+  cnf.clauses = {{NegL(2), Pos(0)},
+                 {NegL(2), Pos(1)},
+                 {Pos(2), NegL(0), NegL(1)},
+                 {Pos(2), Pos(3)}};
+  const auto result = Preprocess(cnf, /*frozen=*/{0, 1, 3});
+  EXPECT_FALSE(result.unsat);
+  EXPECT_EQ(result.eliminated.size(), 1u);
+  EXPECT_EQ(result.eliminated[0].var, 2u);
+}
+
+TEST(PreprocessorTest, FrozenVariablesSurvive) {
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{Pos(0), Pos(1)}, {NegL(0), Pos(1)}};
+  const auto result = Preprocess(cnf, /*frozen=*/{0, 1});
+  EXPECT_TRUE(result.eliminated.empty());
+}
+
+TEST(PreprocessorTest, DetectsTrivialUnsat) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{Pos(0)}, {NegL(0)}};
+  EXPECT_TRUE(Preprocess(cnf, {}).unsat);
+}
+
+TEST(PreprocessorTest, PureLiteralElimination) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{Pos(0), Pos(1)}, {Pos(0), Pos(2)}};  // 0 is pure positive
+  const auto result = Preprocess(cnf, /*frozen=*/{1, 2});
+  EXPECT_FALSE(result.unsat);
+  // Everything involving var 0 can be satisfied by setting it true.
+  std::vector<LBool> model(3, LBool::kFalse);
+  ExtendModel(result, model);
+  EXPECT_TRUE(EvalCnf(cnf, model));
+}
+
+Cnf RandomCnf(Rng& rng, uint32_t num_vars, uint32_t num_clauses) {
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (uint32_t c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    const uint32_t len = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+    for (uint32_t l = 0; l < len; ++l) {
+      clause.emplace_back(static_cast<Var>(rng.NextBelow(num_vars)),
+                          rng.Chance(1, 2));
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+class PreprocessorRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PreprocessorRandomTest, PreservesSatAndReconstructsModels) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    const uint32_t num_vars = 3 + static_cast<uint32_t>(rng.NextBelow(9));
+    const Cnf cnf =
+        RandomCnf(rng, num_vars,
+                  2 + static_cast<uint32_t>(rng.NextBelow(3 * num_vars)));
+    // Freeze a random subset (as the BMC engine freezes its target).
+    std::vector<Var> frozen;
+    for (Var v = 0; v < num_vars; ++v) {
+      if (rng.Chance(1, 4)) frozen.push_back(v);
+    }
+    const auto result = Preprocess(cnf, frozen);
+    const bool expected_sat = BruteForceSat(cnf);
+    if (result.unsat) {
+      EXPECT_FALSE(expected_sat) << "preprocessor claimed UNSAT wrongly";
+      continue;
+    }
+    Solver solver;
+    const bool loaded = LoadCnf(result.cnf, solver);
+    const bool simplified_sat =
+        loaded && solver.Solve() == SolveResult::kSat;
+    ASSERT_EQ(simplified_sat, expected_sat)
+        << "seed " << GetParam() << " round " << round << "\n"
+        << ToDimacs(cnf);
+    if (simplified_sat) {
+      std::vector<LBool> model = solver.model();
+      model.resize(cnf.num_vars, LBool::kUndef);
+      ExtendModel(result, model);
+      EXPECT_TRUE(EvalCnf(cnf, model))
+          << "reconstructed model fails original CNF, seed " << GetParam()
+          << " round " << round << "\n"
+          << ToDimacs(cnf);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessorRandomTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+}  // namespace
+}  // namespace aqed::sat

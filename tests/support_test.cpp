@@ -1,0 +1,123 @@
+// Support-library tests: bit utilities, deterministic RNG, statistics
+// accumulators, status types.
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/status.h"
+
+namespace aqed {
+namespace {
+
+volatile uint64_t benchmark_sink_ = 0;
+
+TEST(BitsTest, WidthMaskAndTruncate) {
+  EXPECT_EQ(WidthMask(1), 1u);
+  EXPECT_EQ(WidthMask(8), 0xFFu);
+  EXPECT_EQ(WidthMask(64), ~uint64_t{0});
+  EXPECT_EQ(Truncate(0x1FF, 8), 0xFFu);
+  EXPECT_EQ(Truncate(0x1FF, 9), 0x1FFu);
+  EXPECT_EQ(Truncate(~uint64_t{0}, 64), ~uint64_t{0});
+}
+
+TEST(BitsTest, SignExtend) {
+  EXPECT_EQ(SignExtend(0x7F, 8), 127);
+  EXPECT_EQ(SignExtend(0x80, 8), -128);
+  EXPECT_EQ(SignExtend(0xFF, 8), -1);
+  EXPECT_EQ(SignExtend(0x1, 1), -1);
+  EXPECT_EQ(SignExtend(0x0, 1), 0);
+  EXPECT_EQ(SignExtend(~uint64_t{0}, 64), -1);
+}
+
+TEST(BitsTest, GetBit) {
+  EXPECT_TRUE(GetBit(0b100, 2));
+  EXPECT_FALSE(GetBit(0b100, 1));
+  EXPECT_TRUE(GetBit(uint64_t{1} << 63, 63));
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(43);
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBitsCanonical) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.NextBits(5), 31u);
+    EXPECT_LE(rng.NextBits(1), 1u);
+  }
+  // Width 64 must produce large values eventually.
+  bool high_bit_seen = false;
+  for (int i = 0; i < 100; ++i) {
+    if (GetBit(rng.NextBits(64), 63)) high_bit_seen = true;
+  }
+  EXPECT_TRUE(high_bit_seen);
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(1, 4)) ++hits;
+  }
+  EXPECT_GT(hits, 2200);
+  EXPECT_LT(hits, 2800);
+  Rng always(10);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(always.Chance(4, 4));
+}
+
+TEST(StatsTest, MinAvgMax) {
+  MinAvgMax acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.ToString(), "-");
+  acc.Add(4);
+  acc.Add(8);
+  acc.Add(6);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.min(), 4);
+  EXPECT_DOUBLE_EQ(acc.avg(), 6);
+  EXPECT_DOUBLE_EQ(acc.max(), 8);
+  EXPECT_EQ(acc.ToString(0), "4, 6, 8");
+}
+
+TEST(StatsTest, StopwatchAdvances) {
+  Stopwatch watch;
+  uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_sink_ = sink;
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  const double before = watch.ElapsedSeconds();
+  watch.Reset();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().message(), "OK");
+  const Status error = Status::Error("boom");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.message(), "boom");
+}
+
+TEST(StatusTest, StatusOr) {
+  StatusOr<int> value(7);
+  EXPECT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 7);
+  StatusOr<int> error(Status::Error("nope"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().message(), "nope");
+}
+
+}  // namespace
+}  // namespace aqed
