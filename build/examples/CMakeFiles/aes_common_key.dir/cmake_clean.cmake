@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_common_key.dir/aes_common_key.cpp.o"
+  "CMakeFiles/aes_common_key.dir/aes_common_key.cpp.o.d"
+  "aes_common_key"
+  "aes_common_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_common_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btor2_check.dir/btor2_check.cpp.o"
+  "CMakeFiles/btor2_check.dir/btor2_check.cpp.o.d"
+  "btor2_check"
+  "btor2_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btor2_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_verification.dir/memctrl_verification.cpp.o"
+  "CMakeFiles/memctrl_verification.dir/memctrl_verification.cpp.o.d"
+  "memctrl_verification"
+  "memctrl_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

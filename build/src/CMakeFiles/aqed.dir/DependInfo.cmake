@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/aes.cpp" "src/CMakeFiles/aqed.dir/accel/aes.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/aes.cpp.o.d"
+  "/root/repo/src/accel/aes_golden.cpp" "src/CMakeFiles/aqed.dir/accel/aes_golden.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/aes_golden.cpp.o.d"
+  "/root/repo/src/accel/dataflow.cpp" "src/CMakeFiles/aqed.dir/accel/dataflow.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/dataflow.cpp.o.d"
+  "/root/repo/src/accel/gsm.cpp" "src/CMakeFiles/aqed.dir/accel/gsm.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/gsm.cpp.o.d"
+  "/root/repo/src/accel/memctrl.cpp" "src/CMakeFiles/aqed.dir/accel/memctrl.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/memctrl.cpp.o.d"
+  "/root/repo/src/accel/memctrl_golden.cpp" "src/CMakeFiles/aqed.dir/accel/memctrl_golden.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/memctrl_golden.cpp.o.d"
+  "/root/repo/src/accel/motivating.cpp" "src/CMakeFiles/aqed.dir/accel/motivating.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/motivating.cpp.o.d"
+  "/root/repo/src/accel/multi_action.cpp" "src/CMakeFiles/aqed.dir/accel/multi_action.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/multi_action.cpp.o.d"
+  "/root/repo/src/accel/optflow.cpp" "src/CMakeFiles/aqed.dir/accel/optflow.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/accel/optflow.cpp.o.d"
+  "/root/repo/src/aqed/checker.cpp" "src/CMakeFiles/aqed.dir/aqed/checker.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/aqed/checker.cpp.o.d"
+  "/root/repo/src/aqed/fc_instrument.cpp" "src/CMakeFiles/aqed.dir/aqed/fc_instrument.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/aqed/fc_instrument.cpp.o.d"
+  "/root/repo/src/aqed/interface.cpp" "src/CMakeFiles/aqed.dir/aqed/interface.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/aqed/interface.cpp.o.d"
+  "/root/repo/src/aqed/rb_instrument.cpp" "src/CMakeFiles/aqed.dir/aqed/rb_instrument.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/aqed/rb_instrument.cpp.o.d"
+  "/root/repo/src/aqed/report.cpp" "src/CMakeFiles/aqed.dir/aqed/report.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/aqed/report.cpp.o.d"
+  "/root/repo/src/aqed/sac_instrument.cpp" "src/CMakeFiles/aqed.dir/aqed/sac_instrument.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/aqed/sac_instrument.cpp.o.d"
+  "/root/repo/src/bitblast/bitblaster.cpp" "src/CMakeFiles/aqed.dir/bitblast/bitblaster.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/bitblast/bitblaster.cpp.o.d"
+  "/root/repo/src/bitblast/gate_builder.cpp" "src/CMakeFiles/aqed.dir/bitblast/gate_builder.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/bitblast/gate_builder.cpp.o.d"
+  "/root/repo/src/bmc/engine.cpp" "src/CMakeFiles/aqed.dir/bmc/engine.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/bmc/engine.cpp.o.d"
+  "/root/repo/src/bmc/kinduction.cpp" "src/CMakeFiles/aqed.dir/bmc/kinduction.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/bmc/kinduction.cpp.o.d"
+  "/root/repo/src/bmc/trace.cpp" "src/CMakeFiles/aqed.dir/bmc/trace.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/bmc/trace.cpp.o.d"
+  "/root/repo/src/bmc/unroller.cpp" "src/CMakeFiles/aqed.dir/bmc/unroller.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/bmc/unroller.cpp.o.d"
+  "/root/repo/src/bmc/vcd.cpp" "src/CMakeFiles/aqed.dir/bmc/vcd.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/bmc/vcd.cpp.o.d"
+  "/root/repo/src/harness/conventional_flow.cpp" "src/CMakeFiles/aqed.dir/harness/conventional_flow.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/harness/conventional_flow.cpp.o.d"
+  "/root/repo/src/harness/random_testbench.cpp" "src/CMakeFiles/aqed.dir/harness/random_testbench.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/harness/random_testbench.cpp.o.d"
+  "/root/repo/src/ir/btor2.cpp" "src/CMakeFiles/aqed.dir/ir/btor2.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/ir/btor2.cpp.o.d"
+  "/root/repo/src/ir/context.cpp" "src/CMakeFiles/aqed.dir/ir/context.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/ir/context.cpp.o.d"
+  "/root/repo/src/ir/node.cpp" "src/CMakeFiles/aqed.dir/ir/node.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/ir/node.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/aqed.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/transition_system.cpp" "src/CMakeFiles/aqed.dir/ir/transition_system.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/ir/transition_system.cpp.o.d"
+  "/root/repo/src/ir/typecheck.cpp" "src/CMakeFiles/aqed.dir/ir/typecheck.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/ir/typecheck.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "src/CMakeFiles/aqed.dir/sat/dimacs.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/preprocessor.cpp" "src/CMakeFiles/aqed.dir/sat/preprocessor.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/sat/preprocessor.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/aqed.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/aqed.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/aqed.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/aqed.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/status.cpp" "src/CMakeFiles/aqed.dir/support/status.cpp.o" "gcc" "src/CMakeFiles/aqed.dir/support/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqed_core_test.dir/aqed_core_test.cpp.o"
+  "CMakeFiles/aqed_core_test.dir/aqed_core_test.cpp.o.d"
+  "aqed_core_test"
+  "aqed_core_test.pdb"
+  "aqed_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqed_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqed_motivating_test.dir/aqed_motivating_test.cpp.o"
+  "CMakeFiles/aqed_motivating_test.dir/aqed_motivating_test.cpp.o.d"
+  "aqed_motivating_test"
+  "aqed_motivating_test.pdb"
+  "aqed_motivating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqed_motivating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

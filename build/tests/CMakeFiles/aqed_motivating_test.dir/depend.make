@@ -1,0 +1,2 @@
+# Empty dependencies file for aqed_motivating_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_soundness_test.dir/fc_soundness_test.cpp.o"
+  "CMakeFiles/fc_soundness_test.dir/fc_soundness_test.cpp.o.d"
+  "fc_soundness_test"
+  "fc_soundness_test.pdb"
+  "fc_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_designs_test.dir/hls_designs_test.cpp.o"
+  "CMakeFiles/hls_designs_test.dir/hls_designs_test.cpp.o.d"
+  "hls_designs_test"
+  "hls_designs_test.pdb"
+  "hls_designs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_designs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

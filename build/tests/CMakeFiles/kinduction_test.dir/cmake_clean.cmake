@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinduction_test.dir/kinduction_test.cpp.o"
+  "CMakeFiles/kinduction_test.dir/kinduction_test.cpp.o.d"
+  "kinduction_test"
+  "kinduction_test.pdb"
+  "kinduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_test.dir/memctrl_test.cpp.o"
+  "CMakeFiles/memctrl_test.dir/memctrl_test.cpp.o.d"
+  "memctrl_test"
+  "memctrl_test.pdb"
+  "memctrl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

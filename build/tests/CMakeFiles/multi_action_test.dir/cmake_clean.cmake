@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_action_test.dir/multi_action_test.cpp.o"
+  "CMakeFiles/multi_action_test.dir/multi_action_test.cpp.o.d"
+  "multi_action_test"
+  "multi_action_test.pdb"
+  "multi_action_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_action_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

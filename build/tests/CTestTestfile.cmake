@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sat_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/aqed_motivating_test[1]_include.cmake")
+include("/root/repo/build/tests/memctrl_test[1]_include.cmake")
+include("/root/repo/build/tests/aes_test[1]_include.cmake")
+include("/root/repo/build/tests/hls_designs_test[1]_include.cmake")
+include("/root/repo/build/tests/bitblast_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/bmc_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocessor_test[1]_include.cmake")
+include("/root/repo/build/tests/aqed_core_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_action_test[1]_include.cmake")
+include("/root/repo/build/tests/kinduction_test[1]_include.cmake")
+include("/root/repo/build/tests/export_test[1]_include.cmake")
+include("/root/repo/build/tests/fc_soundness_test[1]_include.cmake")
