@@ -55,10 +55,10 @@ int main() {
         Options());
 
     printf("%-8u | %-10.3f %-10s | %-8s %-8u %-10.3f\n", batch,
-           clean_result.bmc.seconds,
-           clean_result.bug_found ? "SPURIOUS" : "pass",
-           buggy_result.bug_found ? "yes" : "no", buggy_result.cex_cycles(),
-           buggy_result.bmc.seconds);
+           clean_result.solver_seconds(),
+           clean_result.bug_found() ? "SPURIOUS" : "pass",
+           buggy_result.bug_found() ? "yes" : "no",
+           buggy_result.cex_cycles(), buggy_result.solver_seconds());
   }
   bench::PrintRule();
   printf("(wider batches mean wider monitors and element-select muxes; the "

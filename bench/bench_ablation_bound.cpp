@@ -36,8 +36,8 @@ int main() {
           },
           options);
       printf("  %-8u %-10s %-8u %-10.3f\n", bound,
-             result.bug_found ? "yes" : "no", result.cex_cycles(),
-             result.bmc.seconds);
+             result.bug_found() ? "yes" : "no", result.cex_cycles(),
+             result.solver_seconds());
     }
   }
   printf("\n(once the bound covers the minimal trigger depth, the CEX "

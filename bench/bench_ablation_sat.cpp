@@ -65,8 +65,8 @@ void BM_CleanFifoRefutation(benchmark::State& state) {
           return accel::BuildMemCtrl(ts, accel::MemCtrlConfig::kFifo).acc;
         },
         VariantOptions(variant, 7));
-    if (result.bug_found) state.SkipWithError("spurious counterexample");
-    conflicts = result.bmc.conflicts;
+    if (result.bug_found()) state.SkipWithError("spurious counterexample");
+    conflicts = result.conflicts();
   }
   state.SetLabel(VariantName(variant));
   state.counters["conflicts"] = static_cast<double>(conflicts);
@@ -87,7 +87,7 @@ void BM_StaleAccumHunt(benchmark::State& state) {
               .acc;
         },
         options);
-    if (!result.bug_found) state.SkipWithError("bug not found");
+    if (!result.bug_found()) state.SkipWithError("bug not found");
     cex = result.cex_cycles();
   }
   state.SetLabel(VariantName(variant));

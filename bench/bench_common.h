@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "accel/memctrl.h"
@@ -11,19 +13,37 @@
 
 namespace aqed::bench {
 
+// Parses the scheduling flags shared by the bench binaries:
+//   --jobs N     worker threads for the verification session (default 1,
+//                0 = hardware concurrency)
+//   --cancel-session
+//                first bug cancels the whole session, not just its entry
+inline core::SessionOptions ParseSessionOptions(int argc, char** argv) {
+  core::SessionOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (std::strcmp(argv[i], "--cancel-session") == 0) {
+      options.cancel = core::SessionOptions::CancelPolicy::kSession;
+    }
+  }
+  return options;
+}
+
 // A-QED options used for the memory-controller study (Sec. V.A): FC plus RB
 // with the per-configuration response bound, per-property bounds, and a
 // bounded per-depth refutation effort.
 inline core::AqedOptions MemCtrlStudyOptions(accel::MemCtrlConfig config) {
-  core::AqedOptions options;
   core::RbOptions rb;
   rb.tau = accel::MemCtrlResponseBound(config);
   rb.in_min = config == accel::MemCtrlConfig::kDoubleBuffer ? 2 : 1;
-  options.rb = rb;
-  options.fc_bound = 14;
-  options.rb_bound = 20;
-  options.bmc.conflict_budget = 400000;
-  return options;
+  return core::AqedOptions::Builder()
+      .WithRb(rb)
+      .WithFcBound(14)
+      .WithRbBound(20)
+      .WithConflictBudget(400000)
+      .Build();
 }
 
 // The conventional flow's per-configuration testbench assumptions (see

@@ -5,20 +5,36 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "sched/session.h"
 
 using namespace aqed;
 
-int main() {
-  printf("Fig. 5: memory-controller unit bugs detected\n");
+int main(int argc, char** argv) {
+  const core::SessionOptions session_options =
+      bench::ParseSessionOptions(argc, argv);
+  printf("Fig. 5: memory-controller unit bugs detected (--jobs %u)\n",
+         session_options.jobs);
   bench::PrintRule('=');
 
   int total = 0, conv_detected = 0, aqed_detected = 0, both = 0;
   int aqed_only = 0, fc_detected = 0, rb_detected = 0;
 
+  const auto& catalog = accel::MemCtrlBugCatalog();
+  sched::VerificationSession session(session_options);
+  for (const auto& info : catalog) {
+    session.Enqueue(
+        [&info](ir::TransitionSystem& ts) {
+          return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
+        },
+        bench::MemCtrlStudyOptions(info.config), info.name);
+  }
+  const core::SessionResult results = session.Wait();
+
   printf("%-24s %-14s %-12s %-10s\n", "bug", "conventional", "aqed",
          "property");
   bench::PrintRule();
-  for (const auto& info : accel::MemCtrlBugCatalog()) {
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const auto& info = catalog[i];
     ++total;
     const auto campaign = harness::RunCampaign(
         [&](ir::TransitionSystem& ts) {
@@ -26,28 +42,23 @@ int main() {
         },
         accel::MemCtrlGolden(info.config),
         bench::MemCtrlConventionalOptions(info.config));
-    const auto result = core::CheckAccelerator(
-        [&](ir::TransitionSystem& ts) {
-          return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
-        },
-        bench::MemCtrlStudyOptions(info.config));
 
     if (campaign.bug_detected) ++conv_detected;
-    if (result.bug_found) {
+    if (results.bug_found(i)) {
       ++aqed_detected;
-      if (result.kind == core::BugKind::kResponseBound ||
-          result.kind == core::BugKind::kInputStarvation) {
+      if (results.kind(i) == core::BugKind::kResponseBound ||
+          results.kind(i) == core::BugKind::kInputStarvation) {
         ++rb_detected;
       } else {
         ++fc_detected;
       }
       if (!campaign.bug_detected) ++aqed_only;
     }
-    if (campaign.bug_detected && result.bug_found) ++both;
+    if (campaign.bug_detected && results.bug_found(i)) ++both;
     printf("%-24s %-14s %-12s %-10s\n", info.name,
            campaign.bug_detected ? "detected" : "ESCAPED",
-           result.bug_found ? "detected" : "MISSED",
-           result.bug_found ? core::BugKindName(result.kind) : "-");
+           results.bug_found(i) ? "detected" : "MISSED",
+           results.bug_found(i) ? core::BugKindName(results.kind(i)) : "-");
   }
 
   bench::PrintRule('=');

@@ -1,0 +1,121 @@
+// Portfolio-hunt benchmark for the parallel verification scheduler: a
+// session holds several clean memory-controller configurations plus one
+// design with a cheap response-bound bug, submitted last. With --jobs 1 the
+// session must refute every clean property group before it reaches the bug;
+// with more jobs and session-wide first-bug-wins cancellation the cheap RB
+// job reports the bug early and the expensive clean refutations are
+// cancelled mid-flight. The wall-clock ratio is the headline number: it
+// comes from *not doing work*, so it holds even on a single core.
+//
+// Usage: bench_sched [--jobs N]   (N > 1 enables the parallel run; default 4)
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sched/session.h"
+#include "support/stats.h"
+
+using namespace aqed;
+
+namespace {
+
+// Study options trimmed so a clean FC refutation costs on the order of a
+// second: deep enough to be real work, shallow enough that the benchmark
+// completes quickly at --jobs 1.
+core::AqedOptions HuntOptions(accel::MemCtrlConfig config) {
+  core::RbOptions rb;
+  rb.tau = accel::MemCtrlResponseBound(config);
+  rb.in_min = config == accel::MemCtrlConfig::kDoubleBuffer ? 2 : 1;
+  return core::AqedOptions::Builder()
+      .WithRb(rb)
+      .WithFcBound(9)
+      .WithRbBound(16)
+      .WithConflictBudget(400000)
+      .Build();
+}
+
+struct HuntEntry {
+  const char* name;
+  accel::MemCtrlConfig config;
+  accel::MemCtrlBug bug;
+};
+
+// The buggy design goes last: the sequential hunt pays for every clean
+// design before finding it, the parallel hunt does not.
+constexpr HuntEntry kHunt[] = {
+    {"fifo/clean", accel::MemCtrlConfig::kFifo, accel::MemCtrlBug::kNone},
+    {"double_buffer/clean", accel::MemCtrlConfig::kDoubleBuffer,
+     accel::MemCtrlBug::kNone},
+    {"line_buffer/clean", accel::MemCtrlConfig::kLineBuffer,
+     accel::MemCtrlBug::kNone},
+    {"fifo/stall_deadlock", accel::MemCtrlConfig::kFifo,
+     accel::MemCtrlBug::kFifoStallDeadlock},
+};
+
+core::SessionResult RunHunt(uint32_t jobs) {
+  core::SessionOptions options;
+  options.jobs = jobs;
+  options.cancel = core::SessionOptions::CancelPolicy::kSession;
+  sched::VerificationSession session(options);
+  for (const HuntEntry& entry : kHunt) {
+    session.Enqueue(
+        [&entry](ir::TransitionSystem& ts) {
+          return accel::BuildMemCtrl(ts, entry.config, entry.bug).acc;
+        },
+        HuntOptions(entry.config), entry.name);
+  }
+  return session.Wait();
+}
+
+void PrintVerdicts(const core::SessionResult& result) {
+  for (size_t i = 0; i < std::size(kHunt); ++i) {
+    if (result.bug_found(i)) {
+      printf("  %-22s BUG %s, %u-cycle trace\n", kHunt[i].name,
+             core::BugKindName(result.kind(i)), result.cex_cycles(i));
+    } else {
+      printf("  %-22s clean within bound\n", kHunt[i].name);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::SessionOptions parsed = bench::ParseSessionOptions(argc, argv);
+  const uint32_t jobs = parsed.jobs > 1 ? parsed.jobs : 4;
+
+  printf("Portfolio hunt: %zu designs, response-bound bug submitted last\n",
+         std::size(kHunt));
+  bench::PrintRule('=');
+
+  printf("--jobs 1 (sequential baseline)\n");
+  const core::SessionResult serial = RunHunt(1);
+  PrintVerdicts(serial);
+  printf("%s", serial.stats.ToTable().c_str());
+  bench::PrintRule();
+
+  printf("--jobs %u (first bug cancels the session)\n", jobs);
+  const core::SessionResult parallel = RunHunt(jobs);
+  PrintVerdicts(parallel);
+  printf("%s", parallel.stats.ToTable().c_str());
+  bench::PrintRule('=');
+
+  // The contract: parallelism may only change how much work is *discarded*,
+  // never a verdict.
+  bool verdicts_match = true;
+  for (size_t i = 0; i < std::size(kHunt); ++i) {
+    if (serial.bug_found(i) != parallel.bug_found(i) ||
+        (serial.bug_found(i) && (serial.kind(i) != parallel.kind(i) ||
+                                 serial.cex_cycles(i) !=
+                                     parallel.cex_cycles(i)))) {
+      printf("VERDICT MISMATCH on %s\n", kHunt[i].name);
+      verdicts_match = false;
+    }
+  }
+  const double speedup =
+      parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds
+                                : 0.0;
+  printf("wall: %.3fs sequential vs %.3fs at --jobs %u  =>  %.2fx %s\n",
+         serial.wall_seconds, parallel.wall_seconds, jobs, speedup,
+         verdicts_match ? "(identical verdicts)" : "(VERDICTS DIFFER)");
+  return verdicts_match && speedup >= 1.5 ? 0 : 1;
+}

@@ -10,27 +10,39 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "sched/session.h"
 #include "support/stats.h"
 
 using namespace aqed;
 
-int main() {
+int main(int argc, char** argv) {
+  const core::SessionOptions session_options =
+      bench::ParseSessionOptions(argc, argv);
   printf("Table 1: A-QED vs conventional flow on the memory-controller "
-         "unit\n");
+         "unit (--jobs %u)\n", session_options.jobs);
   bench::PrintRule('=');
 
   MinAvgMax aqed_runtime, aqed_trace;
   MinAvgMax conv_runtime, conv_trace;
 
+  // One session entry per catalog bug: the per-property jobs of all bugs
+  // run concurrently under --jobs N.
+  const auto& catalog = accel::MemCtrlBugCatalog();
+  sched::VerificationSession session(session_options);
+  for (const auto& info : catalog) {
+    session.Enqueue(
+        [&info](ir::TransitionSystem& ts) {
+          return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
+        },
+        bench::MemCtrlStudyOptions(info.config), info.name);
+  }
+  const core::SessionResult results = session.Wait();
+
   printf("%-24s %-6s %10s %8s | %12s %10s\n", "bug", "kind", "aqed[s]",
          "cex", "conv[s]", "det.cycle");
   bench::PrintRule();
-  for (const auto& info : accel::MemCtrlBugCatalog()) {
-    const auto result = core::CheckAccelerator(
-        [&](ir::TransitionSystem& ts) {
-          return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
-        },
-        bench::MemCtrlStudyOptions(info.config));
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const auto& info = catalog[i];
     const auto campaign = harness::RunCampaign(
         [&](ir::TransitionSystem& ts) {
           return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
@@ -38,23 +50,27 @@ int main() {
         accel::MemCtrlGolden(info.config),
         bench::MemCtrlConventionalOptions(info.config));
 
-    if (result.bug_found) {
-      aqed_runtime.Add(result.bmc.seconds);
-      aqed_trace.Add(result.cex_cycles());
+    if (results.bug_found(i)) {
+      aqed_runtime.Add(results.solver_seconds(i));
+      aqed_trace.Add(results.cex_cycles(i));
     }
     if (campaign.bug_detected) {
       conv_runtime.Add(campaign.seconds);
       conv_trace.Add(static_cast<double>(campaign.detection_cycle));
     }
     printf("%-24s %-6s %10.3f %8u | ", info.name,
-           result.bug_found ? core::BugKindName(result.kind) : "MISS",
-           result.bmc.seconds, result.cex_cycles());
+           results.bug_found(i) ? core::BugKindName(results.kind(i)) : "MISS",
+           results.solver_seconds(i), results.cex_cycles(i));
     if (campaign.bug_detected) {
       printf("%12.3f %10llu\n", campaign.seconds,
              static_cast<unsigned long long>(campaign.detection_cycle));
     } else {
       printf("%12s %10s\n", "escape", "-");
     }
+  }
+  if (session_options.jobs != 1) {
+    bench::PrintRule();
+    printf("%s", results.stats.ToTable().c_str());
   }
 
   bench::PrintRule('=');

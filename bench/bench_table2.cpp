@@ -10,6 +10,7 @@
 #include "accel/gsm.h"
 #include "accel/optflow.h"
 #include "bench_common.h"
+#include "sched/session.h"
 
 using namespace aqed;
 
@@ -25,21 +26,24 @@ struct Row {
 };
 
 core::AqedOptions HlsOptions(uint32_t tau, uint32_t rdin_bound = 0) {
-  core::AqedOptions options;
   core::RbOptions rb;
   rb.tau = tau;
   rb.rdin_bound = rdin_bound;
-  options.rb = rb;
-  options.fc_bound = 16;
-  options.rb_bound = 24;
-  options.bmc.conflict_budget = 400000;
-  return options;
+  return core::AqedOptions::Builder()
+      .WithRb(rb)
+      .WithFcBound(16)
+      .WithRbBound(24)
+      .WithConflictBudget(400000)
+      .Build();
 }
 
 }  // namespace
 
-int main() {
-  printf("Table 2: A-QED results for (abstracted) HLS designs\n");
+int main(int argc, char** argv) {
+  const core::SessionOptions session_options =
+      bench::ParseSessionOptions(argc, argv);
+  printf("Table 2: A-QED results for (abstracted) HLS designs "
+         "(--jobs %u)\n", session_options.jobs);
   printf("(the paper likewise verified abstracted versions of these "
          "kernels for BMC scalability)\n");
   bench::PrintRule('=');
@@ -79,8 +83,10 @@ int main() {
                   },
                   HlsOptions(accel::OptFlowResponseBound())});
   {
-    auto options = HlsOptions(accel::GsmResponseBound());
-    options.fc_bound = 22;
+    const auto options =
+        core::AqedOptions::Builder(HlsOptions(accel::GsmResponseBound()))
+            .WithFcBound(22)
+            .Build();
     rows.push_back({"CHStone [Hara 09]", "GSM", "FC", "65",
                     [](ir::TransitionSystem& ts) {
                       return accel::BuildGsm(ts, {.bug_tap_index = true}).acc;
@@ -88,23 +94,36 @@ int main() {
                     options});
   }
 
+  // One session entry per design row; under --jobs N the per-property jobs
+  // of every design run concurrently with first-bug-wins inside each entry.
+  sched::VerificationSession session(session_options);
+  for (const Row& row : rows) {
+    session.Enqueue(row.build, row.options, row.design);
+  }
+  const core::SessionResult results = session.Wait();
+
   printf("%-26s %-14s %-5s %10s %8s %12s\n", "source", "design", "bug",
          "runtime[s]", "cex", "paper cex");
   bench::PrintRule();
   bool all_found = true;
   bool kinds_match = true;
-  for (const Row& row : rows) {
-    const auto result = core::CheckAccelerator(row.build, row.options);
-    all_found &= result.bug_found;
-    const bool is_rb = result.kind == core::BugKind::kResponseBound ||
-                       result.kind == core::BugKind::kInputStarvation;
-    const char* kind = !result.bug_found ? "MISS" : (is_rb ? "RB" : "FC");
-    kinds_match &= result.bug_found &&
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    all_found &= results.bug_found(i);
+    const bool is_rb = results.kind(i) == core::BugKind::kResponseBound ||
+                       results.kind(i) == core::BugKind::kInputStarvation;
+    const char* kind = !results.bug_found(i) ? "MISS" : (is_rb ? "RB" : "FC");
+    kinds_match &= results.bug_found(i) &&
                    ((row.paper_bug[0] == 'R') == is_rb);
     printf("%-26s %-14s %-5s %10.3f %8u %12s\n", row.source, row.design,
-           kind, result.bmc.seconds, result.cex_cycles(), row.paper_cex);
+           kind, results.solver_seconds(i), results.cex_cycles(i),
+           row.paper_cex);
   }
   bench::PrintRule('=');
+  if (session_options.jobs != 1) {
+    printf("%s", results.stats.ToTable().c_str());
+    bench::PrintRule('=');
+  }
   printf("all bugs detected: %s; property types match the paper: %s\n",
          all_found ? "yes" : "NO", kinds_match ? "yes" : "NO");
   printf("(absolute CEX lengths differ because the designs are abstracted "

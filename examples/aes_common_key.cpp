@@ -21,26 +21,25 @@ void Check(accel::AesBug bug) {
   config.batch_size = 2;  // two blocks per handshake, common key
   config.bug = bug;
 
-  core::AqedOptions options;
-  core::RbOptions rb;
-  rb.tau = accel::AesResponseBound(config);
-  options.rb = rb;
-  options.fc_bound = bug == accel::AesBug::kNone ? 8 : 14;
-  options.rb_bound = bug == accel::AesBug::kNone ? 10 : 20;
-  options.bmc.conflict_budget = 400000;
+  const auto options =
+      core::AqedOptions::Builder()
+          .WithRb({.tau = accel::AesResponseBound(config)})
+          .WithFcBound(bug == accel::AesBug::kNone ? 8 : 14)
+          .WithRbBound(bug == accel::AesBug::kNone ? 10 : 20)
+          .WithConflictBudget(400000)
+          .Build();
 
-  std::unique_ptr<ir::TransitionSystem> ts;
   const auto result = core::CheckAccelerator(
       [&](ir::TransitionSystem& t) {
         auto design = accel::BuildAes(t, config);
         // design.acc.shared_context == {key}: the common-key customization.
         return design.acc;
       },
-      options, &ts);
+      options);
   std::printf("AES (%s): %s\n", accel::AesBugName(bug),
-              core::SummarizeResult(result).c_str());
-  if (result.bug_found) {
-    std::printf("%s\n", core::FormatResult(*ts, result).c_str());
+              core::SummarizeResult(result.aqed()).c_str());
+  if (result.bug_found()) {
+    std::printf("%s\n", core::FormatResult(result.ts(), result.aqed()).c_str());
   }
 }
 

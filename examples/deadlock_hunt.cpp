@@ -22,43 +22,44 @@ int main() {
               "property\n\n");
 
   {
-    core::AqedOptions options;
-    core::RbOptions rb;
-    rb.tau = accel::OptFlowResponseBound();
-    options.rb = rb;
-    options.check_fc = false;  // focus this run on responsiveness
-    options.rb_bound = 24;
-    std::unique_ptr<ir::TransitionSystem> ts;
+    const auto options =
+        core::AqedOptions::Builder()
+            .WithoutFc()  // focus this run on responsiveness
+            .WithRb({.tau = accel::OptFlowResponseBound()})
+            .WithRbBound(24)
+            .Build();
     const auto result = core::CheckAccelerator(
         [](ir::TransitionSystem& t) {
           return accel::BuildOptFlow(t, {.bug_fifo_sizing = true}).acc;
         },
-        options, &ts);
+        options);
     std::printf("optical flow (FIFO sized 1 instead of 2): %s\n",
-                core::SummarizeResult(result).c_str());
-    if (result.bug_found) {
-      std::printf("%s\n", core::FormatResult(*ts, result).c_str());
+                core::SummarizeResult(result.aqed()).c_str());
+    if (result.bug_found()) {
+      std::printf("%s\n",
+                  core::FormatResult(result.ts(), result.aqed()).c_str());
     }
   }
 
   {
-    core::AqedOptions options;
     core::RbOptions rb;
     rb.tau = accel::DataflowResponseBound();
     rb.rdin_bound = accel::DataflowRdinBound();
-    options.rb = rb;
-    options.check_fc = false;
-    options.rb_bound = 24;
-    std::unique_ptr<ir::TransitionSystem> ts;
+    const auto options = core::AqedOptions::Builder()
+                             .WithoutFc()
+                             .WithRb(rb)
+                             .WithRbBound(24)
+                             .Build();
     const auto result = core::CheckAccelerator(
         [](ir::TransitionSystem& t) {
           return accel::BuildDataflow(t, {.bug_credit_leak = true}).acc;
         },
-        options, &ts);
+        options);
     std::printf("dataflow (credit leak): %s\n",
-                core::SummarizeResult(result).c_str());
-    if (result.bug_found) {
-      std::printf("%s\n", core::FormatResult(*ts, result).c_str());
+                core::SummarizeResult(result.aqed()).c_str());
+    if (result.bug_found()) {
+      std::printf("%s\n",
+                  core::FormatResult(result.ts(), result.aqed()).c_str());
     }
   }
   return 0;

@@ -36,16 +36,15 @@ void Report(const char* title, accel::MemCtrlConfig config,
     options.rb_bound = clean_bound;
     options.bmc.conflict_budget = -1;
   }
-  std::unique_ptr<ir::TransitionSystem> ts;
   const auto result = core::CheckAccelerator(
       [&](ir::TransitionSystem& t) {
         return accel::BuildMemCtrl(t, config, bug).acc;
       },
-      options, &ts);
+      options);
   std::printf("[%s / %s] %s\n", accel::MemCtrlConfigName(config), title,
-              core::SummarizeResult(result).c_str());
-  if (result.bug_found) {
-    std::printf("%s\n", core::FormatResult(*ts, result).c_str());
+              core::SummarizeResult(result.aqed()).c_str());
+  if (result.bug_found()) {
+    std::printf("%s\n", core::FormatResult(result.ts(), result.aqed()).c_str());
   }
 }
 

@@ -25,28 +25,27 @@ void Check(bool inject_bug) {
   config.data_width = 4;
   config.bug_clock_enable = inject_bug;  // Fig. 2: Buffer 4 loses clock_enable
 
-  core::AqedOptions options;
-  core::RbOptions rb;
-  rb.tau = 24;  // the only design parameter A-QED needs
-  options.rb = rb;
-  options.fc_bound = inject_bug ? 24 : 9;
-  options.rb_bound = 12;
+  const auto options =
+      core::AqedOptions::Builder()
+          .WithRb({.tau = 24})  // the only design parameter A-QED needs
+          .WithFcBound(inject_bug ? 24 : 9)
+          .WithRbBound(12)
+          .Build();
 
-  std::unique_ptr<ir::TransitionSystem> ts;
-  const core::AqedResult result = core::CheckAccelerator(
+  const core::SessionResult result = core::CheckAccelerator(
       [&](ir::TransitionSystem& t) {
         auto design = accel::BuildMotivating(t, config);
         return design.acc;  // in_valid/in_ready/host_ready/out_valid + data
       },
-      options, &ts);
+      options);
 
   std::printf("%s design: %s\n", inject_bug ? "buggy " : "correct",
-              core::SummarizeResult(result).c_str());
-  if (result.bug_found) {
-    std::printf("%s", core::FormatResult(*ts, result).c_str());
+              core::SummarizeResult(result.aqed()).c_str());
+  if (result.bug_found()) {
+    std::printf("%s", core::FormatResult(result.ts(), result.aqed()).c_str());
     // Counterexamples also export as waveforms for GTKWave & friends.
     std::ofstream vcd("quickstart_counterexample.vcd");
-    bmc::WriteVcd(*ts, result.bmc.trace, vcd);
+    bmc::WriteVcd(result.ts(), result.aqed().bmc.trace, vcd);
     std::printf("(waveform written to quickstart_counterexample.vcd)\n");
   }
 }

@@ -1,5 +1,8 @@
 #include "aqed/checker.h"
 
+#include <utility>
+
+#include "sched/session.h"
 #include "support/status.h"
 
 namespace aqed::core {
@@ -21,6 +24,126 @@ const char* BugKindName(BugKind kind) {
   }
   return "?";
 }
+
+// ---------------------------------------------------------------------------
+// Options validation + fluent builder
+// ---------------------------------------------------------------------------
+
+Status AqedOptions::Validate() const {
+  if (!check_fc && !rb.has_value() && !sac_spec.has_value()) {
+    return Status::Error("every property is disabled");
+  }
+  if (bmc.max_bound == 0) {
+    return Status::Error("bmc.max_bound must be at least 1");
+  }
+  const auto check_bound = [&](uint32_t bound, bool enabled,
+                               const char* name) {
+    if (bound == 0) return Status::Ok();
+    if (!enabled) {
+      return Status::Error(std::string(name) +
+                                     " set for a property that is not "
+                                     "enabled");
+    }
+    if (bound > bmc.max_bound) {
+      return Status::Error(std::string(name) +
+                                     " exceeds bmc.max_bound");
+    }
+    return Status::Ok();
+  };
+  if (Status s = check_bound(fc_bound, check_fc, "fc_bound"); !s.ok()) {
+    return s;
+  }
+  if (Status s = check_bound(rb_bound, rb.has_value(), "rb_bound"); !s.ok()) {
+    return s;
+  }
+  if (Status s = check_bound(sac_bound, sac_spec.has_value(), "sac_bound");
+      !s.ok()) {
+    return s;
+  }
+  if (rb.has_value() && rb->tau == 0) {
+    return Status::Error("rb.tau must be at least 1");
+  }
+  if (rb.has_value() && rb->in_min == 0) {
+    return Status::Error("rb.in_min must be at least 1");
+  }
+  return Status::Ok();
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithFc(FcOptions fc) {
+  options_.check_fc = true;
+  options_.fc = std::move(fc);
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithoutFc() {
+  options_.check_fc = false;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithRb(RbOptions rb) {
+  options_.rb = std::move(rb);
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithSacSpec(SpecFn spec,
+                                                        SacOptions sac) {
+  options_.sac_spec = std::move(spec);
+  options_.sac = std::move(sac);
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithBound(uint32_t max_bound) {
+  options_.bmc.max_bound = max_bound;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithFcBound(uint32_t bound) {
+  options_.fc_bound = bound;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithRbBound(uint32_t bound) {
+  options_.rb_bound = bound;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithSacBound(uint32_t bound) {
+  options_.sac_bound = bound;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithConflictBudget(
+    int64_t budget) {
+  options_.bmc.conflict_budget = budget;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithPreprocessing(bool enabled) {
+  options_.bmc.use_preprocessing = enabled;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithValidation(
+    bool replay_counterexamples) {
+  options_.bmc.validate_counterexamples = replay_counterexamples;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithSolverOptions(
+    sat::Solver::Options solver_options) {
+  options_.bmc.solver_options = std::move(solver_options);
+  return *this;
+}
+
+AqedOptions AqedOptions::Builder::Build() const {
+  const Status valid = options_.Validate();
+  AQED_CHECK(valid.ok(), "AqedOptions::Builder: " + valid.message());
+  return options_;
+}
+
+// ---------------------------------------------------------------------------
+// RunAqed: one combined model over every requested property
+// ---------------------------------------------------------------------------
 
 AqedResult RunAqed(ir::TransitionSystem& ts, const AcceleratorInterface& acc,
                    const AqedOptions& options) {
@@ -74,64 +197,85 @@ AqedResult RunAqed(ir::TransitionSystem& ts, const AcceleratorInterface& acc,
   return result;
 }
 
-AqedResult CheckAccelerator(const AcceleratorBuilder& build,
-                            const AqedOptions& options,
-                            std::unique_ptr<ir::TransitionSystem>* out_ts) {
-  struct PropertyRun {
-    AqedOptions options;
-    uint32_t bound;
-  };
-  // Cheapest property groups first: the RB and SAC monitors are small
-  // counters/comparators whose refutations are easy, while FC carries the
-  // symbolic orig/dup choice. A deadlocked design is reported in
-  // milliseconds by the RB pass instead of after deep FC refutations.
-  std::vector<PropertyRun> runs;
-  if (options.rb.has_value()) {
-    AqedOptions rb_only = options;
-    rb_only.check_fc = false;
-    rb_only.sac_spec.reset();
-    runs.push_back({std::move(rb_only),
-                    options.rb_bound ? options.rb_bound
-                                     : options.bmc.max_bound});
-  }
-  if (options.sac_spec.has_value()) {
-    AqedOptions sac_only = options;
-    sac_only.check_fc = false;
-    sac_only.rb.reset();
-    runs.push_back({std::move(sac_only),
-                    options.sac_bound ? options.sac_bound
-                                      : options.bmc.max_bound});
-  }
-  if (options.check_fc) {
-    AqedOptions fc_only = options;
-    fc_only.rb.reset();
-    fc_only.sac_spec.reset();
-    runs.push_back({std::move(fc_only),
-                    options.fc_bound ? options.fc_bound
-                                     : options.bmc.max_bound});
-  }
-  AQED_CHECK(!runs.empty(), "CheckAccelerator with every property disabled");
+// ---------------------------------------------------------------------------
+// SessionResult accessors
+// ---------------------------------------------------------------------------
 
-  AqedResult combined;
-  double total_seconds = 0;
-  uint64_t total_conflicts = 0;
-  for (const PropertyRun& run : runs) {
-    auto ts = std::make_unique<ir::TransitionSystem>();
-    const AcceleratorInterface acc = build(*ts);
-    AqedOptions run_options = run.options;
-    run_options.bmc.max_bound = run.bound;
-    AqedResult result = RunAqed(*ts, acc, run_options);
-    total_seconds += result.bmc.seconds;
-    total_conflicts += result.bmc.conflicts;
-    const bool last = &run == &runs.back();
-    if (result.bug_found || last) {
-      result.bmc.seconds = total_seconds;
-      result.bmc.conflicts = total_conflicts;
-      if (out_ts != nullptr) *out_ts = std::move(ts);
-      return result;
+const JobResult* SessionResult::FirstBug(size_t entry) const {
+  for (const JobResult& job : jobs) {
+    if (job.entry == entry && job.result.bug_found) return &job;
+  }
+  return nullptr;
+}
+
+const JobResult& SessionResult::Reported(size_t entry) const {
+  if (const JobResult* bug = FirstBug(entry)) return *bug;
+  const JobResult* reported = nullptr;
+  for (const JobResult& job : jobs) {
+    if (job.entry != entry) continue;
+    // Prefer the last *completed* job (its transition system exists for
+    // trace/report formatting); fall back to the last job if everything
+    // was cancelled before starting.
+    if (reported == nullptr || !job.cancelled || reported->cancelled) {
+      reported = &job;
     }
   }
-  return combined;  // unreachable
+  AQED_CHECK(reported != nullptr,
+             "SessionResult::Reported: no jobs for entry");
+  return *reported;
+}
+
+bool SessionResult::bug_found(size_t entry) const {
+  return FirstBug(entry) != nullptr;
+}
+
+BugKind SessionResult::kind(size_t entry) const {
+  const JobResult* bug = FirstBug(entry);
+  return bug ? bug->result.kind : BugKind::kNone;
+}
+
+uint32_t SessionResult::cex_cycles(size_t entry) const {
+  const JobResult* bug = FirstBug(entry);
+  return bug ? bug->result.cex_cycles() : 0;
+}
+
+const AqedResult& SessionResult::aqed(size_t entry) const {
+  return Reported(entry).result;
+}
+
+const ir::TransitionSystem& SessionResult::ts(size_t entry) const {
+  const JobResult& reported = Reported(entry);
+  AQED_CHECK(reported.ts != nullptr,
+             "SessionResult::ts: reported job never ran (cancelled)");
+  return *reported.ts;
+}
+
+double SessionResult::solver_seconds(size_t entry) const {
+  double total = 0;
+  for (const JobResult& job : jobs) {
+    if (job.entry == entry) total += job.result.bmc.seconds;
+  }
+  return total;
+}
+
+uint64_t SessionResult::conflicts(size_t entry) const {
+  uint64_t total = 0;
+  for (const JobResult& job : jobs) {
+    if (job.entry == entry) total += job.result.bmc.conflicts;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// CheckAccelerator: thin wrapper over a single-entry session
+// ---------------------------------------------------------------------------
+
+SessionResult CheckAccelerator(const AcceleratorBuilder& build,
+                               const AqedOptions& options,
+                               const SessionOptions& session_options) {
+  sched::VerificationSession session(session_options);
+  session.Enqueue(build, options);
+  return session.Wait();
 }
 
 }  // namespace aqed::core

@@ -7,12 +7,21 @@
 //
 // This is the A-QED analogue of "write the aqed_top C++ harness and hand the
 // result to the model checker" in the paper's HLS flow.
+//
+// The preferred top-level entry point, CheckAccelerator, decomposes a check
+// into one independent verification job per enabled property group and
+// submits them to a sched::VerificationSession (see sched/session.h), which
+// can run them concurrently with first-bug-wins cancellation. It returns a
+// SessionResult aggregating *all* per-property verdicts, and owning the
+// instrumented transition system of every completed run (for trace
+// formatting) — there are no out-parameters.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "aqed/fc_instrument.h"
 #include "aqed/interface.h"
@@ -20,6 +29,7 @@
 #include "aqed/sac_instrument.h"
 #include "bmc/engine.h"
 #include "ir/transition_system.h"
+#include "support/stats.h"
 
 namespace aqed::core {
 
@@ -48,6 +58,56 @@ struct AqedOptions {
   uint32_t fc_bound = 0;
   uint32_t rb_bound = 0;
   uint32_t sac_bound = 0;
+
+  class Builder;
+
+  // The invariants Builder::Build() enforces, in non-fatal form: useful for
+  // validating options assembled by struct-poking legacy call sites.
+  Status Validate() const;
+};
+
+// Fluent construction with Build()-time validation. The built product is
+// the plain AqedOptions struct, so call sites can migrate incrementally —
+// anything accepting AqedOptions accepts a Builder-made one.
+//
+//   const auto options = AqedOptions::Builder()
+//                            .WithRb({.tau = 12})
+//                            .WithBound(64)
+//                            .WithRbBound(24)
+//                            .Build();
+//
+// Build() aborts (AQED_CHECK) on incoherent requests: a per-property bound
+// override above bmc.max_bound, a bound override for a property that is not
+// enabled, an RB request with tau == 0, every property disabled, and so on.
+// Use Validate() for the non-fatal form of the same checks.
+class AqedOptions::Builder {
+ public:
+  Builder() = default;
+  // Seeds the builder from an existing options struct (incremental
+  // migration: tweak a legacy configuration fluently, re-validated).
+  explicit Builder(AqedOptions seed) : options_(std::move(seed)) {}
+
+  Builder& WithFc(FcOptions fc = {});      // enable FC (on by default)
+  Builder& WithoutFc();                    // disable FC
+  Builder& WithRb(RbOptions rb);           // enable RB
+  Builder& WithSacSpec(SpecFn spec, SacOptions sac = {});  // enable SAC
+  Builder& WithBound(uint32_t max_bound);  // global BMC bound
+  Builder& WithFcBound(uint32_t bound);    // per-property overrides
+  Builder& WithRbBound(uint32_t bound);
+  Builder& WithSacBound(uint32_t bound);
+  Builder& WithConflictBudget(int64_t budget);
+  Builder& WithPreprocessing(bool enabled);
+  Builder& WithValidation(bool replay_counterexamples);
+  Builder& WithSolverOptions(sat::Solver::Options solver_options);
+
+  // Non-fatal validation of the current state (see AqedOptions::Validate).
+  Status Validate() const { return options_.Validate(); }
+
+  // Validates and returns the built options; aborts on violations.
+  AqedOptions Build() const;
+
+ private:
+  AqedOptions options_;
 };
 
 struct AqedResult {
@@ -55,7 +115,10 @@ struct AqedResult {
   BugKind kind = BugKind::kNone;
   bmc::BmcResult bmc;
 
-  // Counterexample length in clock cycles (0 when no bug).
+  // Counterexample length in clock cycles (0 when no bug). A bug found at
+  // BMC depth d has a trace of d + 1 cycles — in particular a cycle-0
+  // counterexample (bad state in the initial frame) reports length 1,
+  // never 0; see the depth-zero regression tests in aqed_core_test.
   uint32_t cex_cycles() const {
     return bug_found ? bmc.trace.length() : 0;
   }
@@ -69,19 +132,85 @@ AqedResult RunAqed(ir::TransitionSystem& ts, const AcceleratorInterface& acc,
                    const AqedOptions& options);
 
 // Builds the accelerator into the given (fresh) transition system and
-// returns its interface.
+// returns its interface. Sessions running jobs concurrently call the
+// builder from worker threads (each invocation on its own fresh transition
+// system), so builders must not mutate shared state.
 using AcceleratorBuilder =
     std::function<AcceleratorInterface(ir::TransitionSystem&)>;
 
+// ---------------------------------------------------------------------------
+// Verification sessions
+// ---------------------------------------------------------------------------
+
+// How a session schedules the verification jobs submitted to it.
+struct SessionOptions {
+  // Worker threads executing jobs (the `--jobs N` knob). 1 = run jobs
+  // inline in submission order (fully deterministic, matches the legacy
+  // sequential CheckAccelerator); 0 = hardware concurrency.
+  uint32_t jobs = 1;
+
+  // First-bug-wins cancellation scope.
+  enum class CancelPolicy {
+    kNone,     // every job runs to completion
+    kEntry,    // a bug cancels the remaining jobs of the same Enqueue()
+    kSession,  // a bug cancels every outstanding job (portfolio hunts)
+  };
+  CancelPolicy cancel = CancelPolicy::kEntry;
+};
+
+// Outcome of one verification job (one property group on one design copy).
+struct JobResult {
+  size_t entry = 0;        // index returned by the Enqueue() that spawned it
+  std::string label;       // "<entry label>/<property group>"
+  AqedResult result;
+  bool cancelled = false;  // stopped (or never started) by first-bug-wins
+  double wall_seconds = 0; // job wall time inside the scheduler
+  // The instrumented transition system of this run (null when the job was
+  // cancelled before it started) — owned here so traces can be formatted
+  // without out-parameters.
+  std::unique_ptr<ir::TransitionSystem> ts;
+};
+
+// Aggregated session outcome: every job's verdict, in submission order.
+//
+// Entry-level accessors mirror the legacy sequential CheckAccelerator
+// semantics: the *reported* job of an entry is its first submitted job that
+// found a bug (property groups are submitted cheapest-first: RB, SAC, FC),
+// or the entry's last completed job when clean.
+struct SessionResult {
+  std::vector<JobResult> jobs;  // submission order
+  size_t num_entries = 0;
+  double wall_seconds = 0;      // Wait() wall time for the whole session
+  SessionStats stats;           // per-job wall/solver accounting
+
+  // nullptr when no job of `entry` found a bug.
+  const JobResult* FirstBug(size_t entry) const;
+  // The entry's reported job (first bug, else last completed, else last).
+  const JobResult& Reported(size_t entry = 0) const;
+
+  bool bug_found(size_t entry = 0) const;
+  BugKind kind(size_t entry = 0) const;
+  uint32_t cex_cycles(size_t entry = 0) const;
+  // The reported run's AqedResult / instrumented transition system.
+  const AqedResult& aqed(size_t entry = 0) const;
+  const ir::TransitionSystem& ts(size_t entry = 0) const;
+
+  // Accumulated solver effort across the entry's jobs (legacy
+  // CheckAccelerator reported the accumulated totals of its sequential
+  // property runs).
+  double solver_seconds(size_t entry = 0) const;
+  uint64_t conflicts(size_t entry = 0) const;
+};
+
 // Preferred top-level entry point: checks each enabled property group (FC,
-// then RB, then SAC) on a *separately instrumented copy* of the design, so
-// each BMC run only carries the monitor it needs — a cone-of-influence
-// reduction that makes the (dominant) UNSAT refutations far cheaper.
-// Returns the first bug found, or the clean result of the last run.
-// `out_ts`, if given, receives the transition system of the reported run
-// (for trace formatting).
-AqedResult CheckAccelerator(
-    const AcceleratorBuilder& build, const AqedOptions& options,
-    std::unique_ptr<ir::TransitionSystem>* out_ts = nullptr);
+// RB, SAC) on a *separately instrumented copy* of the design, so each BMC
+// run only carries the monitor it needs — a cone-of-influence reduction
+// that makes the (dominant) UNSAT refutations far cheaper. The property
+// jobs are submitted to a verification session as one entry; `session`
+// controls parallelism and cancellation (the default runs them sequentially
+// with first-bug-wins, matching the legacy behavior).
+SessionResult CheckAccelerator(const AcceleratorBuilder& build,
+                               const AqedOptions& options,
+                               const SessionOptions& session = {});
 
 }  // namespace aqed::core

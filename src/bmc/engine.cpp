@@ -70,9 +70,14 @@ DepthQuery SolveIncremental(sat::Solver& main_solver, sat::Lit target,
 
 }  // namespace
 
-BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options) {
+BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options_in) {
   const Status valid = ts.Validate();
   AQED_CHECK(valid.ok(), "RunBmc on invalid system: " + valid.message());
+
+  // Forward the cancellation token into the solver(s) so a cancel lands
+  // mid-refutation, not only between depths.
+  BmcOptions options = options_in;
+  options.solver_options.cancel = options.cancel;
 
   Stopwatch stopwatch;
   sat::Solver solver(options.solver_options);
@@ -89,6 +94,10 @@ BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options) {
 
   BmcResult result;
   for (uint32_t depth = 0; depth < options.max_bound; ++depth) {
+    if (options.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     unroller.AddFrame();
     result.frames_explored = depth + 1;
 
@@ -109,6 +118,10 @@ BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options) {
     result.conflicts += query.conflicts;
     result.decisions += query.decisions;
     if (query.result == sat::SolveResult::kUnknown) {
+      if (options.cancel.cancelled()) {
+        result.cancelled = true;
+        break;
+      }
       // Refutation budget exhausted at this depth. Counterexample queries
       // are usually far easier than refutations, so keep deepening — the
       // run is no longer a complete proof up to the bound, which the final
@@ -142,7 +155,7 @@ BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options) {
   }
 
   if (result.outcome == BmcResult::Outcome::kBoundReached &&
-      !result.refutation_complete) {
+      (!result.refutation_complete || result.cancelled)) {
     result.outcome = BmcResult::Outcome::kUnknown;
   }
   result.seconds = stopwatch.ElapsedSeconds();

@@ -16,6 +16,7 @@
 #include "bmc/unroller.h"
 #include "ir/transition_system.h"
 #include "sat/solver.h"
+#include "sched/cancellation.h"
 
 namespace aqed::bmc {
 
@@ -33,6 +34,10 @@ struct BmcOptions {
   // for longer resolvents and loses the incremental solver's learnt
   // clauses; see bench_ablation_sat for the measured effect).
   bool use_preprocessing = false;
+  // Cooperative cancellation (first-bug-wins sessions): checked at every
+  // depth and forwarded into the SAT solver's search loop. When it fires,
+  // the run stops with outcome kUnknown and `cancelled` set.
+  sched::CancellationToken cancel;
   sat::Solver::Options solver_options;
 };
 
@@ -48,6 +53,9 @@ struct BmcResult {
   // False when some depth's refutation exhausted the conflict budget and
   // was skipped (the search continued deeper; found bugs remain sound).
   bool refutation_complete = true;
+  // True when the run was stopped early through BmcOptions::cancel; the
+  // outcome is then kUnknown and frames_explored reflects the progress made.
+  bool cancelled = false;
   uint32_t frames_explored = 0;
   double seconds = 0;
   uint64_t conflicts = 0;

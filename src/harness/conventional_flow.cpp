@@ -1,8 +1,25 @@
 #include "harness/conventional_flow.h"
 
+#include <vector>
+
+#include "sched/thread_pool.h"
 #include "support/stats.h"
 
 namespace aqed::harness {
+
+namespace {
+
+TestbenchResult RunSeed(
+    const std::function<core::AcceleratorInterface(ir::TransitionSystem&)>&
+        build,
+    const GoldenFn& golden, const CampaignOptions& options, uint32_t seed) {
+  ir::TransitionSystem ts;
+  const core::AcceleratorInterface acc = build(ts);
+  Rng rng(options.base_seed + seed);
+  return RunRandomTestbench(ts, acc, golden, rng, options.testbench);
+}
+
+}  // namespace
 
 CampaignResult RunCampaign(
     const std::function<core::AcceleratorInterface(ir::TransitionSystem&)>&
@@ -10,20 +27,45 @@ CampaignResult RunCampaign(
     const GoldenFn& golden, const CampaignOptions& options) {
   CampaignResult campaign;
   Stopwatch stopwatch;
-  for (uint32_t seed = 0; seed < options.num_seeds; ++seed) {
-    ir::TransitionSystem ts;
-    const core::AcceleratorInterface acc = build(ts);
-    Rng rng(options.base_seed + seed);
-    const TestbenchResult result =
-        RunRandomTestbench(ts, acc, golden, rng, options.testbench);
-    if (result.bug_detected()) {
-      campaign.bug_detected = true;
-      campaign.outcome = result.outcome;
-      campaign.detection_cycle = result.detection_cycle;
-      campaign.total_cycles_simulated += result.detection_cycle + 1;
-      break;
+  if (options.jobs == 1 || options.num_seeds <= 1) {
+    for (uint32_t seed = 0; seed < options.num_seeds; ++seed) {
+      const TestbenchResult result =
+          RunSeed(build, golden, options, seed);
+      if (result.bug_detected()) {
+        campaign.bug_detected = true;
+        campaign.outcome = result.outcome;
+        campaign.detection_cycle = result.detection_cycle;
+        campaign.total_cycles_simulated += result.detection_cycle + 1;
+        break;
+      }
+      campaign.total_cycles_simulated += options.testbench.max_cycles;
     }
-    campaign.total_cycles_simulated += options.testbench.max_cycles;
+  } else {
+    // Run every seed concurrently, then report the first failing seed in
+    // seed order — the same detection verdict/cycle as the sequential
+    // flow, minus its early exit (the extra clean seeds only show up in
+    // total_cycles_simulated).
+    std::vector<TestbenchResult> results(options.num_seeds);
+    {
+      sched::ThreadPool pool(options.jobs == 0 ? sched::ThreadPool::HardwareJobs()
+                                               : options.jobs);
+      for (uint32_t seed = 0; seed < options.num_seeds; ++seed) {
+        pool.Submit([&, seed] {
+          results[seed] = RunSeed(build, golden, options, seed);
+        });
+      }
+      pool.Wait();
+    }
+    for (const TestbenchResult& result : results) {
+      if (result.bug_detected()) {
+        campaign.bug_detected = true;
+        campaign.outcome = result.outcome;
+        campaign.detection_cycle = result.detection_cycle;
+        campaign.total_cycles_simulated += result.detection_cycle + 1;
+        break;
+      }
+      campaign.total_cycles_simulated += options.testbench.max_cycles;
+    }
   }
   campaign.seconds = stopwatch.ElapsedSeconds();
   return campaign;

@@ -12,6 +12,13 @@ namespace aqed::harness {
 struct CampaignOptions {
   uint32_t num_seeds = 16;
   uint64_t base_seed = 0xA9EDA9ED;
+  // Worker threads simulating seeds concurrently (0 = hardware
+  // concurrency). With jobs > 1 every seed runs to completion and the
+  // first failing seed *in seed order* is reported, so the detection
+  // outcome is identical to the sequential flow; only
+  // total_cycles_simulated may count seeds the sequential flow would have
+  // skipped after its early exit.
+  uint32_t jobs = 1;
   TestbenchOptions testbench;
 };
 

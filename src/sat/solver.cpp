@@ -533,6 +533,10 @@ SolveResult Solver::Search(int64_t conflicts_budget) {
     }
 
     // No conflict.
+    if (options_.cancel.cancelled()) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;  // cooperative cancellation
+    }
     if (conflicts_budget >= 0 && conflicts_here >= conflicts_budget) {
       CancelUntil(0);
       return SolveResult::kUnknown;  // restart (or budget exhausted)
@@ -583,6 +587,7 @@ SolveResult Solver::Solve(std::span<const Lit> assumptions) {
   int64_t total_conflicts = 0;
   SolveResult result = SolveResult::kUnknown;
   for (uint64_t restart = 0; result == SolveResult::kUnknown; ++restart) {
+    if (options_.cancel.cancelled()) break;
     int64_t this_restart = options_.use_restarts
                                ? static_cast<int64_t>(Luby(restart)) *
                                      options_.restart_base

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sat/types.h"
+#include "sched/cancellation.h"
 
 namespace aqed::sat {
 
@@ -34,6 +35,10 @@ class Solver {
     double var_decay = 0.95;
     double clause_decay = 0.999;
     int restart_base = 100;          // conflicts per Luby unit
+    // Cooperative cancellation: Solve returns kUnknown soon after the
+    // token's source is cancelled (polled once per search-loop iteration).
+    // A default token never cancels.
+    sched::CancellationToken cancel;
   };
 
   struct Statistics {

@@ -1,0 +1,79 @@
+// Cooperative cancellation for verification jobs.
+//
+// A CancellationSource owns a shared flag; CancellationTokens observe it.
+// Tokens are cheap to copy, safe to poll from any thread, and are threaded
+// through the long-running loops of the stack (the BMC depth loop and the
+// SAT solver's search loop) so that a session can stop sibling jobs the
+// moment one of them finds a bug ("first-bug-wins").
+//
+// Cancellation is strictly cooperative and monotonic: once a source is
+// cancelled it stays cancelled, and a job observes it at its next poll
+// point. The flag is a relaxed atomic — polling costs one uncontended load,
+// cheap enough to sit inside the solver's per-decision loop.
+//
+// This header is dependency-free on purpose: the SAT and BMC layers include
+// it without pulling in any scheduler machinery.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace aqed::sched {
+
+// Observer half. A default-constructed token is never cancelled (the common
+// case for standalone RunBmc / Solver use outside a session). A token may
+// observe up to two flags (see CancellationToken::Any) so a job can honor
+// both its entry-local source and a session-wide source.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return (a_ && a_->load(std::memory_order_relaxed)) ||
+           (b_ && b_->load(std::memory_order_relaxed));
+  }
+
+  // True when the token actually observes some source.
+  bool armed() const { return a_ != nullptr || b_ != nullptr; }
+
+  // A token cancelled when either input token is. Tokens observing more
+  // than two flags are not supported (and never needed here): combining
+  // two already-combined tokens keeps only one flag of the second operand.
+  static CancellationToken Any(const CancellationToken& x,
+                               const CancellationToken& y) {
+    CancellationToken token;
+    token.a_ = x.a_ ? x.a_ : x.b_;
+    token.b_ = y.a_ ? y.a_ : y.b_;
+    if (token.a_ == nullptr) {
+      token.a_ = token.b_;
+      token.b_ = nullptr;
+    }
+    return token;
+  }
+
+ private:
+  friend class CancellationSource;
+  using Flag = std::shared_ptr<const std::atomic<bool>>;
+
+  explicit CancellationToken(Flag flag) : a_(std::move(flag)) {}
+
+  Flag a_;
+  Flag b_;
+};
+
+// Owner half: hands out tokens and flips them all with Cancel().
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace aqed::sched

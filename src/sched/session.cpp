@@ -1,0 +1,139 @@
+#include "sched/session.h"
+
+#include <algorithm>
+
+#include "sched/thread_pool.h"
+#include "support/stats.h"
+#include "support/status.h"
+
+namespace aqed::sched {
+
+VerificationSession::VerificationSession(core::SessionOptions options)
+    : options_(options) {}
+
+size_t VerificationSession::Enqueue(core::AcceleratorBuilder build,
+                                    core::AqedOptions options,
+                                    std::string label) {
+  const Status valid = options.Validate();
+  AQED_CHECK(valid.ok(), "Enqueue with invalid options: " + valid.message());
+
+  const size_t entry = num_entries_++;
+  entry_sources_.emplace_back();
+
+  const auto add = [&](core::AqedOptions group, uint32_t bound,
+                       const char* property) {
+    std::string job_label =
+        label.empty() ? property : label + "/" + property;
+    pending_.push_back({entry, std::move(job_label), build, std::move(group),
+                        bound ? bound : options.bmc.max_bound});
+  };
+  // Cheapest property groups first: the RB and SAC monitors are small
+  // counters/comparators whose refutations are easy, while FC carries the
+  // symbolic orig/dup choice. A deadlocked design is reported in
+  // milliseconds by the RB job instead of after deep FC refutations — and
+  // under first-bug-wins it then cancels them outright.
+  if (options.rb.has_value()) {
+    core::AqedOptions rb_only = options;
+    rb_only.check_fc = false;
+    rb_only.sac_spec.reset();
+    add(std::move(rb_only), options.rb_bound, "RB");
+  }
+  if (options.sac_spec.has_value()) {
+    core::AqedOptions sac_only = options;
+    sac_only.check_fc = false;
+    sac_only.rb.reset();
+    add(std::move(sac_only), options.sac_bound, "SAC");
+  }
+  if (options.check_fc) {
+    core::AqedOptions fc_only = options;
+    fc_only.rb.reset();
+    fc_only.sac_spec.reset();
+    add(std::move(fc_only), options.fc_bound, "FC");
+  }
+  return entry;
+}
+
+CancellationToken VerificationSession::TokenFor(size_t entry) const {
+  switch (options_.cancel) {
+    case core::SessionOptions::CancelPolicy::kEntry:
+      return CancellationToken::Any(session_source_.token(),
+                                    entry_sources_[entry].token());
+    case core::SessionOptions::CancelPolicy::kSession:
+    case core::SessionOptions::CancelPolicy::kNone:
+      // kNone still honors an explicit VerificationSession::Cancel().
+      return session_source_.token();
+  }
+  return session_source_.token();
+}
+
+void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
+  out.entry = job.entry;
+  out.label = job.label;
+  const CancellationToken token = TokenFor(job.entry);
+  if (token.cancelled()) {
+    // First-bug-wins landed before this job started: report it untouched.
+    out.cancelled = true;
+    out.result.bmc.outcome = bmc::BmcResult::Outcome::kUnknown;
+    out.result.bmc.cancelled = true;
+    return;
+  }
+  Stopwatch watch;
+  auto ts = std::make_unique<ir::TransitionSystem>();
+  const core::AcceleratorInterface acc = job.build(*ts);
+  core::AqedOptions options = job.options;
+  options.bmc.max_bound = job.bound;
+  options.bmc.cancel = token;
+  out.result = core::RunAqed(*ts, acc, options);
+  out.wall_seconds = watch.ElapsedSeconds();
+  out.cancelled = out.result.bmc.cancelled;
+  out.ts = std::move(ts);
+
+  if (out.result.bug_found) {
+    switch (options_.cancel) {
+      case core::SessionOptions::CancelPolicy::kEntry:
+        entry_sources_[job.entry].Cancel();
+        break;
+      case core::SessionOptions::CancelPolicy::kSession:
+        session_source_.Cancel();
+        break;
+      case core::SessionOptions::CancelPolicy::kNone:
+        break;
+    }
+  }
+}
+
+core::SessionResult VerificationSession::Wait() {
+  Stopwatch watch;
+  core::SessionResult result;
+  result.jobs.resize(pending_.size());
+
+  const uint32_t jobs =
+      options_.jobs == 0 ? ThreadPool::HardwareJobs() : options_.jobs;
+  if (jobs <= 1 || pending_.size() <= 1) {
+    // Inline sequential execution: deterministic, thread-free, and exactly
+    // the legacy CheckAccelerator order.
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      RunJob(pending_[i], result.jobs[i]);
+    }
+  } else {
+    ThreadPool pool(std::min<uint32_t>(jobs, pending_.size()));
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      pool.Submit([this, i, &result] { RunJob(pending_[i], result.jobs[i]); });
+    }
+    pool.Wait();
+  }
+  pending_.clear();
+
+  result.num_entries = num_entries_;
+  result.wall_seconds = watch.ElapsedSeconds();
+  for (const core::JobResult& job : result.jobs) {
+    result.stats.AddJob({job.label, job.wall_seconds, job.result.bmc.seconds,
+                         job.result.bmc.conflicts,
+                         job.result.bmc.frames_explored, job.cancelled,
+                         job.result.bug_found});
+  }
+  result.stats.set_wall_seconds(result.wall_seconds);
+  return result;
+}
+
+}  // namespace aqed::sched

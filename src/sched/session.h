@@ -1,0 +1,79 @@
+// Parallel verification scheduler.
+//
+// A VerificationSession collects independent verification jobs — one per
+// enabled property group of each Enqueue()d design — and executes them on a
+// fixed-size thread pool with cooperative first-bug-wins cancellation: the
+// moment a job finds a bug, the remaining jobs in its cancellation scope
+// (same entry, or the whole session in portfolio-hunt mode) are told to
+// stop via a CancellationToken threaded into the BMC depth loop and the SAT
+// solver's search loop.
+//
+// This is the scheduling layer the functional-decomposition follow-up work
+// builds on: A-QED scales by splitting one verification problem into many
+// independent sub-checks, and per-design/per-property checks are an
+// embarrassingly parallel portfolio.
+//
+// Determinism: jobs start in submission order (FIFO pool). With jobs == 1
+// the session executes them inline, sequentially, and is bit-for-bit the
+// legacy CheckAccelerator behavior. With jobs > 1 the set of *reported*
+// verdicts is unchanged for single-bug workloads; only which clean sibling
+// jobs get cancelled mid-run (instead of completing) may vary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqed/checker.h"
+#include "sched/cancellation.h"
+
+namespace aqed::sched {
+
+class VerificationSession {
+ public:
+  explicit VerificationSession(core::SessionOptions options = {});
+
+  // Expands the enabled property groups of `options` (cheapest first: RB,
+  // SAC, FC — small monitors refute easily, FC carries the symbolic
+  // orig/dup choice) into one pending job each, all under one entry.
+  // Returns the entry index used by SessionResult's accessors. `label`
+  // prefixes the job labels ("<label>/<property>").
+  //
+  // `build` is invoked once per job, each time on a fresh transition
+  // system, possibly from several worker threads at once — it must not
+  // mutate shared state.
+  size_t Enqueue(core::AcceleratorBuilder build, core::AqedOptions options,
+                 std::string label = {});
+
+  // Requests cancellation of every outstanding job (e.g. an external
+  // timeout). Running jobs stop at their next poll point.
+  void Cancel() { session_source_.Cancel(); }
+
+  // Executes all pending jobs and blocks until every one has completed or
+  // been cancelled. May be called repeatedly; each call runs the jobs
+  // enqueued since the previous one (entry indices keep counting up, and
+  // the returned result covers only the new jobs).
+  core::SessionResult Wait();
+
+  const core::SessionOptions& options() const { return options_; }
+
+ private:
+  struct PendingJob {
+    size_t entry;
+    std::string label;
+    core::AcceleratorBuilder build;
+    core::AqedOptions options;  // exactly one property group enabled
+    uint32_t bound;             // per-property bound (resolved)
+  };
+
+  void RunJob(const PendingJob& job, core::JobResult& out);
+  CancellationToken TokenFor(size_t entry) const;
+
+  core::SessionOptions options_;
+  CancellationSource session_source_;
+  std::vector<CancellationSource> entry_sources_;  // indexed by entry
+  std::vector<PendingJob> pending_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace aqed::sched

@@ -1,0 +1,52 @@
+// Fixed-size thread pool executing submitted tasks in FIFO order.
+//
+// Deliberately work-stealing-free: verification jobs are coarse (seconds of
+// SAT solving each), so a single locked queue is nowhere near contention and
+// FIFO order keeps job start order equal to submission order — which is what
+// makes the scheduler's first-bug-wins behavior reproducible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqed::sched {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1; 0 is promoted to the hardware
+  // concurrency, which itself is promoted to 1 when unknown).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();  // Wait()s, then joins the workers.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle.
+  void Wait();
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  // The worker count a `0 = auto` jobs knob resolves to.
+  static uint32_t HardwareJobs();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / stop
+  std::condition_variable idle_cv_;   // Wait() waits for drain
+  std::deque<std::function<void()>> queue_;
+  uint32_t active_ = 0;               // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aqed::sched

@@ -59,4 +59,48 @@ double Stopwatch::ElapsedSeconds() const {
   return static_cast<double>(NowNs() - start_ns_) * 1e-9;
 }
 
+void SessionStats::AddJob(JobStat stat) { jobs_.push_back(std::move(stat)); }
+
+size_t SessionStats::num_cancelled() const {
+  size_t cancelled = 0;
+  for (const JobStat& job : jobs_) cancelled += job.cancelled ? 1 : 0;
+  return cancelled;
+}
+
+double SessionStats::serial_seconds() const {
+  double total = 0;
+  for (const JobStat& job : jobs_) total += job.wall_seconds;
+  return total;
+}
+
+double SessionStats::speedup() const {
+  if (jobs_.empty() || wall_seconds_ <= 0) return 1.0;
+  return serial_seconds() / wall_seconds_;
+}
+
+std::string SessionStats::ToTable() const {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-34s %9s %9s %10s %7s %s\n", "job",
+                "wall[s]", "solve[s]", "conflicts", "frames", "status");
+  out += buf;
+  for (const JobStat& job : jobs_) {
+    std::snprintf(buf, sizeof(buf), "%-34s %9.3f %9.3f %10llu %7u %s\n",
+                  job.label.c_str(), job.wall_seconds, job.solver_seconds,
+                  static_cast<unsigned long long>(job.conflicts),
+                  job.frames_explored,
+                  job.bug_found ? "BUG"
+                  : job.cancelled ? "cancelled"
+                                  : "clean");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%zu jobs (%zu cancelled), serialized %.3f s, wall %.3f s, "
+                "speedup %.2fx\n",
+                jobs_.size(), num_cancelled(), serial_seconds(),
+                wall_seconds_, speedup());
+  out += buf;
+  return out;
+}
+
 }  // namespace aqed

@@ -1,9 +1,11 @@
 // Streaming statistics accumulators used by the benchmark harnesses to
-// report the paper's [min, avg, max] columns.
+// report the paper's [min, avg, max] columns, plus the per-job wall/solver
+// accounting of parallel verification sessions.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace aqed {
 
@@ -37,6 +39,44 @@ class Stopwatch {
 
  private:
   uint64_t start_ns_;
+};
+
+// One verification job's timing/effort record, as accumulated by a
+// verification session (sched/session.h).
+struct JobStat {
+  std::string label;
+  double wall_seconds = 0;    // job wall time inside the scheduler
+  double solver_seconds = 0;  // BMC-reported solve time
+  uint64_t conflicts = 0;
+  uint32_t frames_explored = 0;
+  bool cancelled = false;     // stopped early by first-bug-wins
+  bool bug_found = false;
+};
+
+// Per-job accounting for a scheduled verification session. The headline
+// number is speedup(): the serialized job time (what `--jobs 1` without
+// cancellation would roughly cost) over the session's actual wall time —
+// how measurable the scheduling win is.
+class SessionStats {
+ public:
+  void AddJob(JobStat stat);
+  void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+
+  const std::vector<JobStat>& jobs() const { return jobs_; }
+  size_t num_jobs() const { return jobs_.size(); }
+  size_t num_cancelled() const;
+  double wall_seconds() const { return wall_seconds_; }
+  // Sum of per-job wall times: the serialized cost of the executed work.
+  double serial_seconds() const;
+  // serial_seconds() / wall_seconds(); 1.0 when the session is empty.
+  double speedup() const;
+
+  // Formatted per-job table plus a summary line.
+  std::string ToTable() const;
+
+ private:
+  std::vector<JobStat> jobs_;
+  double wall_seconds_ = 0;
 };
 
 }  // namespace aqed

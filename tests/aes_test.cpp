@@ -112,15 +112,16 @@ core::AqedOptions AesAqedOptions(const AesConfig& config) {
 TEST(AesAqed, CleanDesignPasses) {
   AesConfig config;
   config.rounds = 2;
-  auto options = AesAqedOptions(config);
-  options.fc_bound = 8;
-  options.rb_bound = 12;
-  options.bmc.conflict_budget = -1;
-  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto options = core::AqedOptions::Builder(AesAqedOptions(config))
+                           .WithFcBound(8)
+                           .WithRbBound(12)
+                           .WithConflictBudget(-1)
+                           .Build();
   const auto result = core::CheckAccelerator(
       [&](ir::TransitionSystem& t) { return BuildAes(t, config).acc; },
-      options, &ts);
-  EXPECT_FALSE(result.bug_found) << core::FormatResult(*ts, result);
+      options);
+  EXPECT_FALSE(result.bug_found())
+      << core::FormatResult(result.ts(), result.aqed());
 }
 
 class AesBugTest : public ::testing::TestWithParam<AesBug> {};
@@ -132,13 +133,13 @@ TEST_P(AesBugTest, FcCatchesBuggyVariant) {
   const auto result = core::CheckAccelerator(
       [&](ir::TransitionSystem& t) { return BuildAes(t, config).acc; },
       AesAqedOptions(config));
-  ASSERT_TRUE(result.bug_found)
+  ASSERT_TRUE(result.bug_found())
       << accel::AesBugName(GetParam()) << ": "
-      << core::SummarizeResult(result);
-  EXPECT_TRUE(result.kind == core::BugKind::kFunctionalConsistency ||
-              result.kind == core::BugKind::kEarlyOutput)
-      << core::BugKindName(result.kind);
-  EXPECT_TRUE(result.bmc.trace_validated);
+      << core::SummarizeResult(result.aqed());
+  EXPECT_TRUE(result.kind() == core::BugKind::kFunctionalConsistency ||
+              result.kind() == core::BugKind::kEarlyOutput)
+      << core::BugKindName(result.kind());
+  EXPECT_TRUE(result.aqed().bmc.trace_validated);
 }
 
 INSTANTIATE_TEST_SUITE_P(Variants, AesBugTest,

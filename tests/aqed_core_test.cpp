@@ -322,6 +322,129 @@ TEST(InterfaceTest, ValidationCatchesMalformedDescriptions) {
   EXPECT_FALSE(ragged.Validate(ts).ok());
 }
 
+// --- options validation (fluent builder) ------------------------------------
+
+TEST(AqedOptionsBuilderTest, DefaultsAreValid) {
+  EXPECT_TRUE(AqedOptions::Builder().Validate().ok());
+  const AqedOptions options = AqedOptions::Builder()
+                                  .WithRb({.tau = 8})
+                                  .WithBound(32)
+                                  .WithFcBound(14)
+                                  .WithRbBound(20)
+                                  .WithConflictBudget(400000)
+                                  .Build();
+  EXPECT_TRUE(options.check_fc);
+  ASSERT_TRUE(options.rb.has_value());
+  EXPECT_EQ(options.rb->tau, 8u);
+  EXPECT_EQ(options.bmc.max_bound, 32u);
+  EXPECT_EQ(options.fc_bound, 14u);
+  EXPECT_EQ(options.rb_bound, 20u);
+  EXPECT_EQ(options.bmc.conflict_budget, 400000);
+}
+
+TEST(AqedOptionsBuilderTest, RejectsEveryPropertyDisabled) {
+  EXPECT_FALSE(AqedOptions::Builder().WithoutFc().Validate().ok());
+  EXPECT_TRUE(
+      AqedOptions::Builder().WithoutFc().WithRb({.tau = 4}).Validate().ok());
+}
+
+TEST(AqedOptionsBuilderTest, RejectsBoundOverrideAboveMaxBound) {
+  EXPECT_FALSE(
+      AqedOptions::Builder().WithBound(8).WithFcBound(14).Validate().ok());
+  EXPECT_FALSE(AqedOptions::Builder()
+                   .WithRb({.tau = 4})
+                   .WithBound(8)
+                   .WithRbBound(9)
+                   .Validate()
+                   .ok());
+  EXPECT_TRUE(
+      AqedOptions::Builder().WithBound(14).WithFcBound(14).Validate().ok());
+  EXPECT_FALSE(AqedOptions::Builder().WithBound(0).Validate().ok());
+}
+
+TEST(AqedOptionsBuilderTest, RejectsOverrideForDisabledProperty) {
+  // rb_bound without RB enabled, sac_bound without a SAC spec.
+  EXPECT_FALSE(AqedOptions::Builder().WithRbBound(4).Validate().ok());
+  EXPECT_FALSE(AqedOptions::Builder().WithSacBound(4).Validate().ok());
+  // fc_bound after FC was turned off.
+  EXPECT_FALSE(AqedOptions::Builder()
+                   .WithoutFc()
+                   .WithRb({.tau = 4})
+                   .WithFcBound(4)
+                   .Validate()
+                   .ok());
+}
+
+TEST(AqedOptionsBuilderTest, RejectsDegenerateRb) {
+  EXPECT_FALSE(AqedOptions::Builder().WithRb({.tau = 0}).Validate().ok());
+  RbOptions rb;
+  rb.tau = 4;
+  rb.in_min = 0;
+  EXPECT_FALSE(AqedOptions::Builder().WithRb(rb).Validate().ok());
+}
+
+TEST(AqedOptionsBuilderTest, SeedsFromLegacyStructAndRevalidates) {
+  // Struct-poked legacy configuration, fluently adjusted.
+  AqedOptions legacy;
+  legacy.rb = RbOptions{};
+  legacy.rb->tau = 8;
+  legacy.fc_bound = 14;
+  const AqedOptions tightened =
+      AqedOptions::Builder(legacy).WithBound(14).Build();
+  EXPECT_EQ(tightened.bmc.max_bound, 14u);
+  EXPECT_EQ(tightened.fc_bound, 14u);
+  // The same seed with an incoherent tweak is rejected.
+  EXPECT_FALSE(AqedOptions::Builder(legacy).WithBound(10).Validate().ok());
+}
+
+// --- depth-zero counterexamples ----------------------------------------------
+
+// A bug reachable in the *initial* frame (BMC depth 0) must report a trace
+// of 1 cycle, never 0: a depth-d counterexample has d + 1 frames.
+
+TEST(DepthZeroTest, CycleZeroSacViolationReportsOneCycleTrace) {
+  // Purely combinational responder: out_valid mirrors in_valid, so the
+  // wrong function (+1 against a +2 spec) is visible in cycle 0 already.
+  ir::TransitionSystem ts;
+  auto& ctx = ts.ctx();
+  const NodeRef in_valid = ts.AddInput("in_valid", Sort::BitVec(1));
+  const NodeRef in_data = ts.AddInput("in_data", Sort::BitVec(8));
+  const NodeRef host_ready = ts.AddInput("host_ready", Sort::BitVec(1));
+  AcceleratorInterface acc;
+  acc.in_valid = in_valid;
+  acc.in_ready = ctx.True();
+  acc.host_ready = host_ready;
+  acc.out_valid = in_valid;
+  acc.data_elems = {{in_data}};
+  acc.out_elems = {{ctx.Add(in_data, ctx.Const(8, 1))}};
+
+  AqedOptions options;
+  options.check_fc = false;
+  options.sac_spec = ToySpec(2);
+  options.bmc.max_bound = 4;
+  const auto result = RunAqed(ts, acc, options);
+  ASSERT_TRUE(result.bug_found);
+  EXPECT_EQ(result.kind, BugKind::kSingleActionCorrectness);
+  EXPECT_EQ(result.bmc.trace.length(), 1u);
+  EXPECT_EQ(result.cex_cycles(), 1u);
+}
+
+TEST(DepthZeroTest, ResetTimeEarlyOutputReportsOneCycleTrace) {
+  // out_valid asserted straight out of reset, before any input was ever
+  // captured: the strengthened FC check fires in the initial frame.
+  ir::TransitionSystem ts;
+  ToyOptions toy;
+  toy.early_output = true;
+  const auto acc = BuildToy(ts, toy);
+  AqedOptions options;
+  options.bmc.max_bound = 2;
+  const auto result = RunAqed(ts, acc, options);
+  ASSERT_TRUE(result.bug_found);
+  EXPECT_EQ(result.kind, BugKind::kEarlyOutput);
+  EXPECT_EQ(result.bmc.trace.length(), 1u);
+  EXPECT_EQ(result.cex_cycles(), 1u);
+}
+
 TEST(MonitorUtilTest, IndexWidthAndMux) {
   EXPECT_EQ(IndexWidth(1), 1u);
   EXPECT_EQ(IndexWidth(2), 1u);

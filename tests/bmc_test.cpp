@@ -35,6 +35,23 @@ TEST(BmcTest, FindsCounterTargetAtExactDepth) {
   }
 }
 
+TEST(BmcTest, InputDrivenBadInInitialFrameHasOneCycleTrace) {
+  // Depth-0 counterexample through an *input* valuation (not just initial
+  // state): the reported trace covers 1 cycle, never 0.
+  ir::TransitionSystem ts;
+  auto& ctx = ts.ctx();
+  const NodeRef in = ts.AddInput("in", Sort::BitVec(4));
+  const NodeRef reg = ts.AddState("reg", Sort::BitVec(4), 0);
+  ts.SetNext(reg, in);
+  ts.AddBad(ctx.Eq(in, ctx.Const(4, 9)), "in9");
+  BmcOptions options;
+  options.max_bound = 4;
+  const BmcResult result = RunBmc(ts, options);
+  ASSERT_TRUE(result.found_bug());
+  EXPECT_EQ(result.trace.length(), 1u);
+  EXPECT_TRUE(result.trace_validated);
+}
+
 TEST(BmcTest, UnreachableWithinBound) {
   auto ts = MakeCounter(30, 5);
   BmcOptions options;

@@ -59,35 +59,33 @@ TEST(GsmSim, MatchesGolden) {
 }
 
 TEST(GsmAqed, CleanDesignPasses) {
-  core::AqedOptions options;
-  core::RbOptions rb;
-  rb.tau = accel::GsmResponseBound();
-  options.rb = rb;
-  options.fc_bound = 8;
-  options.rb_bound = 12;
-  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto options = core::AqedOptions::Builder()
+                           .WithRb({.tau = accel::GsmResponseBound()})
+                           .WithFcBound(8)
+                           .WithRbBound(12)
+                           .Build();
   const auto result = core::CheckAccelerator(
       [](ir::TransitionSystem& t) { return accel::BuildGsm(t, {}).acc; },
-      options, &ts);
-  EXPECT_FALSE(result.bug_found) << core::FormatResult(*ts, result);
+      options);
+  EXPECT_FALSE(result.bug_found())
+      << core::FormatResult(result.ts(), result.aqed());
 }
 
 TEST(GsmAqed, TapIndexBugCaughtByFc) {
-  core::AqedOptions options;
-  core::RbOptions rb;
-  rb.tau = accel::GsmResponseBound();
-  options.rb = rb;
-  options.fc_bound = 22;
-  options.rb_bound = 20;
-  options.bmc.conflict_budget = 400000;
+  const auto options = core::AqedOptions::Builder()
+                           .WithRb({.tau = accel::GsmResponseBound()})
+                           .WithFcBound(22)
+                           .WithRbBound(20)
+                           .WithConflictBudget(400000)
+                           .Build();
   const auto result = core::CheckAccelerator(
       [](ir::TransitionSystem& t) {
         return accel::BuildGsm(t, {.bug_tap_index = true}).acc;
       },
       options);
-  ASSERT_TRUE(result.bug_found) << core::SummarizeResult(result);
-  EXPECT_EQ(result.kind, core::BugKind::kFunctionalConsistency);
-  EXPECT_TRUE(result.bmc.trace_validated);
+  ASSERT_TRUE(result.bug_found()) << core::SummarizeResult(result.aqed());
+  EXPECT_EQ(result.kind(), core::BugKind::kFunctionalConsistency);
+  EXPECT_TRUE(result.aqed().bmc.trace_validated);
 }
 
 // --- optical flow -------------------------------------------------------------
@@ -99,35 +97,33 @@ TEST(OptFlowSim, MatchesGolden) {
 }
 
 TEST(OptFlowAqed, CleanDesignPasses) {
-  core::AqedOptions options;
-  core::RbOptions rb;
-  rb.tau = accel::OptFlowResponseBound();
-  options.rb = rb;
-  options.fc_bound = 8;
-  options.rb_bound = 18;
-  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto options = core::AqedOptions::Builder()
+                           .WithRb({.tau = accel::OptFlowResponseBound()})
+                           .WithFcBound(8)
+                           .WithRbBound(18)
+                           .Build();
   const auto result = core::CheckAccelerator(
       [](ir::TransitionSystem& t) { return accel::BuildOptFlow(t, {}).acc; },
-      options, &ts);
-  EXPECT_FALSE(result.bug_found) << core::FormatResult(*ts, result);
+      options);
+  EXPECT_FALSE(result.bug_found())
+      << core::FormatResult(result.ts(), result.aqed());
 }
 
 TEST(OptFlowAqed, FifoSizingDeadlockCaughtByRb) {
-  core::AqedOptions options;
-  core::RbOptions rb;
-  rb.tau = accel::OptFlowResponseBound();
-  options.rb = rb;
-  options.fc_bound = 8;
-  options.rb_bound = 24;
-  options.bmc.conflict_budget = 400000;
+  const auto options = core::AqedOptions::Builder()
+                           .WithRb({.tau = accel::OptFlowResponseBound()})
+                           .WithFcBound(8)
+                           .WithRbBound(24)
+                           .WithConflictBudget(400000)
+                           .Build();
   const auto result = core::CheckAccelerator(
       [](ir::TransitionSystem& t) {
         return accel::BuildOptFlow(t, {.bug_fifo_sizing = true}).acc;
       },
       options);
-  ASSERT_TRUE(result.bug_found) << core::SummarizeResult(result);
-  EXPECT_EQ(result.kind, core::BugKind::kResponseBound);
-  EXPECT_TRUE(result.bmc.trace_validated);
+  ASSERT_TRUE(result.bug_found()) << core::SummarizeResult(result.aqed());
+  EXPECT_EQ(result.kind(), core::BugKind::kResponseBound);
+  EXPECT_TRUE(result.aqed().bmc.trace_validated);
 }
 
 TEST(OptFlowConventional, DeadlockSeenAsHang) {
@@ -153,37 +149,39 @@ TEST(DataflowSim, MatchesGolden) {
 }
 
 TEST(DataflowAqed, CleanDesignPasses) {
-  core::AqedOptions options;
   core::RbOptions rb;
   rb.tau = accel::DataflowResponseBound();
   rb.rdin_bound = accel::DataflowRdinBound();
-  options.rb = rb;
-  options.fc_bound = 8;
-  options.rb_bound = 14;
-  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto options = core::AqedOptions::Builder()
+                           .WithRb(rb)
+                           .WithFcBound(8)
+                           .WithRbBound(14)
+                           .Build();
   const auto result = core::CheckAccelerator(
       [](ir::TransitionSystem& t) { return accel::BuildDataflow(t, {}).acc; },
-      options, &ts);
-  EXPECT_FALSE(result.bug_found) << core::FormatResult(*ts, result);
+      options);
+  EXPECT_FALSE(result.bug_found())
+      << core::FormatResult(result.ts(), result.aqed());
 }
 
 TEST(DataflowAqed, CreditLeakCaughtByRbStarvation) {
-  core::AqedOptions options;
   core::RbOptions rb;
   rb.tau = accel::DataflowResponseBound();
   rb.rdin_bound = accel::DataflowRdinBound();
-  options.rb = rb;
-  options.fc_bound = 8;
-  options.rb_bound = 24;
-  options.bmc.conflict_budget = 400000;
+  const auto options = core::AqedOptions::Builder()
+                           .WithRb(rb)
+                           .WithFcBound(8)
+                           .WithRbBound(24)
+                           .WithConflictBudget(400000)
+                           .Build();
   const auto result = core::CheckAccelerator(
       [](ir::TransitionSystem& t) {
         return accel::BuildDataflow(t, {.bug_credit_leak = true}).acc;
       },
       options);
-  ASSERT_TRUE(result.bug_found) << core::SummarizeResult(result);
-  EXPECT_EQ(result.kind, core::BugKind::kInputStarvation);
-  EXPECT_TRUE(result.bmc.trace_validated);
+  ASSERT_TRUE(result.bug_found()) << core::SummarizeResult(result.aqed());
+  EXPECT_EQ(result.kind(), core::BugKind::kInputStarvation);
+  EXPECT_TRUE(result.aqed().bmc.trace_validated);
 }
 
 }  // namespace

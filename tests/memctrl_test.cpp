@@ -106,14 +106,17 @@ TEST(MemCtrlSim, LineBufferComputesStencil) {
 class MemCtrlCleanTest : public ::testing::TestWithParam<MemCtrlConfig> {};
 
 TEST_P(MemCtrlCleanTest, CorrectConfigPassesAqed) {
-  auto options = MemCtrlAqedOptions(GetParam());
-  options.bmc.max_bound = 8;  // genuine UNSAT up to the bound, no budget
-  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto options =
+      core::AqedOptions::Builder(MemCtrlAqedOptions(GetParam()))
+          .WithBound(8)  // genuine UNSAT up to the bound, no budget
+          .Build();
   const auto result = core::CheckAccelerator(
       [&](ir::TransitionSystem& t) { return BuildMemCtrl(t, GetParam()).acc; },
-      options, &ts);
-  EXPECT_FALSE(result.bug_found) << core::FormatResult(*ts, result);
-  EXPECT_EQ(result.bmc.outcome, bmc::BmcResult::Outcome::kBoundReached);
+      options);
+  EXPECT_FALSE(result.bug_found())
+      << core::FormatResult(result.ts(), result.aqed());
+  EXPECT_EQ(result.aqed().bmc.outcome,
+            bmc::BmcResult::Outcome::kBoundReached);
 }
 
 INSTANTIATE_TEST_SUITE_P(Configs, MemCtrlCleanTest,
@@ -141,15 +144,15 @@ TEST_P(MemCtrlBugTest, AqedCatchesWithExpectedProperty) {
         return BuildMemCtrl(t, info.config, info.bug).acc;
       },
       options);
-  ASSERT_TRUE(result.bug_found)
-      << info.name << ": " << core::SummarizeResult(result);
-  EXPECT_TRUE(result.bmc.trace_validated);
+  ASSERT_TRUE(result.bug_found())
+      << info.name << ": " << core::SummarizeResult(result.aqed());
+  EXPECT_TRUE(result.aqed().bmc.trace_validated);
   if (info.rb_expected) {
-    EXPECT_EQ(result.kind, core::BugKind::kResponseBound) << info.name;
+    EXPECT_EQ(result.kind(), core::BugKind::kResponseBound) << info.name;
   } else {
-    EXPECT_TRUE(result.kind == core::BugKind::kFunctionalConsistency ||
-                result.kind == core::BugKind::kEarlyOutput)
-        << info.name << " detected as " << core::BugKindName(result.kind);
+    EXPECT_TRUE(result.kind() == core::BugKind::kFunctionalConsistency ||
+                result.kind() == core::BugKind::kEarlyOutput)
+        << info.name << " detected as " << core::BugKindName(result.kind());
   }
   EXPECT_LE(result.cex_cycles(), 20u);
 }

@@ -73,14 +73,14 @@ core::AqedOptions AluOptions(bool clean) {
 }
 
 TEST(AluAqed, CleanDesignPassesFcRbAndSac) {
-  auto options = AluOptions(/*clean=*/true);
-  options.sac_spec = accel::AluSpec();
-  options.sac_bound = 8;
-  std::unique_ptr<ir::TransitionSystem> ts;
+  const auto options = core::AqedOptions::Builder(AluOptions(/*clean=*/true))
+                           .WithSacSpec(accel::AluSpec())
+                           .WithSacBound(8)
+                           .Build();
   const auto result = core::CheckAccelerator(
-      [](ir::TransitionSystem& t) { return BuildAlu(t, {}).acc; }, options,
-      &ts);
-  EXPECT_FALSE(result.bug_found) << core::FormatResult(*ts, result);
+      [](ir::TransitionSystem& t) { return BuildAlu(t, {}).acc; }, options);
+  EXPECT_FALSE(result.bug_found())
+      << core::FormatResult(result.ts(), result.aqed());
 }
 
 class AluBugTest : public ::testing::TestWithParam<AluBug> {};
@@ -91,11 +91,11 @@ TEST_P(AluBugTest, ActionDependentBugCaughtByFc) {
   const auto result = core::CheckAccelerator(
       [&](ir::TransitionSystem& t) { return BuildAlu(t, config).acc; },
       AluOptions(/*clean=*/false));
-  ASSERT_TRUE(result.bug_found)
+  ASSERT_TRUE(result.bug_found())
       << accel::AluBugName(GetParam()) << ": "
-      << core::SummarizeResult(result);
-  EXPECT_EQ(result.kind, core::BugKind::kFunctionalConsistency);
-  EXPECT_TRUE(result.bmc.trace_validated);
+      << core::SummarizeResult(result.aqed());
+  EXPECT_EQ(result.kind(), core::BugKind::kFunctionalConsistency);
+  EXPECT_TRUE(result.aqed().bmc.trace_validated);
   EXPECT_LE(result.cex_cycles(), 14u);
 }
 
