@@ -14,10 +14,12 @@
 namespace aqed::bench {
 
 // Parses the scheduling flags shared by the bench binaries:
-//   --jobs N     worker threads for the verification session (default 1,
-//                0 = hardware concurrency)
+//   --jobs N         worker threads for the verification session (default 1,
+//                    0 = hardware concurrency)
 //   --cancel-session
-//                first bug cancels the whole session, not just its entry
+//                    first bug cancels the whole session, not just its entry
+//   --deadline-ms N  per-job wall-clock deadline (0 = none)
+//   --retries N      escalating-budget retries for inconclusive jobs
 inline core::SessionOptions ParseSessionOptions(int argc, char** argv) {
   core::SessionOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -26,6 +28,12 @@ inline core::SessionOptions ParseSessionOptions(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(argv[i], "--cancel-session") == 0) {
       options.cancel = core::SessionOptions::CancelPolicy::kSession;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.deadline_ms = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      options.retry.max_retries = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+      ++i;
     }
   }
   return options;

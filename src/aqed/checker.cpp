@@ -239,6 +239,30 @@ uint32_t SessionResult::cex_cycles(size_t entry) const {
   return bug ? bug->result.cex_cycles() : 0;
 }
 
+UnknownReason SessionResult::unknown_reason(size_t entry) const {
+  if (bug_found(entry)) return UnknownReason::kNone;
+  for (const JobResult& job : jobs) {
+    if (job.entry == entry &&
+        job.result.bmc.outcome == bmc::BmcResult::Outcome::kUnknown) {
+      return job.unknown_reason;
+    }
+  }
+  return UnknownReason::kNone;
+}
+
+size_t SessionResult::num_unknown() const {
+  size_t unknown = 0;
+  for (const JobResult& job : jobs) {
+    // Jobs cancelled because a sibling already found the entry's bug are
+    // decided, not unknown — first-bug-wins is the intended outcome there.
+    if (job.result.bmc.outcome == bmc::BmcResult::Outcome::kUnknown &&
+        !bug_found(job.entry)) {
+      ++unknown;
+    }
+  }
+  return unknown;
+}
+
 const AqedResult& SessionResult::aqed(size_t entry) const {
   return Reported(entry).result;
 }

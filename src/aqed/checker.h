@@ -156,6 +156,26 @@ struct SessionOptions {
     kSession,  // a bug cancels every outstanding job (portfolio hunts)
   };
   CancelPolicy cancel = CancelPolicy::kEntry;
+
+  // Per-job wall-clock deadline in milliseconds (0 = none). A watchdog
+  // thread trips the job's cancellation token when the deadline expires;
+  // the job observes it at its next poll point (BMC depth boundary / SAT
+  // search loop) and reports kUnknown with reason kDeadline. This is what
+  // keeps one hard SAT instance from stalling a whole session.
+  uint32_t deadline_ms = 0;
+
+  // Escalating-budget retry policy for inconclusive jobs. A job that ends
+  // kUnknown because its conflict budget or deadline ran out (never because
+  // a sibling's bug cancelled it) is re-queued with its conflict budget and
+  // deadline doubled, up to `max_retries` extra attempts and the configured
+  // caps. Retried attempts are accounted separately in SessionStats; the
+  // job's final JobResult reflects the last attempt.
+  struct RetryPolicy {
+    uint32_t max_retries = 0;          // extra attempts per unknown job
+    int64_t max_conflict_budget = -1;  // doubling cap (-1 = uncapped)
+    uint32_t max_deadline_ms = 0;      // doubling cap (0 = uncapped)
+  };
+  RetryPolicy retry;
 };
 
 // Outcome of one verification job (one property group on one design copy).
@@ -164,6 +184,13 @@ struct JobResult {
   std::string label;       // "<entry label>/<property group>"
   AqedResult result;
   bool cancelled = false;  // stopped (or never started) by first-bug-wins
+  // Why the job's verdict is unknown (kNone for a bug / clean verdict):
+  // distinguishes a deadline expiry from budget exhaustion from sibling
+  // cancellation — the reason code behind BmcResult::Outcome::kUnknown.
+  UnknownReason unknown_reason = UnknownReason::kNone;
+  // Attempt index of the run this result reflects (0 = first; > 0 means
+  // the session's retry policy re-ran the job with escalated budgets).
+  uint32_t attempt = 0;
   double wall_seconds = 0; // job wall time inside the scheduler
   // The instrumented transition system of this run (null when the job was
   // cancelled before it started) — owned here so traces can be formatted
@@ -191,6 +218,11 @@ struct SessionResult {
   bool bug_found(size_t entry = 0) const;
   BugKind kind(size_t entry = 0) const;
   uint32_t cex_cycles(size_t entry = 0) const;
+  // kNone when the entry found a bug or every job completed; otherwise the
+  // reason code of the entry's first inconclusive job.
+  UnknownReason unknown_reason(size_t entry = 0) const;
+  // Jobs whose verdict is still unknown after retries (0 = fully decided).
+  size_t num_unknown() const;
   // The reported run's AqedResult / instrumented transition system.
   const AqedResult& aqed(size_t entry = 0) const;
   const ir::TransitionSystem& ts(size_t entry = 0) const;

@@ -157,6 +157,12 @@ BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options_in) {
   if (result.outcome == BmcResult::Outcome::kBoundReached &&
       (!result.refutation_complete || result.cancelled)) {
     result.outcome = BmcResult::Outcome::kUnknown;
+    // A cancellation (deadline or first-bug-wins) trumps budget skips for
+    // the reason code: it is what actually ended the run.
+    result.unknown_reason =
+        result.cancelled
+            ? sched::UnknownReasonFromCancel(options.cancel.reason())
+            : UnknownReason::kConflictBudget;
   }
   result.seconds = stopwatch.ElapsedSeconds();
   result.clauses = solver.num_clauses();

@@ -56,6 +56,10 @@ struct BmcResult {
   // True when the run was stopped early through BmcOptions::cancel; the
   // outcome is then kUnknown and frames_explored reflects the progress made.
   bool cancelled = false;
+  // Why the outcome is kUnknown (kNone otherwise): budget exhaustion at
+  // some depth, a tripped per-job deadline, or cooperative cancellation —
+  // so stats tables and retry policies can tell the three apart.
+  UnknownReason unknown_reason = UnknownReason::kNone;
   uint32_t frames_explored = 0;
   double seconds = 0;
   uint64_t conflicts = 0;

@@ -1,0 +1,230 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sched/session.h"
+
+namespace aqed::fault {
+namespace {
+
+// FC before RB before SAC: when several properties detect the same mutant
+// (common — a corrupted datapath usually violates FC and SAC), the campaign
+// credits the strongest, most design-independent property first, matching
+// the paper's attribution in Table 1.
+Classification ClassifyKind(core::BugKind kind) {
+  switch (kind) {
+    case core::BugKind::kFunctionalConsistency:
+    case core::BugKind::kEarlyOutput:
+      return Classification::kDetectedFc;
+    case core::BugKind::kResponseBound:
+    case core::BugKind::kInputStarvation:
+      return Classification::kDetectedRb;
+    case core::BugKind::kSingleActionCorrectness:
+      return Classification::kDetectedSac;
+    case core::BugKind::kNone:
+      break;
+  }
+  return Classification::kSurvived;
+}
+
+void Fnv1a(uint64_t& hash, std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+const char* ClassificationName(Classification classification) {
+  switch (classification) {
+    case Classification::kDetectedFc: return "detected-by-FC";
+    case Classification::kDetectedRb: return "detected-by-RB";
+    case Classification::kDetectedSac: return "detected-by-SAC";
+    case Classification::kSurvived: return "survived";
+    case Classification::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
+                                     const FaultCampaignOptions& options) {
+  Stopwatch watch;
+  FaultCampaignResult result;
+  if (designs.empty() || options.num_mutants == 0) return result;
+
+  core::SessionOptions session_options = options.session;
+  session_options.cancel = core::SessionOptions::CancelPolicy::kNone;
+  sched::VerificationSession session(session_options);
+
+  struct EntryInfo {
+    size_t design;
+    MutantKey key;
+  };
+  std::vector<EntryInfo> entries;
+  const size_t num_designs = designs.size();
+  for (size_t d = 0; d < num_designs; ++d) {
+    const uint32_t share = options.num_mutants / num_designs +
+                           (d < options.num_mutants % num_designs ? 1 : 0);
+    if (share == 0) continue;
+    ir::TransitionSystem scratch;
+    const core::AcceleratorInterface acc = designs[d].build(scratch);
+    for (const MutantKey& key :
+         SampleMutants(scratch, acc, options.seed, share)) {
+      entries.push_back({d, key});
+      session.Enqueue(MutantBuilder(designs[d].build, key), designs[d].options,
+                      designs[d].name + "/" + key.ToString());
+    }
+  }
+
+  core::SessionResult session_result = session.Wait();
+
+  result.mutants.resize(entries.size());
+  for (size_t e = 0; e < entries.size(); ++e) {
+    MutantReport& report = result.mutants[e];
+    report.design = designs[entries[e].design].name;
+    report.key = entries[e].key;
+    const core::JobResult* best = nullptr;
+    Classification best_class = Classification::kUnknown;
+    bool inconclusive = false;
+    UnknownReason reason = UnknownReason::kNone;
+    for (const core::JobResult& job : session_result.jobs) {
+      if (job.entry != e) continue;
+      report.attempts = std::max(report.attempts, job.attempt + 1);
+      report.wall_seconds += job.wall_seconds;
+      if (job.result.bug_found) {
+        const Classification c = ClassifyKind(job.result.kind);
+        if (best == nullptr ||
+            static_cast<uint8_t>(c) < static_cast<uint8_t>(best_class)) {
+          best = &job;
+          best_class = c;
+        }
+      } else if (job.unknown_reason != UnknownReason::kNone) {
+        inconclusive = true;
+        if (reason == UnknownReason::kNone) reason = job.unknown_reason;
+      }
+    }
+    if (best != nullptr) {
+      report.classification = best_class;
+      report.kind = best->result.kind;
+      report.cex_cycles = best->result.cex_cycles();
+    } else if (inconclusive) {
+      report.classification = Classification::kUnknown;
+      report.unknown_reason = reason;
+    } else {
+      report.classification = Classification::kSurvived;
+    }
+  }
+  result.stats = std::move(session_result.stats);
+
+  if (options.conventional_baseline) {
+    for (size_t e = 0; e < entries.size(); ++e) {
+      const DesignUnderTest& dut = designs[entries[e].design];
+      if (!dut.golden) continue;
+      const harness::CampaignResult conventional = harness::RunCampaign(
+          MutantBuilder(dut.build, entries[e].key), dut.golden,
+          dut.conventional);
+      MutantReport& report = result.mutants[e];
+      report.golden_ran = true;
+      report.golden_detected = conventional.bug_detected;
+      report.golden_cycles = conventional.detection_cycle;
+      report.golden_seconds = conventional.seconds;
+    }
+  }
+
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+size_t FaultCampaignResult::count(Classification classification) const {
+  return static_cast<size_t>(
+      std::count_if(mutants.begin(), mutants.end(),
+                    [classification](const MutantReport& m) {
+                      return m.classification == classification;
+                    }));
+}
+
+size_t FaultCampaignResult::num_detected() const {
+  return count(Classification::kDetectedFc) +
+         count(Classification::kDetectedRb) +
+         count(Classification::kDetectedSac);
+}
+
+double FaultCampaignResult::classified_fraction() const {
+  if (mutants.empty()) return 1.0;
+  return static_cast<double>(num_classified()) /
+         static_cast<double>(mutants.size());
+}
+
+size_t FaultCampaignResult::num_silent_survivors() const {
+  return static_cast<size_t>(
+      std::count_if(mutants.begin(), mutants.end(), [](const MutantReport& m) {
+        return m.golden_ran && m.golden_detected &&
+               m.classification == Classification::kSurvived;
+      }));
+}
+
+uint64_t FaultCampaignResult::ClassificationDigest() const {
+  // Commutative sum of per-mutant FNV-1a hashes: identical classifications
+  // give identical digests regardless of report order.
+  uint64_t digest = 0;
+  for (const MutantReport& m : mutants) {
+    uint64_t hash = 1469598103934665603ull;
+    Fnv1a(hash, m.design);
+    Fnv1a(hash, "|");
+    Fnv1a(hash, m.key.ToString());
+    Fnv1a(hash, "|");
+    Fnv1a(hash, ClassificationName(m.classification));
+    digest += hash;
+  }
+  return digest;
+}
+
+std::string FaultCampaignResult::ToTable() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-18s %8s %5s %5s %5s %9s %8s %9s\n",
+                "design", "mutants", "FC", "RB", "SAC", "survived", "unknown",
+                "coverage");
+  out += line;
+  std::vector<std::string> names;
+  for (const MutantReport& m : mutants) {
+    if (std::find(names.begin(), names.end(), m.design) == names.end()) {
+      names.push_back(m.design);
+    }
+  }
+  names.push_back("");  // sentinel: the totals row aggregates every design
+  for (const std::string& name : names) {
+    size_t total = 0, fc = 0, rb = 0, sac = 0, survived = 0, unknown = 0;
+    for (const MutantReport& m : mutants) {
+      if (!name.empty() && m.design != name) continue;
+      ++total;
+      switch (m.classification) {
+        case Classification::kDetectedFc: ++fc; break;
+        case Classification::kDetectedRb: ++rb; break;
+        case Classification::kDetectedSac: ++sac; break;
+        case Classification::kSurvived: ++survived; break;
+        case Classification::kUnknown: ++unknown; break;
+      }
+    }
+    const double coverage =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(fc + rb + sac) /
+                         static_cast<double>(total);
+    std::snprintf(line, sizeof(line),
+                  "%-18s %8zu %5zu %5zu %5zu %9zu %8zu %8.1f%%\n",
+                  name.empty() ? "total" : name.c_str(), total, fc, rb, sac,
+                  survived, unknown, coverage);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu/%zu classified (%.1f%%), digest %016llx\n",
+                num_classified(), mutants.size(),
+                100.0 * classified_fraction(),
+                static_cast<unsigned long long>(ClassificationDigest()));
+  out += line;
+  return out;
+}
+
+}  // namespace aqed::fault

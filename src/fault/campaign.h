@@ -1,0 +1,110 @@
+// Fault-injection campaign driver.
+//
+// A FaultCampaign is the systematic version of the paper's injected-bug
+// study (Table 1 / Fig. 5): sample a seeded set of mutants per design,
+// verify every mutant with the A-QED property suite on the parallel
+// verification session, and classify each one as detected-by-FC /
+// detected-by-RB / detected-by-SAC / survived / unknown — optionally
+// running the conventional random-simulation flow on the same mutants for
+// an apples-to-apples detection baseline (the golden-model diff).
+//
+// Campaigns are the workload the resource-governance layer exists for:
+// thousands of independent jobs, most trivial, a few pathological. The
+// session's per-job deadlines and escalating-budget retries bound the cost
+// of the pathological ones; classifications stay deterministic across
+// worker counts because every per-job verdict is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aqed/checker.h"
+#include "fault/mutator.h"
+#include "harness/conventional_flow.h"
+#include "support/stats.h"
+
+namespace aqed::fault {
+
+// One design enrolled in a campaign: its builder, the A-QED property
+// options to verify each mutant with, and (optionally) a golden functional
+// model enabling the conventional-flow baseline on its mutants.
+struct DesignUnderTest {
+  std::string name;
+  core::AcceleratorBuilder build;
+  core::AqedOptions options;
+  harness::GoldenFn golden;                // null = no conventional baseline
+  harness::CampaignOptions conventional;   // testbench shape for the baseline
+};
+
+enum class Classification : uint8_t {
+  kDetectedFc,   // functional consistency (or early-output) caught it
+  kDetectedRb,   // response bound (or input starvation) caught it
+  kDetectedSac,  // single-action correctness caught it
+  kSurvived,     // every property refuted up to its bound
+  kUnknown,      // some property job stayed inconclusive after retries
+};
+
+const char* ClassificationName(Classification classification);
+
+struct MutantReport {
+  std::string design;
+  MutantKey key;
+  Classification classification = Classification::kUnknown;
+  core::BugKind kind = core::BugKind::kNone;  // precise detecting property
+  uint32_t cex_cycles = 0;      // A-QED detection latency (0 if undetected)
+  uint32_t attempts = 1;        // max attempts over the mutant's jobs
+  UnknownReason unknown_reason = UnknownReason::kNone;
+  double wall_seconds = 0;      // summed job wall time for this mutant
+  // Conventional-flow baseline on the same mutant (when golden was given):
+  bool golden_ran = false;
+  bool golden_detected = false;
+  uint64_t golden_cycles = 0;   // conventional detection latency
+  double golden_seconds = 0;
+};
+
+struct FaultCampaignOptions {
+  uint64_t seed = 0xA9EDFA17;
+  // Total mutants across all designs, split evenly (earlier designs get
+  // the remainder). Designs with fewer applicable sites contribute all of
+  // them.
+  uint32_t num_mutants = 30;
+  // Scheduling and resource governance for the verification jobs. The
+  // cancellation policy is forced to kNone: classification needs every
+  // property's verdict, not just the first bug.
+  core::SessionOptions session;
+  // Also run the conventional random-simulation campaign on each mutant of
+  // every golden-equipped design.
+  bool conventional_baseline = false;
+};
+
+struct FaultCampaignResult {
+  std::vector<MutantReport> mutants;  // deterministic order
+  SessionStats stats;                 // per-attempt accounting
+  double wall_seconds = 0;
+
+  size_t count(Classification classification) const;
+  size_t num_detected() const;
+  // Mutants with a definite verdict (detected or survived).
+  size_t num_classified() const { return mutants.size() - count(Classification::kUnknown); }
+  double classified_fraction() const;
+  // Survivors the golden-model diff flags: mutants the conventional flow
+  // detects but every A-QED property missed — the campaign's soundness
+  // canary (expected 0 when SAC is enabled; see DESIGN.md).
+  size_t num_silent_survivors() const;
+  // Order-independent digest over (design, mutant, classification): equal
+  // digests <=> identical classifications, the cheap way to compare runs
+  // across --jobs counts.
+  uint64_t ClassificationDigest() const;
+  // Per-design coverage table plus a summary line.
+  std::string ToTable() const;
+};
+
+// Runs the campaign: samples options.num_mutants mutants over `designs`,
+// verifies them all in one verification session, classifies, and (when
+// asked) baselines against the conventional flow.
+FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
+                                     const FaultCampaignOptions& options);
+
+}  // namespace aqed::fault

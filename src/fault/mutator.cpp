@@ -1,0 +1,427 @@
+#include "fault/mutator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/bits.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace aqed::fault {
+
+using ir::Context;
+using ir::Node;
+using ir::NodeRef;
+using ir::Op;
+
+const char* MutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kStuckAtZero:
+      return "stuck-at-0";
+    case MutationOp::kStuckAtOne:
+      return "stuck-at-1";
+    case MutationOp::kOperatorSwap:
+      return "op-swap";
+    case MutationOp::kConstPerturb:
+      return "const-perturb";
+    case MutationOp::kCondNegate:
+      return "cond-negate";
+    case MutationOp::kOffByOne:
+      return "off-by-one";
+  }
+  return "?";
+}
+
+std::string MutantKey::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s@n%u#s%llx", MutationOpName(op), node,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+namespace {
+
+// The deterministic operator-swap table: every entry maps to an operator of
+// the identical signature (same operand sorts, same result sort), so the
+// rebuilt node always type-checks.
+Op SwappedOp(Op op) {
+  switch (op) {
+    case Op::kAdd:
+      return Op::kSub;
+    case Op::kSub:
+      return Op::kAdd;
+    case Op::kMul:
+      return Op::kAdd;
+    case Op::kAnd:
+      return Op::kOr;
+    case Op::kOr:
+      return Op::kAnd;
+    case Op::kXor:
+      return Op::kOr;
+    case Op::kEq:
+      return Op::kNe;
+    case Op::kNe:
+      return Op::kEq;
+    case Op::kUlt:
+      return Op::kUle;
+    case Op::kUle:
+      return Op::kUlt;
+    case Op::kSlt:
+      return Op::kSle;
+    case Op::kSle:
+      return Op::kSlt;
+    case Op::kShl:
+      return Op::kLshr;
+    case Op::kLshr:
+      return Op::kShl;
+    case Op::kAshr:
+      return Op::kLshr;
+    default:
+      return op;  // not swappable
+  }
+}
+
+bool IsComparison(Op op) {
+  return op == Op::kEq || op == Op::kNe || op == Op::kUlt || op == Op::kUle ||
+         op == Op::kSlt || op == Op::kSle;
+}
+
+bool IsCondNegateSite(const Node& node) {
+  if (!node.sort.is_bitvec() || node.sort.width != 1) return false;
+  // Conditions are computed, not free: leaves stay untouched (a negated
+  // input is just another free input; a negated constant is kConstPerturb's
+  // job).
+  if (ir::OpIsLeaf(node.op)) return false;
+  return IsComparison(node.op) || node.op == Op::kNot || node.op == Op::kAnd ||
+         node.op == Op::kOr || node.op == Op::kXor || node.op == Op::kIte;
+}
+
+bool IsOffByOneSite(const Node& node) {
+  return (node.op == Op::kAdd || node.op == Op::kSub) &&
+         node.sort.is_bitvec() && node.sort.width > 1;
+}
+
+// Which bit a kConstPerturb flips: seeded, but stable per (node, seed).
+uint32_t PerturbBit(const MutantKey& key, uint32_t width) {
+  const uint64_t mix =
+      (key.seed ^ (static_cast<uint64_t>(key.node) * 0x9E3779B97F4A7C15ull));
+  return static_cast<uint32_t>(mix % width);
+}
+
+// Live nodes: the transitive fanin of everything the design observably
+// computes — next-state functions, constraints, bads, named outputs, and
+// the accelerator interface signals the A-QED monitors will tap.
+std::vector<bool> LiveSet(const ir::TransitionSystem& ts,
+                          const core::AcceleratorInterface& acc) {
+  const Context& ctx = ts.ctx();
+  std::vector<bool> live(ctx.num_nodes(), false);
+  std::vector<NodeRef> stack;
+  const auto root = [&](NodeRef ref) {
+    if (ref != ir::kNullNode && !live[ref]) {
+      live[ref] = true;
+      stack.push_back(ref);
+    }
+  };
+  for (NodeRef state : ts.states()) {
+    root(state);
+    root(ts.next(state));
+  }
+  for (NodeRef c : ts.constraints()) root(c);
+  for (NodeRef b : ts.bads()) root(b);
+  for (const auto& [name, node] : ts.outputs()) root(node);
+  root(acc.in_valid);
+  root(acc.in_ready);
+  root(acc.host_ready);
+  root(acc.out_valid);
+  root(acc.progress_qualifier);
+  for (const auto& elem : acc.data_elems) {
+    for (NodeRef word : elem) root(word);
+  }
+  for (const auto& elem : acc.out_elems) {
+    for (NodeRef word : elem) root(word);
+  }
+  for (NodeRef shared : acc.shared_context) root(shared);
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    for (NodeRef operand : ctx.node(ref).operands) root(operand);
+  }
+  return live;
+}
+
+bool HasConstOperand(const Context& ctx, const Node& node) {
+  for (NodeRef operand : node.operands) {
+    if (ctx.node(operand).op == Op::kConst) return true;
+  }
+  return false;
+}
+
+// Rebuilds one operation node in `ctx` (operands already mapped).
+NodeRef BuildOp(Context& ctx, Op op, const Node& src,
+                const std::vector<NodeRef>& ops) {
+  switch (op) {
+    case Op::kNot:
+      return ctx.Not(ops[0]);
+    case Op::kAnd:
+      return ctx.And(ops[0], ops[1]);
+    case Op::kOr:
+      return ctx.Or(ops[0], ops[1]);
+    case Op::kXor:
+      return ctx.Xor(ops[0], ops[1]);
+    case Op::kNeg:
+      return ctx.Neg(ops[0]);
+    case Op::kAdd:
+      return ctx.Add(ops[0], ops[1]);
+    case Op::kSub:
+      return ctx.Sub(ops[0], ops[1]);
+    case Op::kMul:
+      return ctx.Mul(ops[0], ops[1]);
+    case Op::kUdiv:
+      return ctx.Udiv(ops[0], ops[1]);
+    case Op::kUrem:
+      return ctx.Urem(ops[0], ops[1]);
+    case Op::kEq:
+      return ctx.Eq(ops[0], ops[1]);
+    case Op::kNe:
+      return ctx.Ne(ops[0], ops[1]);
+    case Op::kUlt:
+      return ctx.Ult(ops[0], ops[1]);
+    case Op::kUle:
+      return ctx.Ule(ops[0], ops[1]);
+    case Op::kSlt:
+      return ctx.Slt(ops[0], ops[1]);
+    case Op::kSle:
+      return ctx.Sle(ops[0], ops[1]);
+    case Op::kShl:
+      return ctx.Shl(ops[0], ops[1]);
+    case Op::kLshr:
+      return ctx.Lshr(ops[0], ops[1]);
+    case Op::kAshr:
+      return ctx.Ashr(ops[0], ops[1]);
+    case Op::kIte:
+      return ctx.Ite(ops[0], ops[1], ops[2]);
+    case Op::kConcat:
+      return ctx.Concat(ops[0], ops[1]);
+    case Op::kExtract:
+      return ctx.Extract(ops[0], src.aux0, src.aux1);
+    case Op::kZext:
+      return ctx.Zext(ops[0], src.sort.width);
+    case Op::kSext:
+      return ctx.Sext(ops[0], src.sort.width);
+    case Op::kRead:
+      return ctx.Read(ops[0], ops[1]);
+    case Op::kWrite:
+      return ctx.Write(ops[0], ops[1], ops[2]);
+    case Op::kConst:
+    case Op::kConstArray:
+    case Op::kInput:
+    case Op::kState:
+      break;  // leaves are handled by the caller
+  }
+  AQED_CHECK(false, "BuildOp on unexpected op");
+  return ir::kNullNode;
+}
+
+bool IsApplicable(const ir::TransitionSystem& ts, const MutantKey& key) {
+  const Context& ctx = ts.ctx();
+  if (key.node == ir::kNullNode || key.node >= ctx.num_nodes()) return false;
+  const Node& node = ctx.node(key.node);
+  switch (key.op) {
+    case MutationOp::kStuckAtZero:
+    case MutationOp::kStuckAtOne:
+      return node.op == Op::kState && node.sort.is_bitvec();
+    case MutationOp::kOperatorSwap:
+      return SwappedOp(node.op) != node.op;
+    case MutationOp::kConstPerturb:
+      return node.op == Op::kConst && node.sort.is_bitvec() &&
+             node.sort.width >= 1;
+    case MutationOp::kCondNegate:
+      return IsCondNegateSite(node);
+    case MutationOp::kOffByOne:
+      return IsOffByOneSite(node) && HasConstOperand(ctx, node);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<MutantKey> EnumerateMutants(const ir::TransitionSystem& ts,
+                                        const core::AcceleratorInterface& acc,
+                                        uint64_t seed) {
+  const Context& ctx = ts.ctx();
+  const std::vector<bool> live = LiveSet(ts, acc);
+  std::vector<MutantKey> sites;
+  for (NodeRef ref = 1; ref < ctx.num_nodes(); ++ref) {
+    if (!live[ref]) continue;  // dead nodes yield equivalent mutants
+    const Node& node = ctx.node(ref);
+    const auto add = [&](MutationOp op) { sites.push_back({op, ref, seed}); };
+    if (node.op == Op::kState && node.sort.is_bitvec()) {
+      add(MutationOp::kStuckAtZero);
+      add(MutationOp::kStuckAtOne);
+    }
+    if (SwappedOp(node.op) != node.op) add(MutationOp::kOperatorSwap);
+    if (node.op == Op::kConst && node.sort.is_bitvec()) {
+      add(MutationOp::kConstPerturb);
+    }
+    if (IsCondNegateSite(node)) add(MutationOp::kCondNegate);
+    if (IsOffByOneSite(node) && HasConstOperand(ctx, node)) {
+      add(MutationOp::kOffByOne);
+    }
+  }
+  return sites;
+}
+
+std::vector<MutantKey> SampleMutants(const ir::TransitionSystem& ts,
+                                     const core::AcceleratorInterface& acc,
+                                     uint64_t seed, uint32_t count) {
+  std::vector<MutantKey> sites = EnumerateMutants(ts, acc, seed);
+  Rng rng(seed);
+  // Seeded Fisher-Yates: the prefix of the shuffle is the sample, so the
+  // same seed selects the same mutants no matter how many are requested
+  // up to the point the prefixes diverge.
+  for (size_t i = 0; i + 1 < sites.size(); ++i) {
+    const size_t j = i + rng.NextBelow(sites.size() - i);
+    std::swap(sites[i], sites[j]);
+  }
+  if (count < sites.size()) sites.resize(count);
+  return sites;
+}
+
+std::vector<NodeRef> ApplyMutant(const ir::TransitionSystem& src,
+                                 const MutantKey& key,
+                                 ir::TransitionSystem& dst) {
+  AQED_CHECK(src.Validate().ok(), "ApplyMutant on invalid source system");
+  AQED_CHECK(dst.ctx().num_nodes() <= 1, "ApplyMutant into non-empty system");
+  AQED_CHECK(IsApplicable(src, key),
+             "ApplyMutant: inapplicable mutant " + key.ToString());
+
+  const Context& sctx = src.ctx();
+  Context& dctx = dst.ctx();
+  std::vector<NodeRef> map(sctx.num_nodes(), ir::kNullNode);
+
+  for (NodeRef ref = 1; ref < sctx.num_nodes(); ++ref) {
+    const Node& node = sctx.node(ref);
+    const bool target = ref == key.node;
+    NodeRef out = ir::kNullNode;
+    switch (node.op) {
+      case Op::kConst: {
+        uint64_t value = node.const_val;
+        if (target && key.op == MutationOp::kConstPerturb) {
+          value ^= uint64_t{1} << PerturbBit(key, node.sort.width);
+        }
+        out = dctx.Const(node.sort.width, value);
+        break;
+      }
+      case Op::kConstArray: {
+        // The default-element operand is an already-mapped kConst in dst;
+        // read its (possibly perturbed) value back out.
+        const uint64_t value =
+            dctx.node(map[node.operands[0]]).const_val;
+        out = dctx.ConstArray(node.sort.index_width, node.sort.elem_width,
+                              value);
+        break;
+      }
+      case Op::kInput:
+        out = dst.AddInput(node.name, node.sort);
+        break;
+      case Op::kState: {
+        std::optional<uint64_t> init;
+        if (src.has_init(ref)) init = src.init_value(ref);
+        out = dst.AddState(node.name, node.sort, init);
+        break;
+      }
+      default: {
+        std::vector<NodeRef> ops;
+        ops.reserve(node.operands.size());
+        for (NodeRef operand : node.operands) ops.push_back(map[operand]);
+        Op op = node.op;
+        if (target && key.op == MutationOp::kOperatorSwap) {
+          op = SwappedOp(op);
+        }
+        if (target && key.op == MutationOp::kOffByOne) {
+          // Bump the first constant operand: i+1 becomes i+2 (the classic
+          // counter-update off-by-one).
+          for (size_t i = 0; i < node.operands.size(); ++i) {
+            const Node& operand = sctx.node(node.operands[i]);
+            if (operand.op == Op::kConst) {
+              ops[i] = dctx.Const(operand.sort.width, operand.const_val + 1);
+              break;
+            }
+          }
+        }
+        out = BuildOp(dctx, op, node, ops);
+        if (target && key.op == MutationOp::kCondNegate) {
+          out = dctx.Not(out);
+        }
+        break;
+      }
+    }
+    map[ref] = out;
+  }
+
+  for (NodeRef state : src.states()) {
+    NodeRef next = map[src.next(state)];
+    if (state == key.node && (key.op == MutationOp::kStuckAtZero ||
+                              key.op == MutationOp::kStuckAtOne)) {
+      const uint32_t width = sctx.sort(state).width;
+      next = dctx.Const(width, key.op == MutationOp::kStuckAtZero
+                                   ? 0
+                                   : WidthMask(width));
+    }
+    dst.SetNext(map[state], next);
+  }
+  for (NodeRef c : src.constraints()) dst.AddConstraint(map[c]);
+  const auto& bads = src.bads();
+  for (size_t i = 0; i < bads.size(); ++i) {
+    dst.AddBad(map[bads[i]], src.bad_labels()[i]);
+  }
+  for (const auto& [name, node] : src.outputs()) {
+    dst.AddOutput(name, map[node]);
+  }
+  return map;
+}
+
+core::AcceleratorInterface RemapInterface(
+    const core::AcceleratorInterface& acc,
+    const std::vector<NodeRef>& map) {
+  const auto remap = [&](NodeRef ref) {
+    return ref == ir::kNullNode ? ir::kNullNode : map[ref];
+  };
+  core::AcceleratorInterface out;
+  out.in_valid = remap(acc.in_valid);
+  out.in_ready = remap(acc.in_ready);
+  out.host_ready = remap(acc.host_ready);
+  out.out_valid = remap(acc.out_valid);
+  out.progress_qualifier = remap(acc.progress_qualifier);
+  out.data_elems.reserve(acc.data_elems.size());
+  for (const auto& elem : acc.data_elems) {
+    std::vector<NodeRef> words;
+    words.reserve(elem.size());
+    for (NodeRef word : elem) words.push_back(remap(word));
+    out.data_elems.push_back(std::move(words));
+  }
+  out.out_elems.reserve(acc.out_elems.size());
+  for (const auto& elem : acc.out_elems) {
+    std::vector<NodeRef> words;
+    words.reserve(elem.size());
+    for (NodeRef word : elem) words.push_back(remap(word));
+    out.out_elems.push_back(std::move(words));
+  }
+  out.shared_context.reserve(acc.shared_context.size());
+  for (NodeRef shared : acc.shared_context) {
+    out.shared_context.push_back(remap(shared));
+  }
+  return out;
+}
+
+core::AcceleratorBuilder MutantBuilder(core::AcceleratorBuilder build,
+                                       MutantKey key) {
+  return [build = std::move(build), key](ir::TransitionSystem& ts) {
+    ir::TransitionSystem pristine;
+    const core::AcceleratorInterface acc = build(pristine);
+    const std::vector<NodeRef> map = ApplyMutant(pristine, key, ts);
+    return RemapInterface(acc, map);
+  };
+}
+
+}  // namespace aqed::fault

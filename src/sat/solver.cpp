@@ -606,6 +606,14 @@ SolveResult Solver::Solve(std::span<const Lit> assumptions) {
     if (result == SolveResult::kUnknown) ++stats_.restarts;
   }
   CancelUntil(0);
+  // Record why an inconclusive solve stopped: the only ways out of the
+  // restart loop with kUnknown are a fired cancellation token (which knows
+  // whether a deadline or a sibling tripped it) or budget exhaustion.
+  stats_.last_unknown =
+      result != SolveResult::kUnknown ? UnknownReason::kNone
+      : options_.cancel.cancelled()
+          ? sched::UnknownReasonFromCancel(options_.cancel.reason())
+          : UnknownReason::kConflictBudget;
   return result;
 }
 

@@ -49,6 +49,10 @@ class Solver {
     uint64_t learnt_literals = 0;
     uint64_t minimized_literals = 0;  // removed by clause minimization
     uint64_t reduce_db_rounds = 0;
+    // Why the most recent Solve() returned kUnknown (kNone when it returned
+    // kSat/kUnsat): conflict-budget exhaustion, a tripped deadline watchdog,
+    // or cooperative cancellation.
+    UnknownReason last_unknown = UnknownReason::kNone;
   };
 
   Solver() = default;

@@ -4,76 +4,144 @@
 // Tokens are cheap to copy, safe to poll from any thread, and are threaded
 // through the long-running loops of the stack (the BMC depth loop and the
 // SAT solver's search loop) so that a session can stop sibling jobs the
-// moment one of them finds a bug ("first-bug-wins").
+// moment one of them finds a bug ("first-bug-wins"), and so that a deadline
+// watchdog can stop a job whose wall-clock budget ran out.
 //
 // Cancellation is strictly cooperative and monotonic: once a source is
 // cancelled it stays cancelled, and a job observes it at its next poll
-// point. The flag is a relaxed atomic — polling costs one uncontended load,
-// cheap enough to sit inside the solver's per-decision loop.
+// point. Each source records *why* it fired (CancelReason) — the first
+// Cancel() wins — so an observer can distinguish a deadline expiry from
+// first-bug-wins when deciding whether the job is worth retrying. The flag
+// is a relaxed atomic — polling costs a few uncontended loads, cheap enough
+// to sit inside the solver's per-decision loop.
 //
-// This header is dependency-free on purpose: the SAT and BMC layers include
-// it without pulling in any scheduler machinery.
+// This header is deliberately free of scheduler machinery: the SAT and BMC
+// layers include it without pulling in threads or sessions.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
+#include "support/verdict.h"
+
 namespace aqed::sched {
+
+// Why a cancellation source fired. Stored inside the shared flag itself
+// (0 = not cancelled), so reading the reason is the same relaxed load as
+// polling.
+enum class CancelReason : uint8_t {
+  kNone = 0,         // not cancelled
+  kExternal = 1,     // VerificationSession::Cancel() / user abort
+  kFirstBugWins = 2, // a sibling job found a bug
+  kDeadline = 3,     // the job's wall-clock watchdog expired
+};
+
+inline const char* CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kExternal:
+      return "external";
+    case CancelReason::kFirstBugWins:
+      return "first-bug-wins";
+    case CancelReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+// The UnknownReason a cancellation maps to when it stops a solve/job.
+inline UnknownReason UnknownReasonFromCancel(CancelReason reason) {
+  return reason == CancelReason::kDeadline ? UnknownReason::kDeadline
+                                           : UnknownReason::kCancelled;
+}
 
 // Observer half. A default-constructed token is never cancelled (the common
 // case for standalone RunBmc / Solver use outside a session). A token may
-// observe up to two flags (see CancellationToken::Any) so a job can honor
-// both its entry-local source and a session-wide source.
+// observe up to three flags (see CancellationToken::Any) so a job can honor
+// its entry-local source, a session-wide source, and its own deadline
+// watchdog at once.
 class CancellationToken {
  public:
   CancellationToken() = default;
 
   bool cancelled() const {
-    return (a_ && a_->load(std::memory_order_relaxed)) ||
-           (b_ && b_->load(std::memory_order_relaxed));
+    for (const Flag& flag : flags_) {
+      if (flag && flag->load(std::memory_order_relaxed) != 0) return true;
+    }
+    return false;
+  }
+
+  // Why the token is cancelled: the reason of the first fired flag, kNone
+  // when the token is not cancelled.
+  CancelReason reason() const {
+    for (const Flag& flag : flags_) {
+      if (!flag) continue;
+      const uint8_t raw = flag->load(std::memory_order_relaxed);
+      if (raw != 0) return static_cast<CancelReason>(raw);
+    }
+    return CancelReason::kNone;
   }
 
   // True when the token actually observes some source.
-  bool armed() const { return a_ != nullptr || b_ != nullptr; }
+  bool armed() const { return flags_[0] != nullptr; }
 
-  // A token cancelled when either input token is. Tokens observing more
-  // than two flags are not supported (and never needed here): combining
-  // two already-combined tokens keeps only one flag of the second operand.
+  // A token cancelled when either input token is. The combined token keeps
+  // up to kMaxFlags distinct flags (the scheduler never combines more:
+  // session + entry + per-job deadline); further flags of the second
+  // operand are dropped.
   static CancellationToken Any(const CancellationToken& x,
                                const CancellationToken& y) {
     CancellationToken token;
-    token.a_ = x.a_ ? x.a_ : x.b_;
-    token.b_ = y.a_ ? y.a_ : y.b_;
-    if (token.a_ == nullptr) {
-      token.a_ = token.b_;
-      token.b_ = nullptr;
+    size_t n = 0;
+    for (const Flag& flag : x.flags_) {
+      if (flag && n < kMaxFlags) token.flags_[n++] = flag;
+    }
+    for (const Flag& flag : y.flags_) {
+      if (flag && n < kMaxFlags) token.flags_[n++] = flag;
     }
     return token;
   }
 
  private:
   friend class CancellationSource;
-  using Flag = std::shared_ptr<const std::atomic<bool>>;
+  using Flag = std::shared_ptr<const std::atomic<uint8_t>>;
+  static constexpr size_t kMaxFlags = 3;
 
-  explicit CancellationToken(Flag flag) : a_(std::move(flag)) {}
+  explicit CancellationToken(Flag flag) { flags_[0] = std::move(flag); }
 
-  Flag a_;
-  Flag b_;
+  std::array<Flag, kMaxFlags> flags_{};
 };
 
 // Owner half: hands out tokens and flips them all with Cancel().
 class CancellationSource {
  public:
-  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  CancellationSource()
+      : flag_(std::make_shared<std::atomic<uint8_t>>(0)) {}
 
-  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  // Cancels every token of this source. The first caller's reason sticks
+  // (monotonic: later calls never overwrite it).
+  void Cancel(CancelReason reason = CancelReason::kExternal) {
+    uint8_t expected = 0;
+    flag_->compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed) != 0;
+  }
+  CancelReason reason() const {
+    return static_cast<CancelReason>(flag_->load(std::memory_order_relaxed));
+  }
 
   CancellationToken token() const { return CancellationToken(flag_); }
 
  private:
-  std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<std::atomic<uint8_t>> flag_;
 };
 
 }  // namespace aqed::sched

@@ -1,6 +1,7 @@
 #include "sched/session.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "sched/thread_pool.h"
 #include "support/stats.h"
@@ -25,7 +26,8 @@ size_t VerificationSession::Enqueue(core::AcceleratorBuilder build,
     std::string job_label =
         label.empty() ? property : label + "/" + property;
     pending_.push_back({entry, std::move(job_label), build, std::move(group),
-                        bound ? bound : options.bmc.max_bound});
+                        bound ? bound : options.bmc.max_bound,
+                        options.bmc.conflict_budget, options_.deadline_ms});
   };
   // Cheapest property groups first: the RB and SAC monitors are small
   // counters/comparators whose refutations are easy, while FC carries the
@@ -69,32 +71,53 @@ CancellationToken VerificationSession::TokenFor(size_t entry) const {
 void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
   out.entry = job.entry;
   out.label = job.label;
-  const CancellationToken token = TokenFor(job.entry);
+  out.attempt = job.attempt;
+  CancellationToken token = TokenFor(job.entry);
   if (token.cancelled()) {
-    // First-bug-wins landed before this job started: report it untouched.
+    // First-bug-wins (or an external cancel) landed before this job
+    // started: report it untouched.
     out.cancelled = true;
     out.result.bmc.outcome = bmc::BmcResult::Outcome::kUnknown;
     out.result.bmc.cancelled = true;
+    out.result.bmc.unknown_reason = UnknownReasonFromCancel(token.reason());
+    out.unknown_reason = out.result.bmc.unknown_reason;
     return;
+  }
+  // Arm the wall-clock watchdog for this attempt; the guard disarms it the
+  // moment the job returns, so a finished job can never be tripped late.
+  CancellationSource deadline_source;
+  Watchdog::Guard deadline_guard;
+  if (job.deadline_ms > 0) {
+    deadline_guard = watchdog_.Arm(deadline_source, job.deadline_ms);
+    token = CancellationToken::Any(token, deadline_source.token());
   }
   Stopwatch watch;
   auto ts = std::make_unique<ir::TransitionSystem>();
   const core::AcceleratorInterface acc = job.build(*ts);
   core::AqedOptions options = job.options;
   options.bmc.max_bound = job.bound;
+  options.bmc.conflict_budget = job.conflict_budget;
   options.bmc.cancel = token;
   out.result = core::RunAqed(*ts, acc, options);
+  deadline_guard.Disarm();
   out.wall_seconds = watch.ElapsedSeconds();
-  out.cancelled = out.result.bmc.cancelled;
+  out.unknown_reason =
+      out.result.bmc.outcome == bmc::BmcResult::Outcome::kUnknown
+          ? out.result.bmc.unknown_reason
+          : UnknownReason::kNone;
+  // A deadline expiry is a per-job timeout, not a sibling stopping us —
+  // only the latter counts as "cancelled" for first-bug-wins accounting.
+  out.cancelled = out.result.bmc.cancelled &&
+                  out.unknown_reason != UnknownReason::kDeadline;
   out.ts = std::move(ts);
 
   if (out.result.bug_found) {
     switch (options_.cancel) {
       case core::SessionOptions::CancelPolicy::kEntry:
-        entry_sources_[job.entry].Cancel();
+        entry_sources_[job.entry].Cancel(CancelReason::kFirstBugWins);
         break;
       case core::SessionOptions::CancelPolicy::kSession:
-        session_source_.Cancel();
+        session_source_.Cancel(CancelReason::kFirstBugWins);
         break;
       case core::SessionOptions::CancelPolicy::kNone:
         break;
@@ -102,36 +125,97 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
   }
 }
 
-core::SessionResult VerificationSession::Wait() {
-  Stopwatch watch;
-  core::SessionResult result;
-  result.jobs.resize(pending_.size());
-
-  const uint32_t jobs =
+void VerificationSession::RunBatch(const std::vector<PendingJob>& jobs,
+                                   const std::vector<size_t>& batch,
+                                   std::vector<core::JobResult>& results,
+                                   SessionStats& stats) {
+  const uint32_t workers =
       options_.jobs == 0 ? ThreadPool::HardwareJobs() : options_.jobs;
-  if (jobs <= 1 || pending_.size() <= 1) {
-    // Inline sequential execution: deterministic, thread-free, and exactly
+  if (workers <= 1 || batch.size() <= 1) {
+    // Inline sequential execution: deterministic, pool-free, and exactly
     // the legacy CheckAccelerator order.
-    for (size_t i = 0; i < pending_.size(); ++i) {
-      RunJob(pending_[i], result.jobs[i]);
-    }
+    for (size_t i : batch) RunJob(jobs[i], results[i]);
   } else {
-    ThreadPool pool(std::min<uint32_t>(jobs, pending_.size()));
-    for (size_t i = 0; i < pending_.size(); ++i) {
-      pool.Submit([this, i, &result] { RunJob(pending_[i], result.jobs[i]); });
+    ThreadPool pool(std::min<uint32_t>(workers,
+                                       static_cast<uint32_t>(batch.size())));
+    for (size_t i : batch) {
+      pool.Submit([this, &jobs, &results, i] { RunJob(jobs[i], results[i]); });
     }
     pool.Wait();
   }
+  for (size_t i : batch) {
+    const core::JobResult& job = results[i];
+    stats.AddJob({job.label, job.wall_seconds, job.result.bmc.seconds,
+                  job.result.bmc.conflicts, job.result.bmc.frames_explored,
+                  job.cancelled, job.result.bug_found, job.attempt,
+                  job.unknown_reason});
+  }
+}
+
+bool VerificationSession::EscalateForRetry(const core::JobResult& result,
+                                           PendingJob& job) const {
+  if (result.result.bmc.outcome != bmc::BmcResult::Outcome::kUnknown) {
+    return false;
+  }
+  // Cancelled jobs are decided elsewhere (first-bug-wins) or abandoned
+  // (external cancel) — re-running them would just be cancelled again.
+  if (result.unknown_reason != UnknownReason::kConflictBudget &&
+      result.unknown_reason != UnknownReason::kDeadline) {
+    return false;
+  }
+  if (TokenFor(job.entry).cancelled()) return false;
+  bool escalated = false;
+  if (job.conflict_budget > 0) {
+    int64_t next = job.conflict_budget * 2;
+    const int64_t cap = options_.retry.max_conflict_budget;
+    if (cap > 0) next = std::min(next, cap);
+    if (next > job.conflict_budget) {
+      job.conflict_budget = next;
+      escalated = true;
+    }
+  }
+  if (job.deadline_ms > 0) {
+    uint64_t next = static_cast<uint64_t>(job.deadline_ms) * 2;
+    const uint32_t cap = options_.retry.max_deadline_ms;
+    if (cap > 0) next = std::min<uint64_t>(next, cap);
+    next = std::min<uint64_t>(next, UINT32_MAX);
+    if (next > job.deadline_ms) {
+      job.deadline_ms = static_cast<uint32_t>(next);
+      escalated = true;
+    }
+  }
+  // A retry with identical budgets would deterministically fail the same
+  // way; only re-run when something actually grew.
+  return escalated;
+}
+
+core::SessionResult VerificationSession::Wait() {
+  Stopwatch watch;
+  core::SessionResult result;
+  std::vector<PendingJob> jobs = std::move(pending_);
   pending_.clear();
+  result.jobs.resize(jobs.size());
+
+  std::vector<size_t> batch(jobs.size());
+  std::iota(batch.begin(), batch.end(), 0);
+  for (uint32_t attempt = 0;; ++attempt) {
+    for (size_t i : batch) jobs[i].attempt = attempt;
+    RunBatch(jobs, batch, result.jobs, result.stats);
+    if (attempt >= options_.retry.max_retries) break;
+    std::vector<size_t> retry;
+    for (size_t i : batch) {
+      if (EscalateForRetry(result.jobs[i], jobs[i])) retry.push_back(i);
+    }
+    if (retry.empty()) break;
+    // Re-run escalated jobs into their original result slots: the final
+    // JobResult (and the entry verdict) reflects the last attempt, while
+    // the stats table keeps one row per executed attempt.
+    for (size_t i : retry) result.jobs[i] = core::JobResult{};
+    batch = std::move(retry);
+  }
 
   result.num_entries = num_entries_;
   result.wall_seconds = watch.ElapsedSeconds();
-  for (const core::JobResult& job : result.jobs) {
-    result.stats.AddJob({job.label, job.wall_seconds, job.result.bmc.seconds,
-                         job.result.bmc.conflicts,
-                         job.result.bmc.frames_explored, job.cancelled,
-                         job.result.bug_found});
-  }
   result.stats.set_wall_seconds(result.wall_seconds);
   return result;
 }

@@ -8,6 +8,14 @@
 // stop via a CancellationToken threaded into the BMC depth loop and the SAT
 // solver's search loop.
 //
+// Resource governance (SessionOptions::deadline_ms / retry): each job can
+// carry a wall-clock deadline, enforced by a watchdog thread that trips the
+// job's cancellation token; jobs that come back kUnknown because a budget
+// or deadline ran out are re-queued with doubled budgets (up to the
+// configured caps and retry count). This is what makes thousand-job fault
+// campaigns survivable: one hard SAT instance costs one deadline, not the
+// whole session.
+//
 // This is the scheduling layer the functional-decomposition follow-up work
 // builds on: A-QED scales by splitting one verification problem into many
 // independent sub-checks, and per-design/per-property checks are an
@@ -17,7 +25,10 @@
 // the session executes them inline, sequentially, and is bit-for-bit the
 // legacy CheckAccelerator behavior. With jobs > 1 the set of *reported*
 // verdicts is unchanged for single-bug workloads; only which clean sibling
-// jobs get cancelled mid-run (instead of completing) may vary.
+// jobs get cancelled mid-run (instead of completing) may vary. Retry
+// rounds are themselves deterministic when job outcomes are (conflict
+// budgets are deterministic; wall-clock deadlines are not and should be
+// generous when reproducibility matters).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +37,7 @@
 
 #include "aqed/checker.h"
 #include "sched/cancellation.h"
+#include "sched/watchdog.h"
 
 namespace aqed::sched {
 
@@ -47,12 +59,13 @@ class VerificationSession {
 
   // Requests cancellation of every outstanding job (e.g. an external
   // timeout). Running jobs stop at their next poll point.
-  void Cancel() { session_source_.Cancel(); }
+  void Cancel() { session_source_.Cancel(CancelReason::kExternal); }
 
-  // Executes all pending jobs and blocks until every one has completed or
-  // been cancelled. May be called repeatedly; each call runs the jobs
-  // enqueued since the previous one (entry indices keep counting up, and
-  // the returned result covers only the new jobs).
+  // Executes all pending jobs — plus any retry rounds the options ask for —
+  // and blocks until every one has completed or been cancelled. May be
+  // called repeatedly; each call runs the jobs enqueued since the previous
+  // one (entry indices keep counting up, and the returned result covers
+  // only the new jobs).
   core::SessionResult Wait();
 
   const core::SessionOptions& options() const { return options_; }
@@ -64,9 +77,23 @@ class VerificationSession {
     core::AcceleratorBuilder build;
     core::AqedOptions options;  // exactly one property group enabled
     uint32_t bound;             // per-property bound (resolved)
+    // Governed resources of the next attempt (escalated between rounds).
+    int64_t conflict_budget;    // -1 = unlimited
+    uint32_t deadline_ms;       // 0 = none
+    uint32_t attempt = 0;
   };
 
   void RunJob(const PendingJob& job, core::JobResult& out);
+  // Runs the given batch (indices into `jobs`/`results`) inline or on the
+  // pool, then records one JobStat per executed attempt.
+  void RunBatch(const std::vector<PendingJob>& jobs,
+                const std::vector<size_t>& batch,
+                std::vector<core::JobResult>& results,
+                SessionStats& stats);
+  // True when the job's attempt ended kUnknown for a retryable reason and
+  // escalation would actually change something; doubles the job's budgets
+  // in place when so.
+  bool EscalateForRetry(const core::JobResult& result, PendingJob& job) const;
   CancellationToken TokenFor(size_t entry) const;
 
   core::SessionOptions options_;
@@ -74,6 +101,7 @@ class VerificationSession {
   std::vector<CancellationSource> entry_sources_;  // indexed by entry
   std::vector<PendingJob> pending_;
   size_t num_entries_ = 0;
+  Watchdog watchdog_;  // lazily threaded; idle unless deadlines are set
 };
 
 }  // namespace aqed::sched

@@ -1,0 +1,82 @@
+#include "sched/watchdog.h"
+
+#include <algorithm>
+
+namespace aqed::sched {
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Watchdog::Guard& Watchdog::Guard::operator=(Guard&& other) noexcept {
+  if (this != &other) {
+    Disarm();
+    dog_ = other.dog_;
+    id_ = other.id_;
+    other.dog_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Watchdog::Guard::Disarm() {
+  if (dog_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(dog_->mu_);
+    auto& entries = dog_->entries_;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) { return e.id == id_; }),
+                  entries.end());
+  }
+  // No notify needed: the thread re-checks the entry list on every wakeup,
+  // and waking it early for a removal would only cost a spurious scan.
+  dog_ = nullptr;
+  id_ = 0;
+}
+
+Watchdog::Guard Watchdog::Arm(CancellationSource source, uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    entries_.push_back({id, deadline, std::move(source)});
+    if (!thread_.joinable()) thread_ = std::thread([this] { Loop(); });
+  }
+  cv_.notify_all();
+  return Guard(this, id);
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (entries_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    auto next = std::min_element(entries_.begin(), entries_.end(),
+                                 [](const Entry& a, const Entry& b) {
+                                   return a.deadline < b.deadline;
+                                 })
+                    ->deadline;
+    if (cv_.wait_until(lock, next) == std::cv_status::timeout) {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->deadline <= now) {
+          it->source.Cancel(CancelReason::kDeadline);
+          it = entries_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aqed::sched

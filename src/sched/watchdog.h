@@ -1,0 +1,79 @@
+// Wall-clock deadline watchdog for verification jobs.
+//
+// A single background thread holds the armed deadlines of a session's
+// running jobs and trips each job's CancellationSource (with
+// CancelReason::kDeadline) when its wall-clock budget expires. The running
+// job observes the trip at its next cooperative poll point — the BMC depth
+// boundary or the SAT solver's search/restart loop — and returns kUnknown
+// with the deadline reason, so one hard SAT instance can no longer stall a
+// whole session.
+//
+// The watchdog thread is started lazily on the first Arm() call: sessions
+// without deadlines stay thread-free. Arm() returns an RAII guard; the
+// guard's destruction disarms the deadline, so a job that finishes early
+// never gets a late spurious trip.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/cancellation.h"
+
+namespace aqed::sched {
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();  // stops and joins the thread (all guards must be dead)
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Disarms its deadline on destruction. Movable, not copyable.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept;
+    ~Guard() { Disarm(); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    // Removes the deadline; a no-op if it already fired (the source stays
+    // cancelled — cancellation is monotonic).
+    void Disarm();
+
+   private:
+    friend class Watchdog;
+    Guard(Watchdog* dog, uint64_t id) : dog_(dog), id_(id) {}
+    Watchdog* dog_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  // Schedules `source` to be cancelled (reason kDeadline) `timeout_ms`
+  // milliseconds from now unless the returned guard is destroyed first.
+  Guard Arm(CancellationSource source, uint32_t timeout_ms);
+
+ private:
+  struct Entry {
+    uint64_t id;
+    std::chrono::steady_clock::time_point deadline;
+    CancellationSource source;
+  };
+
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::thread thread_;  // joinable once the first deadline is armed
+};
+
+}  // namespace aqed::sched

@@ -67,6 +67,20 @@ size_t SessionStats::num_cancelled() const {
   return cancelled;
 }
 
+size_t SessionStats::num_retries() const {
+  size_t retries = 0;
+  for (const JobStat& job : jobs_) retries += job.attempt > 0 ? 1 : 0;
+  return retries;
+}
+
+size_t SessionStats::num_unknown(UnknownReason reason) const {
+  size_t count = 0;
+  for (const JobStat& job : jobs_) {
+    count += job.unknown_reason == reason ? 1 : 0;
+  }
+  return count;
+}
+
 double SessionStats::serial_seconds() const {
   double total = 0;
   for (const JobStat& job : jobs_) total += job.wall_seconds;
@@ -85,20 +99,28 @@ std::string SessionStats::ToTable() const {
                 "wall[s]", "solve[s]", "conflicts", "frames", "status");
   out += buf;
   for (const JobStat& job : jobs_) {
+    std::string status = job.bug_found ? "BUG"
+                         : job.cancelled
+                             ? "cancelled"
+                             : job.unknown_reason != UnknownReason::kNone
+                                 ? std::string("unknown(") +
+                                       UnknownReasonName(job.unknown_reason) +
+                                       ")"
+                                 : "clean";
+    if (job.attempt > 0) {
+      status += " [retry " + std::to_string(job.attempt) + "]";
+    }
     std::snprintf(buf, sizeof(buf), "%-34s %9.3f %9.3f %10llu %7u %s\n",
                   job.label.c_str(), job.wall_seconds, job.solver_seconds,
                   static_cast<unsigned long long>(job.conflicts),
-                  job.frames_explored,
-                  job.bug_found ? "BUG"
-                  : job.cancelled ? "cancelled"
-                                  : "clean");
+                  job.frames_explored, status.c_str());
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "%zu jobs (%zu cancelled), serialized %.3f s, wall %.3f s, "
-                "speedup %.2fx\n",
-                jobs_.size(), num_cancelled(), serial_seconds(),
-                wall_seconds_, speedup());
+                "%zu attempts (%zu cancelled, %zu retries), serialized "
+                "%.3f s, wall %.3f s, speedup %.2fx\n",
+                jobs_.size(), num_cancelled(), num_retries(),
+                serial_seconds(), wall_seconds_, speedup());
   out += buf;
   return out;
 }

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "support/verdict.h"
+
 namespace aqed {
 
 // Accumulates min/avg/max over a stream of doubles.
@@ -51,6 +53,11 @@ struct JobStat {
   uint32_t frames_explored = 0;
   bool cancelled = false;     // stopped early by first-bug-wins
   bool bug_found = false;
+  // Retry accounting: every executed attempt gets its own JobStat row, so
+  // escalation cost is visible separately from first-attempt cost.
+  uint32_t attempt = 0;       // 0 = first attempt, > 0 = retry
+  // Why this attempt was inconclusive (kNone for decided attempts).
+  UnknownReason unknown_reason = UnknownReason::kNone;
 };
 
 // Per-job accounting for a scheduled verification session. The headline
@@ -65,6 +72,10 @@ class SessionStats {
   const std::vector<JobStat>& jobs() const { return jobs_; }
   size_t num_jobs() const { return jobs_.size(); }
   size_t num_cancelled() const;
+  // Executed retry attempts (JobStat rows with attempt > 0).
+  size_t num_retries() const;
+  // Attempts that ended kUnknown for the given reason.
+  size_t num_unknown(UnknownReason reason) const;
   double wall_seconds() const { return wall_seconds_; }
   // Sum of per-job wall times: the serialized cost of the executed work.
   double serial_seconds() const;

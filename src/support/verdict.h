@@ -1,0 +1,37 @@
+// Termination-reason code for inconclusive verdicts.
+//
+// A SAT solve, a BMC run, or a whole verification job that comes back
+// "unknown" is useless for triage unless it says *why* it stopped: a
+// conflict-budget exhaustion can be retried with a bigger budget, a deadline
+// expiry wants a longer deadline (or a smaller problem), and a cancellation
+// means some sibling already decided the outcome. The same enum is threaded
+// through sat::Solver::Statistics, bmc::BmcResult, core::JobResult and the
+// per-session stats tables so logs agree at every layer.
+#pragma once
+
+#include <cstdint>
+
+namespace aqed {
+
+enum class UnknownReason : uint8_t {
+  kNone = 0,         // the verdict is not unknown
+  kConflictBudget,   // the per-depth SAT conflict budget ran out
+  kDeadline,         // the job's wall-clock deadline expired (watchdog)
+  kCancelled,        // stopped cooperatively (first-bug-wins / external)
+};
+
+inline const char* UnknownReasonName(UnknownReason reason) {
+  switch (reason) {
+    case UnknownReason::kNone:
+      return "none";
+    case UnknownReason::kConflictBudget:
+      return "conflict-budget";
+    case UnknownReason::kDeadline:
+      return "deadline";
+    case UnknownReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace aqed
