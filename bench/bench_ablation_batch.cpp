@@ -27,7 +27,8 @@ core::AqedOptions Options() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const core::SessionOptions session = bench::ParseSessionOptions(argc, argv);
   printf("Ablation B: AES batch-size sweep (common key across batch)\n");
   bench::PrintRule('=');
   printf("%-8s | %-10s %-10s | %-8s %-8s %-10s\n", "batch", "clean[s]",
@@ -44,7 +45,7 @@ int main() {
         [&](ir::TransitionSystem& ts) {
           return accel::BuildAes(ts, clean).acc;
         },
-        clean_options);
+        clean_options, session);
 
     accel::AesConfig buggy = clean;
     buggy.bug = accel::AesBug::kV1KeyScheduleStale;
@@ -52,7 +53,7 @@ int main() {
         [&](ir::TransitionSystem& ts) {
           return accel::BuildAes(ts, buggy).acc;
         },
-        Options());
+        Options(), session);
 
     printf("%-8u | %-10.3f %-10s | %-8s %-8u %-10.3f\n", batch,
            clean_result.solver_seconds(),

@@ -11,7 +11,8 @@
 
 using namespace aqed;
 
-int main() {
+int main(int argc, char** argv) {
+  const core::SessionOptions session = bench::ParseSessionOptions(argc, argv);
   printf("Ablation A: BMC bound sweep (memory-controller bugs)\n");
   bench::PrintRule('=');
   const accel::MemCtrlBugInfo cases[] = {
@@ -34,7 +35,7 @@ int main() {
           [&](ir::TransitionSystem& ts) {
             return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
           },
-          options);
+          options, session);
       printf("  %-8u %-10s %-8u %-10.3f\n", bound,
              result.bug_found() ? "yes" : "no", result.cex_cycles(),
              result.solver_seconds());

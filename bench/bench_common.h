@@ -4,8 +4,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "accel/memctrl.h"
 #include "aqed/checker.h"
@@ -13,30 +14,87 @@
 
 namespace aqed::bench {
 
-// Parses the scheduling flags shared by the bench binaries:
+// Minimal command-line helper shared by the bench binaries. Every flag is
+// either a bare switch (--cancel-session) or a --name VALUE pair; the last
+// occurrence of a repeated flag wins, and unrecognized arguments are
+// ignored so each bench can layer its own flags over the shared set.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  // True iff the bare switch appears anywhere on the command line.
+  bool Switch(std::string_view name) const {
+    for (const std::string& arg : args_) {
+      if (arg == name) return true;
+    }
+    return false;
+  }
+
+  // The value of the last `--name VALUE` occurrence, or nullptr.
+  const std::string* Value(std::string_view name) const {
+    const std::string* found = nullptr;
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) found = &args_[i + 1];
+    }
+    return found;
+  }
+
+  // True iff --name was given with a value (used for "an explicit flag
+  // overrides the bench default" logic).
+  bool Seen(std::string_view name) const { return Value(name) != nullptr; }
+
+  // Numeric accessors accept decimal, 0x-hex, and octal (strtoul base 0).
+  uint32_t Uint32(std::string_view name, uint32_t fallback) const {
+    const std::string* v = Value(name);
+    return v ? static_cast<uint32_t>(std::strtoul(v->c_str(), nullptr, 0))
+             : fallback;
+  }
+
+  uint64_t Uint64(std::string_view name, uint64_t fallback) const {
+    const std::string* v = Value(name);
+    return v ? std::strtoull(v->c_str(), nullptr, 0) : fallback;
+  }
+
+  std::string String(std::string_view name, std::string fallback = {}) const {
+    const std::string* v = Value(name);
+    return v ? *v : fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+// Parses the scheduling and telemetry flags shared by the bench binaries:
 //   --jobs N         worker threads for the verification session (default 1,
 //                    0 = hardware concurrency)
 //   --cancel-session
 //                    first bug cancels the whole session, not just its entry
 //   --deadline-ms N  per-job wall-clock deadline (0 = none)
 //   --retries N      escalating-budget retries for inconclusive jobs
-inline core::SessionOptions ParseSessionOptions(int argc, char** argv) {
+//   --trace-out P    write a Chrome trace-event JSON of the run's spans to P
+//                    (load in Perfetto or chrome://tracing)
+//   --metrics-out P  write a JSON Lines metrics snapshot to P
+// Setting either output path arms the process-wide telemetry switch. A
+// bench that runs several sessions against the same path keeps the last
+// session's file (each VerificationSession::Wait rewrites it).
+inline core::SessionOptions ParseSessionOptions(const FlagParser& flags) {
   core::SessionOptions options;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      options.jobs = static_cast<uint32_t>(std::atoi(argv[i + 1]));
-      ++i;
-    } else if (std::strcmp(argv[i], "--cancel-session") == 0) {
-      options.cancel = core::SessionOptions::CancelPolicy::kSession;
-    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
-      options.deadline_ms = static_cast<uint32_t>(std::atoi(argv[i + 1]));
-      ++i;
-    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
-      options.retry.max_retries = static_cast<uint32_t>(std::atoi(argv[i + 1]));
-      ++i;
-    }
+  options.jobs = flags.Uint32("--jobs", options.jobs);
+  if (flags.Switch("--cancel-session")) {
+    options.cancel = core::SessionOptions::CancelPolicy::kSession;
   }
+  options.deadline_ms = flags.Uint32("--deadline-ms", options.deadline_ms);
+  options.retry.max_retries =
+      flags.Uint32("--retries", options.retry.max_retries);
+  options.trace_path = flags.String("--trace-out");
+  options.metrics_path = flags.String("--metrics-out");
   return options;
+}
+
+inline core::SessionOptions ParseSessionOptions(int argc, char** argv) {
+  return ParseSessionOptions(FlagParser(argc, argv));
 }
 
 // A-QED options used for the memory-controller study (Sec. V.A): FC plus RB

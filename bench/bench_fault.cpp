@@ -11,11 +11,11 @@
 //
 // Flags: --mutants N  total mutants across all designs (default 60)
 //        --seed S     campaign seed (default 0xA9EDFA17)
-//        --jobs N --deadline-ms N --retries N   (see bench_common.h)
+//        --jobs N --deadline-ms N --retries N
+//        --trace-out P --metrics-out P          (see bench_common.h)
 //        --no-baseline  skip the conventional-flow baseline
 //        --no-aes       drop the (most expensive) AES design
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -80,30 +80,19 @@ harness::CampaignOptions HlsConventional() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::FlagParser flags(argc, argv);
   fault::FaultCampaignOptions options;
-  options.session = bench::ParseSessionOptions(argc, argv);
-  options.num_mutants = 60;
-  options.conventional_baseline = true;
-  bool with_aes = true;
-  bool retries_given = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--retries") == 0) retries_given = true;
-    if (std::strcmp(argv[i], "--mutants") == 0 && i + 1 < argc) {
-      options.num_mutants = static_cast<uint32_t>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      options.seed = std::strtoull(argv[++i], nullptr, 0);
-    } else if (std::strcmp(argv[i], "--no-baseline") == 0) {
-      options.conventional_baseline = false;
-    } else if (std::strcmp(argv[i], "--no-aes") == 0) {
-      with_aes = false;
-    }
-  }
+  options.session = bench::ParseSessionOptions(flags);
+  options.num_mutants = flags.Uint32("--mutants", 60);
+  options.seed = flags.Uint64("--seed", options.seed);
+  options.conventional_baseline = !flags.Switch("--no-baseline");
+  const bool with_aes = !flags.Switch("--no-aes");
   // Deadline-tripped jobs are rescued by escalation (2 s -> 4 s -> 8 s ->
   // 16 s -> 32 s), so default to four retries; an explicit --retries wins.
   // The last rung is pure headroom: the hardest surviving refutation takes
   // ~10 s even with --jobs oversubscribing a single core, so the final
   // attempt always finishes on work, never on the wall clock.
-  if (!retries_given) options.session.retry.max_retries = 4;
+  if (!flags.Seen("--retries")) options.session.retry.max_retries = 4;
 
   std::vector<fault::DesignUnderTest> designs;
   designs.push_back(MemCtrlDut(accel::MemCtrlConfig::kFifo));

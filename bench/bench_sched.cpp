@@ -7,7 +7,9 @@
 // cancelled mid-flight. The wall-clock ratio is the headline number: it
 // comes from *not doing work*, so it holds even on a single core.
 //
-// Usage: bench_sched [--jobs N]   (N > 1 enables the parallel run; default 4)
+// Usage: bench_sched [--jobs N] [--trace-out P] [--metrics-out P]
+//   (N > 1 enables the parallel run; default 4. Telemetry files capture the
+//   parallel hunt — the run whose schedule is worth looking at.)
 #include <cstdio>
 
 #include "bench_common.h"
@@ -51,10 +53,13 @@ constexpr HuntEntry kHunt[] = {
      accel::MemCtrlBug::kFifoStallDeadlock},
 };
 
-core::SessionResult RunHunt(uint32_t jobs) {
+core::SessionResult RunHunt(uint32_t jobs, std::string trace_path = {},
+                            std::string metrics_path = {}) {
   core::SessionOptions options;
   options.jobs = jobs;
   options.cancel = core::SessionOptions::CancelPolicy::kSession;
+  options.trace_path = std::move(trace_path);
+  options.metrics_path = std::move(metrics_path);
   sched::VerificationSession session(options);
   for (const HuntEntry& entry : kHunt) {
     session.Enqueue(
@@ -94,10 +99,18 @@ int main(int argc, char** argv) {
   bench::PrintRule();
 
   printf("--jobs %u (first bug cancels the session)\n", jobs);
-  const core::SessionResult parallel = RunHunt(jobs);
+  const core::SessionResult parallel =
+      RunHunt(jobs, parsed.trace_path, parsed.metrics_path);
   PrintVerdicts(parallel);
   printf("%s", parallel.stats.ToTable().c_str());
   bench::PrintRule('=');
+  if (!parsed.trace_path.empty()) {
+    printf("trace written to %s (load in https://ui.perfetto.dev)\n",
+           parsed.trace_path.c_str());
+  }
+  if (!parsed.metrics_path.empty()) {
+    printf("metrics written to %s\n", parsed.metrics_path.c_str());
+  }
 
   // The contract: parallelism may only change how much work is *discarded*,
   // never a verdict.

@@ -4,6 +4,7 @@
 
 #include "sched/session.h"
 #include "support/status.h"
+#include "telemetry/telemetry.h"
 
 namespace aqed::core {
 
@@ -150,6 +151,7 @@ AqedResult RunAqed(ir::TransitionSystem& ts, const AcceleratorInterface& acc,
   // Map from bad index to bug kind as we instrument.
   std::vector<std::pair<uint32_t, BugKind>> kinds;
 
+  telemetry::Span instrument_span("aqed.instrument");
   if (options.check_fc) {
     const FcInstrumentation fc = InstrumentFc(ts, acc, options.fc);
     kinds.emplace_back(fc.fc_bad_index, BugKind::kFunctionalConsistency);
@@ -175,6 +177,7 @@ AqedResult RunAqed(ir::TransitionSystem& ts, const AcceleratorInterface& acc,
                        BugKind::kSingleActionCorrectness);
   }
   AQED_CHECK(!kinds.empty(), "RunAqed with every property disabled");
+  instrument_span.End();
 
   bmc::BmcOptions bmc_options = options.bmc;
   if (bmc_options.bad_filter.empty()) {

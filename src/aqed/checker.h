@@ -164,6 +164,17 @@ struct SessionOptions {
   // keeps one hard SAT instance from stalling a whole session.
   uint32_t deadline_ms = 0;
 
+  // Telemetry sinks (src/telemetry). Setting either path flips the
+  // process-wide telemetry switch on; at the end of every Wait() the
+  // session drains the span log into its own event log and (re)writes:
+  //   trace_path   — Chrome trace-event JSON of every span recorded so far
+  //                  (open in Perfetto / chrome://tracing),
+  //   metrics_path — a JSONL snapshot of the global metrics registry.
+  // Empty (the default) records nothing and costs one relaxed load per
+  // instrumentation site. See the "Observability" section of README.md.
+  std::string trace_path;
+  std::string metrics_path;
+
   // Escalating-budget retry policy for inconclusive jobs. A job that ends
   // kUnknown because its conflict budget or deadline ran out (never because
   // a sibling's bug cancelled it) is re-queued with its conflict budget and
@@ -184,6 +195,11 @@ struct JobResult {
   std::string label;       // "<entry label>/<property group>"
   AqedResult result;
   bool cancelled = false;  // stopped (or never started) by first-bug-wins
+  // Hard failure: the job found a counterexample whose simulator replay
+  // failed (BmcResult::trace_validated == false with validation enabled).
+  // That is a checker bug, never a design verdict — the bug_found flag is
+  // suppressed and the job is counted in SessionStats::num_checker_errors().
+  bool checker_error = false;
   // Why the job's verdict is unknown (kNone for a bug / clean verdict):
   // distinguishes a deadline expiry from budget exhaustion from sibling
   // cancellation — the reason code behind BmcResult::Outcome::kUnknown.

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "sched/session.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace aqed::fault {
 namespace {
@@ -68,6 +70,8 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     const uint32_t share = options.num_mutants / num_designs +
                            (d < options.num_mutants % num_designs ? 1 : 0);
     if (share == 0) continue;
+    TELEMETRY_SPAN("fault.sample:" + designs[d].name,
+                   {{"share", static_cast<int64_t>(share)}});
     ir::TransitionSystem scratch;
     const core::AcceleratorInterface acc = designs[d].build(scratch);
     for (const MutantKey& key :
@@ -115,6 +119,10 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     } else {
       report.classification = Classification::kSurvived;
     }
+    telemetry::AddCounter(
+        std::string("fault.classified.") +
+            ClassificationName(report.classification),
+        1);
   }
   result.stats = std::move(session_result.stats);
 
@@ -122,6 +130,8 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     for (size_t e = 0; e < entries.size(); ++e) {
       const DesignUnderTest& dut = designs[entries[e].design];
       if (!dut.golden) continue;
+      TELEMETRY_SPAN("fault.baseline:" + dut.name + "/" +
+                     entries[e].key.ToString());
       const harness::CampaignResult conventional = harness::RunCampaign(
           MutantBuilder(dut.build, entries[e].key), dut.golden,
           dut.conventional);

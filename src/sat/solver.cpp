@@ -5,6 +5,8 @@
 
 #include "sat/dimacs.h"
 #include "support/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace aqed::sat {
 
@@ -576,6 +578,14 @@ SolveResult Solver::Search(int64_t conflicts_budget) {
 SolveResult Solver::Solve(std::span<const Lit> assumptions) {
   conflict_.clear();
   if (!ok_) return SolveResult::kUnsat;
+  // One span per solve call; search-effort counters are accumulated in the
+  // private stats_ as always and flushed to the metrics registry as deltas
+  // below — no atomics inside the search loop.
+  telemetry::Span span("sat.solve",
+                       {{"vars", static_cast<int64_t>(num_vars())},
+                        {"clauses",
+                         static_cast<int64_t>(num_problem_clauses_)}});
+  const Statistics before = stats_;
   assumptions_.assign(assumptions.begin(), assumptions.end());
   for (Lit assumption : assumptions_) {
     AQED_CHECK(assumption.var() < num_vars(), "assumption over unknown var");
@@ -614,6 +624,17 @@ SolveResult Solver::Solve(std::span<const Lit> assumptions) {
       : options_.cancel.cancelled()
           ? sched::UnknownReasonFromCancel(options_.cancel.reason())
           : UnknownReason::kConflictBudget;
+  if (telemetry::Enabled()) {
+    telemetry::AddCounter("sat.solves", 1);
+    telemetry::AddCounter("sat.decisions", stats_.decisions - before.decisions);
+    telemetry::AddCounter("sat.propagations",
+                          stats_.propagations - before.propagations);
+    telemetry::AddCounter("sat.conflicts", stats_.conflicts - before.conflicts);
+    telemetry::AddCounter("sat.restarts", stats_.restarts - before.restarts);
+    span.AddArg("conflicts",
+                static_cast<int64_t>(stats_.conflicts - before.conflicts));
+    span.AddArg("result", static_cast<int64_t>(result));
+  }
   return result;
 }
 

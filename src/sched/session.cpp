@@ -1,16 +1,26 @@
 #include "sched/session.h"
 
 #include <algorithm>
+#include <iterator>
 #include <numeric>
 
 #include "sched/thread_pool.h"
 #include "support/stats.h"
 #include "support/status.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace aqed::sched {
 
 VerificationSession::VerificationSession(core::SessionOptions options)
-    : options_(options) {}
+    : options_(options) {
+  // Asking for a trace or metrics file is the opt-in that arms the
+  // process-wide telemetry switch; everything else keys off it.
+  if (!options_.trace_path.empty() || !options_.metrics_path.empty()) {
+    telemetry::SetEnabled(true);
+  }
+}
 
 size_t VerificationSession::Enqueue(core::AcceleratorBuilder build,
                                     core::AqedOptions options,
@@ -91,6 +101,12 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
     deadline_guard = watchdog_.Arm(deadline_source, job.deadline_ms);
     token = CancellationToken::Any(token, deadline_source.token());
   }
+  // One span per executed attempt: this is the busy-time unit of the
+  // Perfetto view, so per-thread job spans account for (almost) all of a
+  // worker's occupied time.
+  telemetry::Span span("sched.job:" + job.label,
+                       {{"entry", static_cast<int64_t>(job.entry)},
+                        {"attempt", job.attempt}});
   Stopwatch watch;
   auto ts = std::make_unique<ir::TransitionSystem>();
   const core::AcceleratorInterface acc = job.build(*ts);
@@ -101,6 +117,16 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
   out.result = core::RunAqed(*ts, acc, options);
   deadline_guard.Disarm();
   out.wall_seconds = watch.ElapsedSeconds();
+  // A counterexample that fails simulator replay is a checker bug, never a
+  // design verdict: demote it to a hard per-job failure. It must not win
+  // first-bug-wins (the "bug" is unsubstantiated) and must not read as
+  // clean — JobResult::checker_error and the session stats carry it.
+  if (out.result.bug_found && options.bmc.validate_counterexamples &&
+      !out.result.bmc.trace_validated) {
+    out.checker_error = true;
+    out.result.bug_found = false;
+    telemetry::AddCounter("sched.checker_errors", 1);
+  }
   out.unknown_reason =
       out.result.bmc.outcome == bmc::BmcResult::Outcome::kUnknown
           ? out.result.bmc.unknown_reason
@@ -110,6 +136,12 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
   out.cancelled = out.result.bmc.cancelled &&
                   out.unknown_reason != UnknownReason::kDeadline;
   out.ts = std::move(ts);
+  if (telemetry::Enabled()) {
+    telemetry::AddCounter("sched.jobs", 1);
+    telemetry::ObserveLatencyMs("sched.job_ms", out.wall_seconds * 1e3);
+    span.AddArg("bug", out.result.bug_found ? 1 : 0);
+    span.AddArg("frames", out.result.bmc.frames_explored);
+  }
 
   if (out.result.bug_found) {
     switch (options_.cancel) {
@@ -139,16 +171,38 @@ void VerificationSession::RunBatch(const std::vector<PendingJob>& jobs,
     ThreadPool pool(std::min<uint32_t>(workers,
                                        static_cast<uint32_t>(batch.size())));
     for (size_t i : batch) {
-      pool.Submit([this, &jobs, &results, i] { RunJob(jobs[i], results[i]); });
+      // Queue wait — submission to execution start — is timed from here so
+      // the trace separates "sat in the FIFO behind siblings" from actual
+      // verification work.
+      const uint64_t submit_us =
+          telemetry::Enabled() ? telemetry::NowMicros() : 0;
+      pool.Submit([this, &jobs, &results, i, submit_us] {
+        if (telemetry::Enabled()) {
+          const uint64_t start_us = telemetry::NowMicros();
+          telemetry::Tracer::Global().RecordComplete(
+              "sched.queue_wait", submit_us, start_us,
+              {{"job", static_cast<int64_t>(i)}});
+          telemetry::ObserveLatencyMs(
+              "sched.queue_wait_ms",
+              static_cast<double>(start_us - submit_us) * 1e-3);
+        }
+        RunJob(jobs[i], results[i]);
+      });
     }
     pool.Wait();
   }
   for (size_t i : batch) {
     const core::JobResult& job = results[i];
-    stats.AddJob({job.label, job.wall_seconds, job.result.bmc.seconds,
-                  job.result.bmc.conflicts, job.result.bmc.frames_explored,
-                  job.cancelled, job.result.bug_found, job.attempt,
-                  job.unknown_reason});
+    stats.AddJob({.label = job.label,
+                  .wall_seconds = job.wall_seconds,
+                  .solver_seconds = job.result.bmc.seconds,
+                  .conflicts = job.result.bmc.conflicts,
+                  .frames_explored = job.result.bmc.frames_explored,
+                  .cancelled = job.cancelled,
+                  .bug_found = job.result.bug_found,
+                  .checker_error = job.checker_error,
+                  .attempt = job.attempt,
+                  .unknown_reason = job.unknown_reason});
   }
 }
 
@@ -190,11 +244,13 @@ bool VerificationSession::EscalateForRetry(const core::JobResult& result,
 }
 
 core::SessionResult VerificationSession::Wait() {
+  telemetry::Span span("sched.session.wait");
   Stopwatch watch;
   core::SessionResult result;
   std::vector<PendingJob> jobs = std::move(pending_);
   pending_.clear();
   result.jobs.resize(jobs.size());
+  span.AddArg("jobs", static_cast<int64_t>(jobs.size()));
 
   std::vector<size_t> batch(jobs.size());
   std::iota(batch.begin(), batch.end(), 0);
@@ -207,6 +263,7 @@ core::SessionResult VerificationSession::Wait() {
       if (EscalateForRetry(result.jobs[i], jobs[i])) retry.push_back(i);
     }
     if (retry.empty()) break;
+    telemetry::AddCounter("sched.retries", retry.size());
     // Re-run escalated jobs into their original result slots: the final
     // JobResult (and the entry verdict) reflects the last attempt, while
     // the stats table keeps one row per executed attempt.
@@ -217,7 +274,22 @@ core::SessionResult VerificationSession::Wait() {
   result.num_entries = num_entries_;
   result.wall_seconds = watch.ElapsedSeconds();
   result.stats.set_wall_seconds(result.wall_seconds);
+  span.End();
+  if (telemetry::Enabled()) ExportTelemetry();
   return result;
+}
+
+void VerificationSession::ExportTelemetry() {
+  std::vector<telemetry::TraceEvent> events =
+      telemetry::Tracer::Global().Drain();
+  std::move(events.begin(), events.end(), std::back_inserter(trace_log_));
+  if (!options_.trace_path.empty()) {
+    telemetry::WriteChromeTraceFile(options_.trace_path, trace_log_);
+  }
+  if (!options_.metrics_path.empty()) {
+    telemetry::WriteMetricsJsonlFile(
+        options_.metrics_path, telemetry::MetricsRegistry::Global().Snapshot());
+  }
 }
 
 }  // namespace aqed::sched

@@ -38,6 +38,7 @@
 #include "aqed/checker.h"
 #include "sched/cancellation.h"
 #include "sched/watchdog.h"
+#include "telemetry/trace.h"
 
 namespace aqed::sched {
 
@@ -96,12 +97,20 @@ class VerificationSession {
   bool EscalateForRetry(const core::JobResult& result, PendingJob& job) const;
   CancellationToken TokenFor(size_t entry) const;
 
+  // Drains the global tracer into the session-owned event log and
+  // (re)writes the configured trace/metrics files. Called at the end of
+  // every Wait() when telemetry is on.
+  void ExportTelemetry();
+
   core::SessionOptions options_;
   CancellationSource session_source_;
   std::vector<CancellationSource> entry_sources_;  // indexed by entry
   std::vector<PendingJob> pending_;
   size_t num_entries_ = 0;
   Watchdog watchdog_;  // lazily threaded; idle unless deadlines are set
+  // Session-owned span log: every event drained so far, accumulated across
+  // Wait() calls so the exported trace covers the whole session.
+  std::vector<telemetry::TraceEvent> trace_log_;
 };
 
 }  // namespace aqed::sched

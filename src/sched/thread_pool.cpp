@@ -1,5 +1,7 @@
 #include "sched/thread_pool.h"
 
+#include "telemetry/metrics.h"
+
 namespace aqed::sched {
 
 uint32_t ThreadPool::HardwareJobs() {
@@ -49,7 +51,13 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    // Live pool occupancy: how many workers are on a task right now. A
+    // metrics snapshot taken mid-session shows saturation; end-of-run
+    // snapshots read 0.
+    telemetry::AddGauge("sched.pool.active", 1);
+    telemetry::AddCounter("sched.pool.tasks", 1);
     task();
+    telemetry::AddGauge("sched.pool.active", -1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

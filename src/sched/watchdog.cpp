@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace aqed::sched {
 
 Watchdog::~Watchdog() {
@@ -70,6 +72,7 @@ void Watchdog::Loop() {
       for (auto it = entries_.begin(); it != entries_.end();) {
         if (it->deadline <= now) {
           it->source.Cancel(CancelReason::kDeadline);
+          telemetry::AddCounter("sched.watchdog.trips", 1);
           it = entries_.erase(it);
         } else {
           ++it;

@@ -67,6 +67,12 @@ size_t SessionStats::num_cancelled() const {
   return cancelled;
 }
 
+size_t SessionStats::num_checker_errors() const {
+  size_t errors = 0;
+  for (const JobStat& job : jobs_) errors += job.checker_error ? 1 : 0;
+  return errors;
+}
+
 size_t SessionStats::num_retries() const {
   size_t retries = 0;
   for (const JobStat& job : jobs_) retries += job.attempt > 0 ? 1 : 0;
@@ -99,7 +105,8 @@ std::string SessionStats::ToTable() const {
                 "wall[s]", "solve[s]", "conflicts", "frames", "status");
   out += buf;
   for (const JobStat& job : jobs_) {
-    std::string status = job.bug_found ? "BUG"
+    std::string status = job.checker_error ? "CHECKER-ERROR"
+                         : job.bug_found   ? "BUG"
                          : job.cancelled
                              ? "cancelled"
                              : job.unknown_reason != UnknownReason::kNone
@@ -117,9 +124,13 @@ std::string SessionStats::ToTable() const {
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "%zu attempts (%zu cancelled, %zu retries), serialized "
+                "%zu attempts (%zu cancelled, %zu retries%s%s), serialized "
                 "%.3f s, wall %.3f s, speedup %.2fx\n",
                 jobs_.size(), num_cancelled(), num_retries(),
+                num_checker_errors() > 0 ? ", CHECKER ERRORS: " : "",
+                num_checker_errors() > 0
+                    ? std::to_string(num_checker_errors()).c_str()
+                    : "",
                 serial_seconds(), wall_seconds_, speedup());
   out += buf;
   return out;

@@ -53,6 +53,9 @@ struct JobStat {
   uint32_t frames_explored = 0;
   bool cancelled = false;     // stopped early by first-bug-wins
   bool bug_found = false;
+  // The job's counterexample failed simulator replay — a checker bug, not
+  // a verdict (see core::JobResult::checker_error).
+  bool checker_error = false;
   // Retry accounting: every executed attempt gets its own JobStat row, so
   // escalation cost is visible separately from first-attempt cost.
   uint32_t attempt = 0;       // 0 = first attempt, > 0 = retry
@@ -72,6 +75,9 @@ class SessionStats {
   const std::vector<JobStat>& jobs() const { return jobs_; }
   size_t num_jobs() const { return jobs_.size(); }
   size_t num_cancelled() const;
+  // Attempts whose counterexample failed simulator replay (checker bugs —
+  // any nonzero count means the toolchain, not the design, is broken).
+  size_t num_checker_errors() const;
   // Executed retry attempts (JobStat rows with attempt > 0).
   size_t num_retries() const;
   // Attempts that ended kUnknown for the given reason.

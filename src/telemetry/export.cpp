@@ -1,0 +1,207 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace aqed::telemetry {
+
+namespace {
+
+void WriteJsonString(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Doubles printed with %.17g survive the round-trip through strtod.
+void WriteJsonDouble(std::ostream& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+void WriteEvent(std::ostream& out, const TraceEvent& event) {
+  out << "{\"name\":";
+  WriteJsonString(out, event.name);
+  out << ",\"cat\":\"aqed\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
+      << ",\"ts\":" << event.begin_us << ",\"dur\":" << event.dur_us;
+  if (event.num_args > 0) {
+    out << ",\"args\":{";
+    for (uint8_t i = 0; i < event.num_args; ++i) {
+      if (i > 0) out << ',';
+      WriteJsonString(out, event.args[i].key);
+      out << ':' << event.args[i].value;
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& out, std::span<const TraceEvent> events) {
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const TraceEvent& event : events) sorted.push_back(&event);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->tid != b->tid ? a->tid < b->tid
+                                             : a->begin_us < b->begin_us;
+                   });
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::set<uint32_t> tids;
+  for (const TraceEvent* event : sorted) tids.insert(event->tid);
+  for (const uint32_t tid : tids) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"worker-" << tid << "\"}}";
+  }
+  for (const TraceEvent* event : sorted) {
+    if (!first) out << ",\n";
+    first = false;
+    WriteEvent(out, *event);
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << "{\"type\":\"snapshot\",\"timestamp_us\":" << snapshot.timestamp_us
+      << ",\"counters\":" << snapshot.counters.size()
+      << ",\"gauges\":" << snapshot.gauges.size()
+      << ",\"histograms\":" << snapshot.histograms.size() << "}\n";
+  for (const auto& counter : snapshot.counters) {
+    out << "{\"type\":\"counter\",\"name\":";
+    WriteJsonString(out, counter.name);
+    out << ",\"value\":" << counter.value << "}\n";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    out << "{\"type\":\"gauge\",\"name\":";
+    WriteJsonString(out, gauge.name);
+    out << ",\"value\":" << gauge.value << "}\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    out << "{\"type\":\"histogram\",\"name\":";
+    WriteJsonString(out, histogram.name);
+    out << ",\"bounds\":[";
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      if (i > 0) out << ',';
+      WriteJsonDouble(out, histogram.bounds[i]);
+    }
+    out << "],\"counts\":[";
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (i > 0) out << ',';
+      out << histogram.counts[i];
+    }
+    out << "],\"count\":" << histogram.count << ",\"sum\":";
+    WriteJsonDouble(out, histogram.sum);
+    out << "}\n";
+  }
+}
+
+std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text) {
+  MetricsSnapshot snapshot;
+  bool saw_header = false;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+
+    const std::optional<Json> json = ParseJson(line);
+    if (!json || !json->is_object()) return std::nullopt;
+    const Json* type = json->Find("type");
+    if (!type || !type->is_string()) return std::nullopt;
+
+    if (type->AsString() == "snapshot") {
+      const Json* timestamp = json->Find("timestamp_us");
+      if (!timestamp || !timestamp->is_number()) return std::nullopt;
+      snapshot.timestamp_us = static_cast<uint64_t>(timestamp->AsNumber());
+      saw_header = true;
+      continue;
+    }
+
+    const Json* name = json->Find("name");
+    if (!name || !name->is_string()) return std::nullopt;
+    if (type->AsString() == "counter") {
+      const Json* value = json->Find("value");
+      if (!value || !value->is_number()) return std::nullopt;
+      snapshot.counters.push_back(
+          {name->AsString(), static_cast<uint64_t>(value->AsNumber())});
+    } else if (type->AsString() == "gauge") {
+      const Json* value = json->Find("value");
+      if (!value || !value->is_number()) return std::nullopt;
+      snapshot.gauges.push_back({name->AsString(), value->AsInt()});
+    } else if (type->AsString() == "histogram") {
+      const Json* bounds = json->Find("bounds");
+      const Json* counts = json->Find("counts");
+      const Json* count = json->Find("count");
+      const Json* sum = json->Find("sum");
+      if (!bounds || !bounds->is_array() || !counts || !counts->is_array() ||
+          !count || !count->is_number() || !sum || !sum->is_number()) {
+        return std::nullopt;
+      }
+      MetricsSnapshot::HistogramValue value;
+      value.name = name->AsString();
+      for (const Json& bound : bounds->AsArray()) {
+        if (!bound.is_number()) return std::nullopt;
+        value.bounds.push_back(bound.AsNumber());
+      }
+      for (const Json& bucket : counts->AsArray()) {
+        if (!bucket.is_number()) return std::nullopt;
+        value.counts.push_back(static_cast<uint64_t>(bucket.AsNumber()));
+      }
+      value.count = static_cast<uint64_t>(count->AsNumber());
+      value.sum = sum->AsNumber();
+      snapshot.histograms.push_back(std::move(value));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) return std::nullopt;
+  return snapshot;
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          std::span<const TraceEvent> events) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteChromeTrace(out, events);
+  return static_cast<bool>(out);
+}
+
+bool WriteMetricsJsonlFile(const std::string& path,
+                           const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteMetricsJsonl(out, snapshot);
+  return static_cast<bool>(out);
+}
+
+}  // namespace aqed::telemetry

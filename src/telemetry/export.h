@@ -1,0 +1,49 @@
+// Telemetry exporters.
+//
+// Chrome trace-event JSON: the drained span log serialized as complete
+// ("ph":"X") events — load the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing and every worker thread gets its own correctly-ordered
+// row of nested spans. Timestamps are microseconds from process start on
+// the steady clock, so spans from different threads line up.
+//
+// Metrics JSONL: one JSON object per line, one line per instrument, plus a
+// leading snapshot-header line — append-friendly, greppable, and loadable
+// with a three-line python loop. ReadMetricsJsonl() round-trips what
+// WriteMetricsJsonl() emits (see tests/telemetry_test.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace aqed::telemetry {
+
+// Serializes `events` as a Chrome trace: {"traceEvents":[...]}. Events are
+// written sorted by (tid, begin_us) — stable rows in viewers that honor
+// file order — plus thread_name metadata so Perfetto labels the rows.
+void WriteChromeTrace(std::ostream& out, std::span<const TraceEvent> events);
+
+// One snapshot as JSON Lines:
+//   {"type":"snapshot","timestamp_us":...,"counters":N,...}
+//   {"type":"counter","name":"sat.conflicts","value":123}
+//   {"type":"gauge","name":"sched.pool.active","value":0}
+//   {"type":"histogram","name":"sched.job_ms","bounds":[...],"counts":[...],
+//    "count":N,"sum":S}
+void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot);
+
+// Parses WriteMetricsJsonl output back into a snapshot; nullopt on any
+// malformed line or a missing header.
+std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text);
+
+// File-writing conveniences; false (with no partial file guarantee beyond
+// the OS's) when the path cannot be opened.
+bool WriteChromeTraceFile(const std::string& path,
+                          std::span<const TraceEvent> events);
+bool WriteMetricsJsonlFile(const std::string& path,
+                           const MetricsSnapshot& snapshot);
+
+}  // namespace aqed::telemetry

@@ -1,0 +1,173 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace aqed::telemetry {
+
+Json Json::Array(std::vector<Json> items) {
+  Json json;
+  json.kind_ = Kind::kArray;
+  json.array_ = std::move(items);
+  return json;
+}
+
+Json Json::Object(std::map<std::string, Json> members) {
+  Json json;
+  json.kind_ = Kind::kObject;
+  json.object_ = std::move(members);
+  return json;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Parse() {
+    std::optional<Json> value = ParseValue();
+    if (!value) return std::nullopt;
+    SkipSpace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n':
+        return ConsumeWord("null") ? std::optional<Json>(Json())
+                                   : std::nullopt;
+      case 't':
+        return ConsumeWord("true") ? std::optional<Json>(Json(true))
+                                   : std::nullopt;
+      case 'f':
+        return ConsumeWord("false") ? std::optional<Json>(Json(false))
+                                    : std::nullopt;
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray();
+      case '{':
+        return ParseObject();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<Json> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default: return std::nullopt;  // \uXXXX unsupported (unused)
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return std::nullopt;  // unterminated
+    ++pos_;                                         // closing quote
+    return Json(std::move(out));
+  }
+
+  std::optional<Json> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return Json(value);
+  }
+
+  std::optional<Json> ParseArray() {
+    ++pos_;  // '['
+    std::vector<Json> items;
+    if (Consume(']')) return Json::Array(std::move(items));
+    for (;;) {
+      std::optional<Json> item = ParseValue();
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      if (Consume(']')) return Json::Array(std::move(items));
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> ParseObject() {
+    ++pos_;  // '{'
+    std::map<std::string, Json> members;
+    if (Consume('}')) return Json::Object(std::move(members));
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+      std::optional<Json> key = ParseString();
+      if (!key) return std::nullopt;
+      if (!Consume(':')) return std::nullopt;
+      std::optional<Json> value = ParseValue();
+      if (!value) return std::nullopt;
+      members.emplace(key->AsString(), std::move(*value));
+      if (Consume('}')) return Json::Object(std::move(members));
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace aqed::telemetry

@@ -1,0 +1,64 @@
+// Minimal JSON value model + recursive-descent parser.
+//
+// Exists so the telemetry exporters can be round-trip-tested (and the
+// metrics JSONL re-loaded by tools) without an external JSON dependency.
+// Scope is deliberately narrow: the full JSON grammar minus \uXXXX escapes
+// (the exporters only emit printable-ASCII names), numbers parsed with
+// strtod. Not a general-purpose library — everything this repo writes, it
+// reads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqed::telemetry {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  explicit Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  explicit Json(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+
+  static Json Array(std::vector<Json> items);
+  static Json Object(std::map<std::string, Json> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Json>& AsArray() const { return array_; }
+  const std::map<std::string, Json>& AsObject() const { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+// Parses exactly one JSON value spanning the whole input (surrounding
+// whitespace allowed); nullopt on any syntax error or trailing garbage.
+std::optional<Json> ParseJson(std::string_view text);
+
+}  // namespace aqed::telemetry

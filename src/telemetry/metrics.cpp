@@ -1,0 +1,147 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace aqed::telemetry {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = std::bit_cast<uint64_t>(
+        std::bit_cast<double>(bits) + value);
+    if (sum_bits_.compare_exchange_weak(bits, next,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+std::vector<uint64_t> Histogram::counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::span<const double> DefaultLatencyBucketsMs() {
+  static constexpr double kBuckets[] = {0.1, 0.3,  1,    3,    10,   30,
+                                        100, 300,  1000, 3000, 10000, 30000};
+  return kBuckets;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never
+  return *registry;                                          // destroyed
+}
+
+namespace {
+
+// Find-or-create in a name-sorted vector of unique_ptr instruments.
+template <typename T, typename Make>
+T& FindOrCreate(std::vector<std::pair<std::string, std::unique_ptr<T>>>& all,
+                const std::string& name, Make make) {
+  const auto it = std::lower_bound(
+      all.begin(), all.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != all.end() && it->first == name) return *it->second;
+  return *all.insert(it, {name, make()})->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(counters_, name,
+                      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(histograms_, name, [bounds] {
+    return std::make_unique<Histogram>(bounds);
+  });
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.timestamp_us = NowMicros();
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram->bounds(),
+                                   histogram->counts(), histogram->count(),
+                                   histogram->sum()});
+  }
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Kill-switch-aware helpers
+// ---------------------------------------------------------------------------
+
+void AddCounter(const std::string& name, uint64_t delta) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().counter(name).Add(delta);
+}
+
+void SetGauge(const std::string& name, int64_t value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().gauge(name).Set(value);
+}
+
+void AddGauge(const std::string& name, int64_t delta) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().gauge(name).Add(delta);
+}
+
+void MaxGauge(const std::string& name, int64_t value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().gauge(name).SetMax(value);
+}
+
+void ObserveLatencyMs(const std::string& name, double ms) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().histogram(name).Observe(ms);
+}
+
+}  // namespace aqed::telemetry

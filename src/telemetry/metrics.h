@@ -1,0 +1,156 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms.
+//
+// Registration (the name -> instrument lookup) takes the registry mutex and
+// happens once per name per call site that caches, or once per flush point
+// for sites that don't — the instruments themselves are plain atomics, so
+// updates are wait-free and snapshot reads are racy-but-coherent
+// point-in-time values, which is all a metrics export needs.
+//
+// The stack deliberately updates metrics at flush points rather than inside
+// inner loops: the SAT solver keeps counting decisions/propagations in its
+// private Statistics struct and adds the per-call deltas to the registry
+// once per Solve() — a registry update per propagation would be atomics
+// traffic for nothing.
+//
+// The free helpers (AddCounter/SetGauge/...) check the runtime kill switch
+// first, so un-instrumented runs pay one relaxed load per call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace aqed::telemetry {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (pool occupancy, depth reached).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  // Raises the gauge to `value` if higher (high-water marks like the
+  // deepest BMC frame reached across concurrent jobs).
+  void SetMax(int64_t value) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: bounds are upper edges of the first N buckets,
+// with an implicit +inf bucket after the last. Observations also feed a
+// count/sum pair so exports can report averages without bucket math.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // counts() has bounds().size() + 1 entries (the +inf bucket is last).
+  std::vector<uint64_t> counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double stored as bits, CAS-accumulated
+};
+
+// The default latency bucket edges (milliseconds): 0.1 ms .. 30 s in a
+// 1-3-10 ladder, wide enough for a sub-ms RB refutation and a
+// deadline-escalated AES solve in the same histogram.
+std::span<const double> DefaultLatencyBucketsMs();
+
+// Point-in-time values of every registered instrument, name-sorted.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1 entries
+    uint64_t count;
+    double sum;
+  };
+  uint64_t timestamp_us = 0;  // NowMicros() at snapshot
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry the instrumentation records into. Tests may
+  // build private registries.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. Returned references stay valid for the
+  // registry's lifetime (instruments are never deregistered), so call
+  // sites may cache them.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // The bucket bounds are fixed by whichever call registers the name first;
+  // later calls with different bounds get the existing histogram.
+  Histogram& histogram(
+      const std::string& name,
+      std::span<const double> bounds = DefaultLatencyBucketsMs());
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Sorted-by-name storage keeps Snapshot() deterministic.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+// Kill-switch-aware conveniences over the global registry: no-ops (one
+// relaxed load) when telemetry is disabled.
+void AddCounter(const std::string& name, uint64_t delta);
+void SetGauge(const std::string& name, int64_t value);
+void AddGauge(const std::string& name, int64_t delta);
+void MaxGauge(const std::string& name, int64_t value);
+// Observes into a default-bucket latency histogram.
+void ObserveLatencyMs(const std::string& name, double ms);
+
+}  // namespace aqed::telemetry

@@ -1,0 +1,116 @@
+// Telemetry core: the kill switch, the monotonic trace clock, stable
+// per-thread ids, and the RAII span primitive behind TELEMETRY_SPAN.
+//
+// The paper's pitch (Table 1, Fig. 5) is quantitative — verification
+// effort, detection latency, solver cost — and a parallel session hides
+// where that time goes: queue wait vs. unroll vs. SAT search vs. retry
+// escalation. This subsystem makes the stack observable without making it
+// slower: spans write to per-thread buffers (src/telemetry/trace.h), metric
+// updates are uncontended atomics (src/telemetry/metrics.h), and the whole
+// thing reduces to a single relaxed load — or to nothing at all — when
+// switched off.
+//
+// Kill switches, outermost first:
+//   * compile time: configure with -DAQED_TELEMETRY=OFF (the CMake option
+//     defines AQED_TELEMETRY_ENABLED=0) and TELEMETRY_SPAN expands to
+//     nothing; the recording helpers compile to empty inlines.
+//   * runtime: telemetry::SetEnabled(false) — the default — makes every
+//     span constructor and metric helper bail on one relaxed atomic load.
+// Sessions flip the runtime switch on when SessionOptions::trace_path or
+// ::metrics_path is set (see sched/session.h); tests drive it directly.
+//
+// This header is dependency-free (std only) so the SAT solver and the BMC
+// engine can include it without pulling in scheduler machinery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#ifndef AQED_TELEMETRY_ENABLED
+#define AQED_TELEMETRY_ENABLED 1
+#endif
+
+namespace aqed::telemetry {
+
+// Runtime kill switch. Off by default: an un-configured process records
+// nothing and pays one relaxed load per instrumentation site.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+// Microseconds on the steady clock, measured from process start (Chrome
+// trace-event timestamps are microsecond-denominated).
+uint64_t NowMicros();
+
+// Small, stable, human-readable thread id: 1 for the first thread that
+// asks, counting up. Used as the `tid` of trace events so Perfetto rows
+// stay compact and deterministic-ish across runs (modulo thread creation
+// order), unlike raw pthread ids.
+uint32_t ThreadId();
+
+// One key/value annotation on a span ("depth" = 7). Keys are string
+// literals — spans annotate code sites, and sites are static.
+struct Arg {
+  const char* key;
+  int64_t value;
+};
+
+inline constexpr size_t kMaxSpanArgs = 4;
+
+#if AQED_TELEMETRY_ENABLED
+
+// RAII span: records one complete trace event (begin = construction,
+// end = destruction) on the calling thread's buffer. When telemetry is
+// disabled at construction the span is inert — End() records nothing even
+// if telemetry is enabled mid-span (half-observed spans are worse than
+// none).
+class Span {
+ public:
+  explicit Span(std::string name, std::initializer_list<Arg> args = {});
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Records the span now (idempotent; the destructor is the usual caller).
+  void End();
+
+  // Adds an annotation discovered mid-span (e.g. the verdict); dropped
+  // silently past kMaxSpanArgs or on an inert span.
+  void AddArg(const char* key, int64_t value);
+
+ private:
+  std::string name_;
+  std::array<Arg, kMaxSpanArgs> args_{};
+  uint8_t num_args_ = 0;
+  uint64_t begin_us_ = 0;
+  bool active_ = false;
+};
+
+#define AQED_TELEMETRY_CAT2(a, b) a##b
+#define AQED_TELEMETRY_CAT(a, b) AQED_TELEMETRY_CAT2(a, b)
+
+// TELEMETRY_SPAN("bmc.solve_depth", {{"depth", d}}): scoped span over the
+// rest of the enclosing block. Variadic so brace-enclosed argument lists
+// survive the preprocessor's comma splitting.
+#define TELEMETRY_SPAN(...)                                             \
+  ::aqed::telemetry::Span AQED_TELEMETRY_CAT(aqed_telemetry_span_,      \
+                                             __LINE__)(__VA_ARGS__)
+
+#else  // !AQED_TELEMETRY_ENABLED
+
+class Span {
+ public:
+  explicit Span(std::string, std::initializer_list<Arg> = {}) {}
+  void End() {}
+  void AddArg(const char*, int64_t) {}
+};
+
+#define TELEMETRY_SPAN(...) \
+  do {                      \
+  } while (false)
+
+#endif  // AQED_TELEMETRY_ENABLED
+
+}  // namespace aqed::telemetry

@@ -1,0 +1,194 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace aqed::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+uint64_t SteadyMicrosNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Process-start epoch so trace timestamps are small and non-negative.
+const uint64_t g_epoch_us = SteadyMicrosNow();
+
+std::atomic<uint32_t> g_next_thread_id{1};
+
+// A thread's buffers, one per tracer it has recorded into (almost always
+// just the global tracer; tests add their own). Holding shared_ptr keeps a
+// dying thread's events alive for the tracer to drain.
+struct ThreadSlots {
+  std::vector<std::pair<const void*, std::shared_ptr<void>>> slots;
+};
+
+ThreadSlots& Slots() {
+  thread_local ThreadSlots slots;
+  return slots;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowMicros() { return SteadyMicrosNow() - g_epoch_us; }
+
+uint32_t ThreadId() {
+  thread_local const uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+#if AQED_TELEMETRY_ENABLED
+
+Span::Span(std::string name, std::initializer_list<Arg> args) {
+  if (!Enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  for (const Arg& arg : args) {
+    if (num_args_ < kMaxSpanArgs) args_[num_args_++] = arg;
+  }
+  begin_us_ = NowMicros();
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  const uint64_t end_us = NowMicros();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.begin_us = begin_us_;
+  event.dur_us = end_us - begin_us_;
+  event.tid = ThreadId();
+  event.args = args_;
+  event.num_args = num_args_;
+  Tracer::Global().Record(std::move(event));
+}
+
+void Span::AddArg(const char* key, int64_t value) {
+  if (!active_ || num_args_ >= kMaxSpanArgs) return;
+  args_[num_args_++] = {key, value};
+}
+
+#endif  // AQED_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed: threads may
+  return *tracer;                        // outlive static teardown
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  ThreadSlots& slots = Slots();
+  for (auto& [owner, buffer] : slots.slots) {
+    if (owner == this) return *static_cast<ThreadBuffer*>(buffer.get());
+  }
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  slots.slots.emplace_back(this, buffer);
+  return *buffer;
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+  if (buffer.events.size() >= kFlushThreshold) FlushLocked(buffer);
+}
+
+void Tracer::RecordComplete(std::string name, uint64_t begin_us,
+                            uint64_t end_us, std::initializer_list<Arg> args) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.begin_us = begin_us;
+  event.dur_us = end_us >= begin_us ? end_us - begin_us : 0;
+  event.tid = ThreadId();
+  for (const Arg& arg : args) {
+    if (event.num_args < kMaxSpanArgs) event.args[event.num_args++] = arg;
+  }
+  Record(std::move(event));
+}
+
+void Tracer::FlushLocked(ThreadBuffer& buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  num_recorded_ += buffer.events.size();
+  std::move(buffer.events.begin(), buffer.events.end(),
+            std::back_inserter(drained_));
+  buffer.events.clear();
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<TraceEvent> out;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = std::move(drained_);
+    drained_.clear();
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    {
+      std::lock_guard<std::mutex> count_lock(mu_);
+      num_recorded_ += buffer->events.size();
+    }
+    std::move(buffer->events.begin(), buffer->events.end(),
+              std::back_inserter(out));
+    buffer->events.clear();
+  }
+  return out;
+}
+
+size_t Tracer::num_recorded() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  size_t total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = num_recorded_;
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained_.clear();
+    num_recorded_ = 0;
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace aqed::telemetry

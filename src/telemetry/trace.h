@@ -1,0 +1,88 @@
+// Span event collection: per-thread buffers draining into one global log.
+//
+// Record() appends to the calling thread's own buffer under the buffer's
+// own (uncontended) mutex — there is no global lock on the hot path. A
+// buffer that grows past its flush threshold is emptied into the central
+// drained list by its owning thread; Drain() sweeps the central list plus
+// every live thread buffer. Buffers are owned by shared_ptr from both the
+// thread_local slot and the tracer's registry, so events recorded by a
+// worker thread survive the thread's death (verification sessions build a
+// fresh pool per batch) and are picked up by the next Drain().
+//
+// Nothing is ever dropped: the "ring" wraps into the central log, not over
+// its own tail — a telemetry run that silently loses spans would make the
+// per-phase accounting it exists for untrustworthy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace aqed::telemetry {
+
+// One completed span, Chrome trace-event shaped ("ph":"X").
+struct TraceEvent {
+  std::string name;
+  uint64_t begin_us = 0;  // NowMicros() at span construction
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;       // telemetry::ThreadId() of the recording thread
+  std::array<Arg, kMaxSpanArgs> args{};
+  uint8_t num_args = 0;
+};
+
+class Tracer {
+ public:
+  // The process-wide tracer every span records into. Tests may build their
+  // own Tracer to record/drain in isolation.
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Appends to the calling thread's buffer (registered on first use).
+  void Record(TraceEvent event);
+
+  // Records an already-timed complete event — for durations whose start
+  // predates the recording scope, e.g. a job's queue wait timed from its
+  // submission timestamp.
+  void RecordComplete(std::string name, uint64_t begin_us, uint64_t end_us,
+                      std::initializer_list<Arg> args = {});
+
+  // Moves every recorded event out (central log + all thread buffers), in
+  // no particular order. Concurrent recorders keep working; their
+  // in-flight events land in a later Drain().
+  std::vector<TraceEvent> Drain();
+
+  // Events recorded since construction (or the last Clear), including
+  // already-drained ones. Cheap enough for tests only.
+  size_t num_recorded();
+
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  // A thread's buffer for this tracer, registering it on first use.
+  ThreadBuffer& BufferForThisThread();
+  void FlushLocked(ThreadBuffer& buffer);  // caller holds buffer.mu
+
+  // Flush threshold: one buffer's worth of events moved centrally at a
+  // time, so per-thread memory stays bounded without ever dropping events.
+  static constexpr size_t kFlushThreshold = 4096;
+
+  std::mutex mu_;  // guards buffers_ / drained_ / num_recorded_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> drained_;
+  size_t num_recorded_ = 0;
+};
+
+}  // namespace aqed::telemetry

@@ -355,6 +355,52 @@ TEST(RetryTest, BudgetCapStopsEscalation) {
   EXPECT_EQ(result.stats.num_jobs(), 2u);
 }
 
+// Pins the stats-accumulation contract across the escalation ladder: each
+// JobStat row carries only its own attempt's solver effort (a fresh Solver
+// runs per attempt), and the final JobResult holds the last attempt alone —
+// never a running sum over retried attempts.
+TEST(RetryTest, AttemptRowsCarryPerAttemptEffortNotCumulative) {
+  core::SessionOptions session_options;
+  session_options.jobs = 1;
+  session_options.retry.max_retries = 16;
+  core::AqedOptions options;
+  options.bmc.max_bound = 6;
+  options.bmc.conflict_budget = 1;
+
+  sched::VerificationSession session(session_options);
+  session.Enqueue(MemCtrlBuilder(), options, "memctrl");
+  const auto result = session.Wait();
+  const uint32_t attempts = result.jobs[0].attempt + 1;
+  ASSERT_GT(attempts, 1u);  // budget 1 must escalate at least once
+  const auto& rows = result.stats.jobs();
+  ASSERT_EQ(rows.size(), attempts);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].attempt, i);
+    if (i + 1 < rows.size()) {
+      EXPECT_EQ(rows[i].unknown_reason, UnknownReason::kConflictBudget);
+    }
+  }
+  EXPECT_EQ(rows.back().unknown_reason, UnknownReason::kNone);
+  // The result slot is the last attempt's row, not an accumulation.
+  EXPECT_EQ(result.jobs[0].result.bmc.conflicts, rows.back().conflicts);
+
+  // The decisive pin: a fresh run given the final attempt's budget up front
+  // reproduces that attempt's conflict count exactly (the solver is
+  // deterministic at --jobs 1). Any cross-attempt accumulation would make
+  // the retried row strictly larger.
+  core::AqedOptions direct = options;
+  direct.bmc.conflict_budget = options.bmc.conflict_budget
+                               << (attempts - 1);
+  core::SessionOptions no_retry;
+  no_retry.jobs = 1;
+  sched::VerificationSession fresh(no_retry);
+  fresh.Enqueue(MemCtrlBuilder(), direct, "memctrl");
+  const auto direct_result = fresh.Wait();
+  EXPECT_FALSE(direct_result.bug_found(0));
+  EXPECT_EQ(direct_result.jobs[0].result.bmc.conflicts,
+            rows.back().conflicts);
+}
+
 TEST(RetryTest, DecidedJobsAreNeverRetried) {
   core::SessionOptions session_options;
   session_options.jobs = 1;

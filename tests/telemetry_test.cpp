@@ -1,0 +1,330 @@
+// Telemetry subsystem tests: the runtime kill switch, span recording into
+// per-thread buffers (no events lost across threads or flush boundaries),
+// Chrome trace-event export validity (parseable JSON, per-tid ordering,
+// thread metadata), metrics instruments and registry snapshots, and the
+// JSONL round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace aqed::telemetry {
+namespace {
+
+// Flips telemetry on for one test, with a clean global tracer on both
+// sides: the global is shared process state and tests must not see each
+// other's spans.
+struct ScopedTelemetry {
+  ScopedTelemetry() {
+    Tracer::Global().Clear();
+    SetEnabled(true);
+  }
+  ~ScopedTelemetry() {
+    SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+// --- kill switch -------------------------------------------------------------
+
+TEST(KillSwitchTest, DisabledTelemetryRecordsNothing) {
+  Tracer::Global().Clear();
+  ASSERT_FALSE(Enabled());  // off is the process default
+  {
+    TELEMETRY_SPAN("dead.span", {{"k", 1}});
+    Span explicit_span("dead.explicit");
+    explicit_span.AddArg("k", 2);
+    explicit_span.End();
+  }
+  AddCounter("dead.counter", 5);
+  ObserveLatencyMs("dead.latency", 1.0);
+  EXPECT_EQ(Tracer::Global().num_recorded(), 0u);
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+  for (const auto& c : MetricsRegistry::Global().Snapshot().counters) {
+    EXPECT_NE(c.name, "dead.counter");
+  }
+}
+
+TEST(KillSwitchTest, SpanConstructedWhileDisabledStaysInert) {
+  Tracer::Global().Clear();
+  Span span("late.enable");
+  SetEnabled(true);
+  span.End();  // half-observed spans are worse than none
+  SetEnabled(false);
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+// --- spans -------------------------------------------------------------------
+
+TEST(SpanTest, RecordsOneCompleteEventWithArgs) {
+  ScopedTelemetry telemetry;
+  {
+    Span span("unit.work", {{"depth", 7}});
+    span.AddArg("result", 1);
+  }
+  const auto events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.work");
+  EXPECT_EQ(events[0].tid, ThreadId());
+  ASSERT_EQ(events[0].num_args, 2u);
+  EXPECT_STREQ(events[0].args[0].key, "depth");
+  EXPECT_EQ(events[0].args[0].value, 7);
+  EXPECT_STREQ(events[0].args[1].key, "result");
+  EXPECT_EQ(events[0].args[1].value, 1);
+}
+
+TEST(SpanTest, EndIsIdempotent) {
+  ScopedTelemetry telemetry;
+  Span span("unit.once");
+  span.End();
+  span.End();  // destructor will be the third call
+  EXPECT_EQ(Tracer::Global().Drain().size(), 1u);
+}
+
+TEST(SpanTest, NestedSpansStayInsideTheirParent) {
+  ScopedTelemetry telemetry;
+  {
+    TELEMETRY_SPAN("outer");
+    TELEMETRY_SPAN("inner", {{"i", 0}});
+  }
+  auto events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner ends (and records) first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(inner.begin_us, outer.begin_us);
+  EXPECT_LE(inner.begin_us + inner.dur_us, outer.begin_us + outer.dur_us);
+}
+
+TEST(SpanTest, ConcurrentSpansFromEightThreadsLoseNoEvents) {
+  ScopedTelemetry telemetry;
+  constexpr int kThreads = 8;
+  // Enough per thread to push every buffer through the flush threshold at
+  // least once, so the central-drain path is exercised, not just the
+  // per-thread tail sweep.
+  constexpr int kSpansPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("mt.span", {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const auto events = Tracer::Global().Drain();
+  std::map<uint32_t, int> per_tid;
+  for (const TraceEvent& e : events) {
+    ASSERT_EQ(e.name, "mt.span");
+    ++per_tid[e.tid];
+  }
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  ASSERT_EQ(per_tid.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, n] : per_tid) EXPECT_EQ(n, kSpansPerThread);
+  // Drain moved everything out.
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+// --- Chrome trace export -----------------------------------------------------
+
+TEST(ChromeTraceTest, ExportIsValidJsonWithOrderedPerThreadSpans) {
+  ScopedTelemetry telemetry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 20; ++i) {
+        Span span("trace.work", {{"i", i}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto events = Tracer::Global().Drain();
+
+  std::ostringstream out;
+  WriteChromeTrace(out, events);
+  const auto root = ParseJson(out.str());
+  ASSERT_TRUE(root.has_value()) << out.str().substr(0, 200);
+  const Json* trace_events = root->Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+
+  std::map<int64_t, int64_t> last_ts;   // per tid, for monotonicity
+  std::map<int64_t, int> spans_per_tid;
+  std::map<int64_t, int> names_per_tid;
+  for (const Json& event : trace_events->AsArray()) {
+    const Json* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    const Json* tid = event.Find("tid");
+    ASSERT_NE(tid, nullptr);
+    if (ph->AsString() == "M") {
+      ASSERT_NE(event.Find("name"), nullptr);
+      EXPECT_EQ(event.Find("name")->AsString(), "thread_name");
+      ++names_per_tid[tid->AsInt()];
+      continue;
+    }
+    // Complete events carry matched begin/end by construction: one "X"
+    // record per span, with ts (begin) and dur both present and sane.
+    EXPECT_EQ(ph->AsString(), "X");
+    const Json* ts = event.Find("ts");
+    const Json* dur = event.Find("dur");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    EXPECT_GE(ts->AsInt(), 0);
+    EXPECT_GE(dur->AsInt(), 0);
+    const Json* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->Find("i"), nullptr);
+    // File order within a tid is begin-sorted (stable viewer rows).
+    auto [it, inserted] = last_ts.try_emplace(tid->AsInt(), ts->AsInt());
+    if (!inserted) {
+      EXPECT_LE(it->second, ts->AsInt());
+      it->second = ts->AsInt();
+    }
+    ++spans_per_tid[tid->AsInt()];
+  }
+  ASSERT_EQ(spans_per_tid.size(), 4u);
+  for (const auto& [tid, n] : spans_per_tid) {
+    EXPECT_EQ(n, 20);
+    // Every tid with spans got exactly one thread_name metadata record.
+    EXPECT_EQ(names_per_tid[tid], 1);
+  }
+}
+
+TEST(ChromeTraceTest, EscapesSpanNames) {
+  ScopedTelemetry telemetry;
+  Tracer::Global().RecordComplete("quote\"back\\slash\nnewline", 1, 2);
+  std::ostringstream out;
+  WriteChromeTrace(out, Tracer::Global().Drain());
+  const auto root = ParseJson(out.str());
+  ASSERT_TRUE(root.has_value());
+  const auto& events = root->Find("traceEvents")->AsArray();
+  // One span + one thread_name record.
+  ASSERT_EQ(events.size(), 2u);
+  bool found = false;
+  for (const Json& event : events) {
+    if (event.Find("ph")->AsString() != "X") continue;
+    EXPECT_EQ(event.Find("name")->AsString(), "quote\"back\\slash\nnewline");
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- metrics instruments -----------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  const double bounds[] = {1.0, 10.0};
+  Histogram h{std::span<const double>(bounds)};
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  EXPECT_EQ(h.counts(), (std::vector<uint64_t>{1, 1, 1}));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.5);
+}
+
+TEST(MetricsTest, GaugeSetMaxIsAHighWaterMark) {
+  Gauge g;
+  g.SetMax(7);
+  g.SetMax(3);
+  EXPECT_EQ(g.value(), 7);
+  g.SetMax(11);
+  EXPECT_EQ(g.value(), 11);
+}
+
+TEST(MetricsTest, RegistryReturnsStableInstrumentsAndSortedSnapshots) {
+  MetricsRegistry registry;
+  Counter& b = registry.counter("b.counter");
+  Counter& a = registry.counter("a.counter");
+  EXPECT_EQ(&b, &registry.counter("b.counter"));  // find-or-create
+  a.Add(1);
+  b.Add(2);
+  registry.gauge("g").Set(-3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.counter");
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].name, "b.counter");
+  EXPECT_EQ(snapshot.counters[1].value, 2u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, -3);
+}
+
+// --- metrics JSONL round trip ------------------------------------------------
+
+TEST(MetricsJsonlTest, SnapshotRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("sat.conflicts").Add(12345);
+  registry.gauge("sched.pool.active").Set(-1);
+  Histogram& h = registry.histogram("sched.job_ms");
+  h.Observe(0.05);
+  h.Observe(2.5);
+  h.Observe(1e6);  // +inf bucket
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::ostringstream out;
+  WriteMetricsJsonl(out, snapshot);
+  const auto loaded = ReadMetricsJsonl(out.str());
+  ASSERT_TRUE(loaded.has_value()) << out.str();
+
+  EXPECT_EQ(loaded->timestamp_us, snapshot.timestamp_us);
+  ASSERT_EQ(loaded->counters.size(), 1u);
+  EXPECT_EQ(loaded->counters[0].name, "sat.conflicts");
+  EXPECT_EQ(loaded->counters[0].value, 12345u);
+  ASSERT_EQ(loaded->gauges.size(), 1u);
+  EXPECT_EQ(loaded->gauges[0].value, -1);
+  ASSERT_EQ(loaded->histograms.size(), 1u);
+  const auto& hist = loaded->histograms[0];
+  EXPECT_EQ(hist.name, "sched.job_ms");
+  EXPECT_EQ(hist.bounds, snapshot.histograms[0].bounds);
+  EXPECT_EQ(hist.counts, snapshot.histograms[0].counts);
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_DOUBLE_EQ(hist.sum, snapshot.histograms[0].sum);
+}
+
+TEST(MetricsJsonlTest, RejectsMissingHeaderAndMalformedLines) {
+  EXPECT_FALSE(ReadMetricsJsonl("{\"type\":\"counter\",\"name\":\"c\","
+                                "\"value\":1}\n")
+                   .has_value());
+  EXPECT_FALSE(ReadMetricsJsonl("{\"type\":\"snapshot\","
+                                "\"timestamp_us\":1}\nnot json\n")
+                   .has_value());
+}
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(JsonTest, ParsesNestedValues) {
+  const auto json =
+      ParseJson(R"( {"a":[1,-2.5,true,null,"s\t\"q\""],"b":{"c":3}} )");
+  ASSERT_TRUE(json.has_value());
+  const auto& a = json->Find("a")->AsArray();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a[1].AsNumber(), -2.5);
+  EXPECT_TRUE(a[2].AsBool());
+  EXPECT_TRUE(a[3].is_null());
+  EXPECT_EQ(a[4].AsString(), "s\t\"q\"");
+  EXPECT_EQ(json->Find("b")->Find("c")->AsInt(), 3);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").has_value());
+  EXPECT_FALSE(ParseJson("[1,]").has_value());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(ParseJson("'single'").has_value());
+}
+
+}  // namespace
+}  // namespace aqed::telemetry
