@@ -28,7 +28,9 @@ core::AqedOptions Options() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const core::SessionOptions session = bench::ParseSessionOptions(argc, argv);
+  const bench::FlagParser flags(argc, argv);
+  const core::SessionOptions session = bench::ParseSessionOptions(flags);
+  flags.RejectUnknown(argv[0]);
   printf("Ablation B: AES batch-size sweep (common key across batch)\n");
   bench::PrintRule('=');
   printf("%-8s | %-10s %-10s | %-8s %-8s %-10s\n", "batch", "clean[s]",

@@ -12,7 +12,9 @@
 using namespace aqed;
 
 int main(int argc, char** argv) {
-  const core::SessionOptions session = bench::ParseSessionOptions(argc, argv);
+  const bench::FlagParser flags(argc, argv);
+  const core::SessionOptions session = bench::ParseSessionOptions(flags);
+  flags.RejectUnknown(argv[0]);
   printf("Ablation A: BMC bound sweep (memory-controller bugs)\n");
   bench::PrintRule('=');
   const accel::MemCtrlBugInfo cases[] = {

@@ -16,27 +16,37 @@ namespace aqed::bench {
 
 // Minimal command-line helper shared by the bench binaries. Every flag is
 // either a bare switch (--cancel-session) or a --name VALUE pair; the last
-// occurrence of a repeated flag wins, and unrecognized arguments are
-// ignored so each bench can layer its own flags over the shared set.
+// occurrence of a repeated flag wins. Each Switch()/Value() probe marks the
+// arguments it matched, so after a main has declared its full flag set a
+// final RejectUnknown() call turns any leftover --flag (a typo, or a flag
+// from some other bench) into a hard error instead of silence.
 class FlagParser {
  public:
   FlagParser(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+    used_.assign(args_.size(), 0);
   }
 
   // True iff the bare switch appears anywhere on the command line.
   bool Switch(std::string_view name) const {
-    for (const std::string& arg : args_) {
-      if (arg == name) return true;
+    bool found = false;
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        used_[i] = 1;
+        found = true;
+      }
     }
-    return false;
+    return found;
   }
 
   // The value of the last `--name VALUE` occurrence, or nullptr.
   const std::string* Value(std::string_view name) const {
     const std::string* found = nullptr;
     for (size_t i = 0; i + 1 < args_.size(); ++i) {
-      if (args_[i] == name) found = &args_[i + 1];
+      if (args_[i] == name) {
+        used_[i] = used_[i + 1] = 1;
+        found = &args_[i + 1];
+      }
     }
     return found;
   }
@@ -62,8 +72,34 @@ class FlagParser {
     return v ? *v : fallback;
   }
 
+  // Call after every flag has been probed: exits with status 2 listing any
+  // `--something` argument no Switch()/Value() call matched. Non-flag
+  // positional arguments are left alone (none of the benches take any, but
+  // a VALUE that happens to follow an unknown flag should be reported via
+  // its flag, not separately).
+  void RejectUnknown(const char* program) const {
+    bool bad = false;
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i] && args_[i].rfind("--", 0) == 0) {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", program,
+                     args_[i].c_str());
+        used_[i] = 1;
+        if (i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0) {
+          used_[i + 1] = 1;  // swallow the would-be VALUE of the bad flag
+        }
+        bad = true;
+      }
+    }
+    if (bad) {
+      std::fprintf(stderr, "%s: see the flag comments in bench_common.h\n",
+                   program);
+      std::exit(2);
+    }
+  }
+
  private:
   std::vector<std::string> args_;
+  mutable std::vector<char> used_;  // parallel to args_: matched by a probe
 };
 
 // Parses the scheduling and telemetry flags shared by the bench binaries:
@@ -76,9 +112,16 @@ class FlagParser {
 //   --trace-out P    write a Chrome trace-event JSON of the run's spans to P
 //                    (load in Perfetto or chrome://tracing)
 //   --metrics-out P  write a JSON Lines metrics snapshot to P
+//   --sample-period-ms N
+//                    flight-recorder sampling period while the session runs
+//                    (0 = off); samples land in the metrics JSONL as the
+//                    timeseries section and are plotted by aqed-report
 // Setting either output path arms the process-wide telemetry switch. A
 // bench that runs several sessions against the same path keeps the last
 // session's file (each VerificationSession::Wait rewrites it).
+//
+// Callers construct the FlagParser themselves (so they can layer their own
+// flags on top) and should finish with flags.RejectUnknown(argv[0]).
 inline core::SessionOptions ParseSessionOptions(const FlagParser& flags) {
   core::SessionOptions options;
   options.jobs = flags.Uint32("--jobs", options.jobs);
@@ -90,11 +133,9 @@ inline core::SessionOptions ParseSessionOptions(const FlagParser& flags) {
       flags.Uint32("--retries", options.retry.max_retries);
   options.trace_path = flags.String("--trace-out");
   options.metrics_path = flags.String("--metrics-out");
+  options.sample_period_ms =
+      flags.Uint32("--sample-period-ms", options.sample_period_ms);
   return options;
-}
-
-inline core::SessionOptions ParseSessionOptions(int argc, char** argv) {
-  return ParseSessionOptions(FlagParser(argc, argv));
 }
 
 // A-QED options used for the memory-controller study (Sec. V.A): FC plus RB

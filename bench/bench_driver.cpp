@@ -1,0 +1,449 @@
+// Canonical performance scenario matrix for the repo's two governed
+// workloads: the parallel portfolio hunt (sched suite) and the
+// fault-injection campaign (fault suite). Each scenario runs once and is
+// measured from outside — wall time, process CPU time (user + sys), RSS at
+// scenario end — plus the per-scenario deltas of every registry counter
+// (solver conflicts, pool tasks, retries, ...). Results are written as
+// canonical JSON files at --out-dir:
+//
+//   BENCH_sched.json / BENCH_fault.json
+//   {"schema":"aqed-bench-v1","suite":"sched","peak_rss_kb":N,
+//    "scenarios":[{"name":"hunt_seq","wall_seconds":W,"cpu_seconds":C,
+//                  "rss_end_kb":R,"counters":{"sat.conflicts":N,...}}]}
+//
+// The committed BENCH_*.json at the repo root are the reference baselines;
+// CI's perf-smoke step re-runs the matrix and compares warn-only (CI
+// machines vary too much to gate on). Locally, gate for real:
+//
+//   bench_driver --suite sched --compare BENCH_sched.json [--tolerance 25]
+//
+// --compare prints per-metric deltas vs the old file and exits nonzero when
+// wall/cpu/rss regress by more than --tolerance percent (counter deltas are
+// informational: under cancellation the amount of *discarded* work is
+// legitimately nondeterministic). --warn-only reports but never fails.
+//
+// The matrix is deliberately small (about a minute end to end) so CI can
+// run the *same* scenarios as the committed baselines — scenario names must
+// match for --compare to mean anything.
+//
+// Flags: --suite sched|fault|all (default all)
+//        --out-dir DIR   where BENCH_*.json land (default ".")
+//        --compare OLD.json   compare the matching suite against OLD
+//        --tolerance PCT      regression threshold, percent (default 25)
+//        --warn-only          print regressions but exit 0
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/dataflow.h"
+#include "accel/multi_action.h"
+#include "bench_common.h"
+#include "fault/campaign.h"
+#include "sched/session.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/resource.h"
+#include "telemetry/telemetry.h"
+
+using namespace aqed;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Measurement harness
+// ---------------------------------------------------------------------------
+
+struct ScenarioResult {
+  std::string name;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  int64_t rss_end_kb = 0;
+  // Registry counter deltas across the scenario, name-sorted.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+ScenarioResult RunScenario(const std::string& name,
+                           const std::function<void()>& body) {
+  std::printf("  running %-16s ...", name.c_str());
+  std::fflush(stdout);
+  const telemetry::MetricsSnapshot before =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  const telemetry::ResourceUsage res_before = telemetry::SampleResourceUsage();
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  const telemetry::ResourceUsage res_after = telemetry::SampleResourceUsage();
+  const telemetry::MetricsSnapshot after =
+      telemetry::MetricsRegistry::Global().Snapshot();
+
+  ScenarioResult result;
+  result.name = name;
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.cpu_seconds = res_after.cpu_seconds() - res_before.cpu_seconds();
+  result.rss_end_kb = res_after.rss_kb;
+  for (const auto& counter : after.counters) {
+    uint64_t base = 0;
+    for (const auto& old : before.counters) {
+      if (old.name == counter.name) base = old.value;
+    }
+    if (counter.value > base) {
+      result.counters.emplace_back(counter.name, counter.value - base);
+    }
+  }
+  std::printf(" %.2fs wall, %.2fs cpu\n", result.wall_seconds,
+              result.cpu_seconds);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sched suite: the portfolio hunt at two job counts (bench_sched's matrix,
+// trimmed one notch shallower so the whole suite stays under a minute)
+// ---------------------------------------------------------------------------
+
+core::AqedOptions DriverHuntOptions(accel::MemCtrlConfig config) {
+  core::RbOptions rb;
+  rb.tau = accel::MemCtrlResponseBound(config);
+  rb.in_min = config == accel::MemCtrlConfig::kDoubleBuffer ? 2 : 1;
+  return core::AqedOptions::Builder()
+      .WithRb(rb)
+      .WithFcBound(8)
+      .WithRbBound(14)
+      .WithConflictBudget(200000)
+      .Build();
+}
+
+void RunHuntScenario(uint32_t jobs) {
+  core::SessionOptions options;
+  options.jobs = jobs;
+  options.cancel = jobs > 1 ? core::SessionOptions::CancelPolicy::kSession
+                            : core::SessionOptions::CancelPolicy::kEntry;
+  sched::VerificationSession session(options);
+  const std::pair<accel::MemCtrlConfig, accel::MemCtrlBug> designs[] = {
+      {accel::MemCtrlConfig::kFifo, accel::MemCtrlBug::kNone},
+      {accel::MemCtrlConfig::kLineBuffer, accel::MemCtrlBug::kNone},
+      {accel::MemCtrlConfig::kFifo, accel::MemCtrlBug::kFifoStallDeadlock},
+  };
+  for (const auto& [config, bug] : designs) {
+    session.Enqueue(
+        [config = config, bug = bug](ir::TransitionSystem& ts) {
+          return accel::BuildMemCtrl(ts, config, bug).acc;
+        },
+        DriverHuntOptions(config));
+  }
+  (void)session.Wait();
+}
+
+std::vector<ScenarioResult> RunSchedSuite() {
+  return {
+      RunScenario("hunt_seq", [] { RunHuntScenario(1); }),
+      RunScenario("hunt_par2", [] { RunHuntScenario(2); }),
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Fault suite: two small governed campaigns (no conventional baseline —
+// this suite measures the verification path, not the simulator)
+// ---------------------------------------------------------------------------
+
+fault::DesignUnderTest DriverMemCtrlDut() {
+  fault::DesignUnderTest dut;
+  dut.name = "memctrl-fifo";
+  dut.build = [](ir::TransitionSystem& ts) {
+    return accel::BuildMemCtrl(ts, accel::MemCtrlConfig::kFifo).acc;
+  };
+  dut.options = core::AqedOptions::Builder(
+                    bench::MemCtrlStudyOptions(accel::MemCtrlConfig::kFifo))
+                    .WithFcBound(7)
+                    .WithSacSpec(accel::MemCtrlSpec(accel::MemCtrlConfig::kFifo))
+                    .WithSacBound(8)
+                    .Build();
+  return dut;
+}
+
+core::AqedOptions DriverHlsOptions(uint32_t tau, uint32_t rdin_bound,
+                                   core::SpecFn spec) {
+  core::RbOptions rb;
+  rb.tau = tau;
+  rb.rdin_bound = rdin_bound;
+  return core::AqedOptions::Builder()
+      .WithRb(rb)
+      .WithFcBound(10)
+      .WithRbBound(tau + 8)
+      .WithConflictBudget(400000)
+      .WithSacSpec(std::move(spec))
+      .WithSacBound(8)
+      .Build();
+}
+
+void RunCampaignScenario(std::vector<fault::DesignUnderTest> designs,
+                         uint32_t num_mutants) {
+  fault::FaultCampaignOptions options;
+  options.num_mutants = num_mutants;
+  options.session.jobs = 2;
+  options.session.deadline_ms = 2000;
+  options.session.retry.max_retries = 2;
+  (void)fault::RunFaultCampaign(designs, options);
+}
+
+std::vector<ScenarioResult> RunFaultSuite() {
+  return {
+      RunScenario("fault_memctrl",
+                  [] { RunCampaignScenario({DriverMemCtrlDut()}, 8); }),
+      RunScenario("fault_hls",
+                  [] {
+                    std::vector<fault::DesignUnderTest> designs;
+                    designs.push_back(
+                        {"alu",
+                         [](ir::TransitionSystem& ts) {
+                           return accel::BuildAlu(ts, {}).acc;
+                         },
+                         DriverHlsOptions(accel::AluResponseBound(), 0,
+                                          accel::AluSpec()),
+                         nullptr,
+                         {}});
+                    designs.push_back(
+                        {"dataflow",
+                         [](ir::TransitionSystem& ts) {
+                           return accel::BuildDataflow(ts, {}).acc;
+                         },
+                         DriverHlsOptions(accel::DataflowResponseBound(),
+                                          accel::DataflowRdinBound(),
+                                          accel::DataflowSpec()),
+                         nullptr,
+                         {}});
+                    RunCampaignScenario(std::move(designs), 8);
+                  }),
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Canonical JSON
+// ---------------------------------------------------------------------------
+
+std::string SerializeSuite(const std::string& suite,
+                           const std::vector<ScenarioResult>& scenarios,
+                           int64_t peak_rss_kb) {
+  std::ostringstream out;
+  char buf[64];
+  out << "{\"schema\":\"aqed-bench-v1\",\"suite\":\"" << suite
+      << "\",\"peak_rss_kb\":" << peak_rss_kb << ",\"scenarios\":[";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    if (i > 0) out << ',';
+    std::snprintf(buf, sizeof(buf), "%.3f", s.wall_seconds);
+    out << "\n  {\"name\":\"" << s.name << "\",\"wall_seconds\":" << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", s.cpu_seconds);
+    out << ",\"cpu_seconds\":" << buf << ",\"rss_end_kb\":" << s.rss_end_kb
+        << ",\"counters\":{";
+    for (size_t j = 0; j < s.counters.size(); ++j) {
+      if (j > 0) out << ',';
+      out << '"' << s.counters[j].first << "\":" << s.counters[j].second;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// --compare
+// ---------------------------------------------------------------------------
+
+struct OldScenario {
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  int64_t rss_end_kb = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+struct OldSuite {
+  std::string suite;
+  std::vector<std::pair<std::string, OldScenario>> scenarios;
+};
+
+std::optional<OldSuite> LoadOldSuite(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::optional<telemetry::Json> root = telemetry::ParseJson(text.str());
+  if (!root || !root->is_object()) return std::nullopt;
+  const telemetry::Json* schema = root->Find("schema");
+  const telemetry::Json* suite = root->Find("suite");
+  const telemetry::Json* scenarios = root->Find("scenarios");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->AsString() != "aqed-bench-v1" || suite == nullptr ||
+      !suite->is_string() || scenarios == nullptr || !scenarios->is_array()) {
+    return std::nullopt;
+  }
+  OldSuite old;
+  old.suite = suite->AsString();
+  for (const telemetry::Json& entry : scenarios->AsArray()) {
+    const telemetry::Json* name = entry.Find("name");
+    const telemetry::Json* wall = entry.Find("wall_seconds");
+    const telemetry::Json* cpu = entry.Find("cpu_seconds");
+    const telemetry::Json* rss = entry.Find("rss_end_kb");
+    if (name == nullptr || !name->is_string() || wall == nullptr ||
+        !wall->is_number() || cpu == nullptr || !cpu->is_number() ||
+        rss == nullptr || !rss->is_number()) {
+      return std::nullopt;
+    }
+    OldScenario scenario;
+    scenario.wall_seconds = wall->AsNumber();
+    scenario.cpu_seconds = cpu->AsNumber();
+    scenario.rss_end_kb = rss->AsInt();
+    if (const telemetry::Json* counters = entry.Find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [key, value] : counters->AsObject()) {
+        if (value.is_number()) {
+          scenario.counters.emplace_back(
+              key, static_cast<uint64_t>(value.AsNumber()));
+        }
+      }
+    }
+    old.scenarios.emplace_back(name->AsString(), std::move(scenario));
+  }
+  return old;
+}
+
+double DeltaPercent(double old_value, double new_value) {
+  if (old_value <= 0) return 0;
+  return (new_value - old_value) / old_value * 100.0;
+}
+
+// Prints the per-metric deltas of `scenarios` vs `old`; returns the number
+// of wall/cpu/rss regressions beyond `tolerance_pct`.
+int CompareSuite(const OldSuite& old,
+                 const std::vector<ScenarioResult>& scenarios,
+                 double tolerance_pct) {
+  int regressions = 0;
+  const auto check = [&](const std::string& scenario, const char* metric,
+                         double old_value, double new_value,
+                         const char* format) {
+    const double delta = DeltaPercent(old_value, new_value);
+    char old_buf[64], new_buf[64];
+    std::snprintf(old_buf, sizeof(old_buf), format, old_value);
+    std::snprintf(new_buf, sizeof(new_buf), format, new_value);
+    const bool regressed = delta > tolerance_pct;
+    std::printf("  %-14s %-12s %10s -> %10s  %+7.1f%%%s\n", scenario.c_str(),
+                metric, old_buf, new_buf, delta,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  };
+  for (const ScenarioResult& scenario : scenarios) {
+    const OldScenario* base = nullptr;
+    for (const auto& [name, old_scenario] : old.scenarios) {
+      if (name == scenario.name) base = &old_scenario;
+    }
+    if (base == nullptr) {
+      std::printf("  %-14s (new scenario, no baseline)\n",
+                  scenario.name.c_str());
+      continue;
+    }
+    check(scenario.name, "wall_seconds", base->wall_seconds,
+          scenario.wall_seconds, "%.3f");
+    check(scenario.name, "cpu_seconds", base->cpu_seconds,
+          scenario.cpu_seconds, "%.3f");
+    check(scenario.name, "rss_end_kb", static_cast<double>(base->rss_end_kb),
+          static_cast<double>(scenario.rss_end_kb), "%.0f");
+    // Counter deltas are informational: cancellation legitimately changes
+    // how much speculative work gets discarded.
+    for (const auto& [name, value] : scenario.counters) {
+      for (const auto& [old_name, old_value] : base->counters) {
+        if (old_name == name && old_value != value) {
+          std::printf("  %-14s %-24s %12llu -> %12llu  (info)\n",
+                      scenario.name.c_str(), name.c_str(),
+                      static_cast<unsigned long long>(old_value),
+                      static_cast<unsigned long long>(value));
+        }
+      }
+    }
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::FlagParser flags(argc, argv);
+  const std::string suite = flags.String("--suite", "all");
+  const std::string out_dir = flags.String("--out-dir", ".");
+  const std::string compare_path = flags.String("--compare");
+  const uint32_t tolerance = flags.Uint32("--tolerance", 25);
+  const bool warn_only = flags.Switch("--warn-only");
+  flags.RejectUnknown(argv[0]);
+  if (suite != "sched" && suite != "fault" && suite != "all") {
+    std::fprintf(stderr, "%s: --suite must be sched, fault, or all\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Counters come from the telemetry registry; arm it (spanless — no trace
+  // file is written, the registry is read directly).
+  telemetry::SetEnabled(true);
+
+  struct SuiteRun {
+    std::string name;
+    std::vector<ScenarioResult> scenarios;
+  };
+  std::vector<SuiteRun> runs;
+  if (suite == "sched" || suite == "all") {
+    std::printf("suite sched:\n");
+    runs.push_back({"sched", RunSchedSuite()});
+  }
+  if (suite == "fault" || suite == "all") {
+    std::printf("suite fault:\n");
+    runs.push_back({"fault", RunFaultSuite()});
+  }
+  const int64_t peak_rss_kb = telemetry::SampleResourceUsage().peak_rss_kb;
+
+  int exit_code = 0;
+  for (const SuiteRun& run : runs) {
+    const std::string path = out_dir + "/BENCH_" + run.name + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0], path.c_str());
+      return 1;
+    }
+    out << SerializeSuite(run.name, run.scenarios, peak_rss_kb);
+    std::printf("wrote %s\n", path.c_str());
+
+    if (!compare_path.empty()) {
+      const std::optional<OldSuite> old = LoadOldSuite(compare_path);
+      if (!old) {
+        std::fprintf(stderr, "%s: %s is not an aqed-bench-v1 file\n", argv[0],
+                     compare_path.c_str());
+        return 2;
+      }
+      if (old->suite != run.name) {
+        // With --suite all only the matching suite is compared.
+        if (suite != "all") {
+          std::fprintf(stderr,
+                       "%s: %s holds suite '%s' but this run is '%s'\n",
+                       argv[0], compare_path.c_str(), old->suite.c_str(),
+                       run.name.c_str());
+          return 2;
+        }
+        continue;
+      }
+      std::printf("compare vs %s (tolerance %u%%):\n", compare_path.c_str(),
+                  tolerance);
+      const int regressions =
+          CompareSuite(*old, run.scenarios, static_cast<double>(tolerance));
+      if (regressions > 0) {
+        std::printf("%d metric(s) regressed beyond %u%%%s\n", regressions,
+                    tolerance, warn_only ? " (warn-only)" : "");
+        if (!warn_only) exit_code = 1;
+      } else {
+        std::printf("no regressions beyond %u%%\n", tolerance);
+      }
+    }
+  }
+  return exit_code;
+}

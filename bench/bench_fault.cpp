@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
   // ~10 s even with --jobs oversubscribing a single core, so the final
   // attempt always finishes on work, never on the wall clock.
   if (!flags.Seen("--retries")) options.session.retry.max_retries = 4;
+  flags.RejectUnknown(argv[0]);
 
   std::vector<fault::DesignUnderTest> designs;
   designs.push_back(MemCtrlDut(accel::MemCtrlConfig::kFifo));

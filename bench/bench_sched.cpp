@@ -8,6 +8,7 @@
 // comes from *not doing work*, so it holds even on a single core.
 //
 // Usage: bench_sched [--jobs N] [--trace-out P] [--metrics-out P]
+//                    [--sample-period-ms N]
 //   (N > 1 enables the parallel run; default 4. Telemetry files capture the
 //   parallel hunt — the run whose schedule is worth looking at.)
 #include <cstdio>
@@ -53,13 +54,16 @@ constexpr HuntEntry kHunt[] = {
      accel::MemCtrlBug::kFifoStallDeadlock},
 };
 
-core::SessionResult RunHunt(uint32_t jobs, std::string trace_path = {},
-                            std::string metrics_path = {}) {
+// `telemetry` contributes only the sink paths and the flight-recorder
+// period; scheduling knobs are fixed by the benchmark itself.
+core::SessionResult RunHunt(uint32_t jobs,
+                            const core::SessionOptions& telemetry = {}) {
   core::SessionOptions options;
   options.jobs = jobs;
   options.cancel = core::SessionOptions::CancelPolicy::kSession;
-  options.trace_path = std::move(trace_path);
-  options.metrics_path = std::move(metrics_path);
+  options.trace_path = telemetry.trace_path;
+  options.metrics_path = telemetry.metrics_path;
+  options.sample_period_ms = telemetry.sample_period_ms;
   sched::VerificationSession session(options);
   for (const HuntEntry& entry : kHunt) {
     session.Enqueue(
@@ -85,7 +89,9 @@ void PrintVerdicts(const core::SessionResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::SessionOptions parsed = bench::ParseSessionOptions(argc, argv);
+  const bench::FlagParser flags(argc, argv);
+  const core::SessionOptions parsed = bench::ParseSessionOptions(flags);
+  flags.RejectUnknown(argv[0]);
   const uint32_t jobs = parsed.jobs > 1 ? parsed.jobs : 4;
 
   printf("Portfolio hunt: %zu designs, response-bound bug submitted last\n",
@@ -99,8 +105,7 @@ int main(int argc, char** argv) {
   bench::PrintRule();
 
   printf("--jobs %u (first bug cancels the session)\n", jobs);
-  const core::SessionResult parallel =
-      RunHunt(jobs, parsed.trace_path, parsed.metrics_path);
+  const core::SessionResult parallel = RunHunt(jobs, parsed);
   PrintVerdicts(parallel);
   printf("%s", parallel.stats.ToTable().c_str());
   bench::PrintRule('=');

@@ -40,8 +40,10 @@ core::AqedOptions HlsOptions(uint32_t tau, uint32_t rdin_bound = 0) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::FlagParser flags(argc, argv);
   const core::SessionOptions session_options =
-      bench::ParseSessionOptions(argc, argv);
+      bench::ParseSessionOptions(flags);
+  flags.RejectUnknown(argv[0]);
   printf("Table 2: A-QED results for (abstracted) HLS designs "
          "(--jobs %u)\n", session_options.jobs);
   printf("(the paper likewise verified abstracted versions of these "

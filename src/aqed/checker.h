@@ -175,6 +175,14 @@ struct SessionOptions {
   std::string trace_path;
   std::string metrics_path;
 
+  // Flight-recorder sampling period in milliseconds (0 = off). When set —
+  // and telemetry is armed via the paths above — a background sampler
+  // snapshots the metrics registry and the process resource probes
+  // (RSS / CPU time / thread count, telemetry/resource.h) every period
+  // while Wait() runs; the samples are exported as the `timeseries`
+  // section of the metrics JSONL and plotted by the aqed-report tool.
+  uint32_t sample_period_ms = 0;
+
   // Escalating-budget retry policy for inconclusive jobs. A job that ends
   // kUnknown because its conflict budget or deadline ran out (never because
   // a sibling's bug cancelled it) is re-queued with its conflict budget and

@@ -106,6 +106,10 @@ BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options_in) {
     }
     result.frames_explored = depth + 1;
     telemetry::MaxGauge("bmc.depth_reached", depth + 1);
+    // Live (not high-water) depth for the flight recorder's depth-vs-time
+    // chart; with concurrent jobs the sampled value is whichever engine
+    // wrote last — a representative progress signal, not an invariant.
+    telemetry::SetGauge("bmc.current_depth", depth + 1);
 
     // any_bad holds iff some targeted bad predicate fires at this depth.
     std::vector<sat::Lit> bad_lits;

@@ -626,6 +626,13 @@ SolveResult Solver::Solve(std::span<const Lit> assumptions) {
           : UnknownReason::kConflictBudget;
   if (telemetry::Enabled()) {
     telemetry::AddCounter("sat.solves", 1);
+    // Formula-size gauges for the flight recorder: sampled mid-run they
+    // show clause-database growth across BMC depths — the memory half of
+    // the BMC blow-up story. Set once per solve, never in the search loop.
+    telemetry::SetGauge("sat.vars", static_cast<int64_t>(num_vars()));
+    telemetry::SetGauge("sat.clauses", static_cast<int64_t>(
+                                           num_problem_clauses_ +
+                                           learnts_.size()));
     telemetry::AddCounter("sat.decisions", stats_.decisions - before.decisions);
     telemetry::AddCounter("sat.propagations",
                           stats_.propagations - before.propagations);

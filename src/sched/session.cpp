@@ -78,6 +78,18 @@ CancellationToken VerificationSession::TokenFor(size_t entry) const {
   return session_source_.token();
 }
 
+namespace {
+
+// Live-job gauge for the flight recorder: how many verification jobs are
+// between start and finish right now (pool workers *and* inline execution,
+// unlike sched.pool.active). RAII so a throwing builder can't leak a count.
+struct LiveJobGauge {
+  LiveJobGauge() { telemetry::AddGauge("sched.jobs.live", 1); }
+  ~LiveJobGauge() { telemetry::AddGauge("sched.jobs.live", -1); }
+};
+
+}  // namespace
+
 void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
   out.entry = job.entry;
   out.label = job.label;
@@ -93,6 +105,7 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
     out.unknown_reason = out.result.bmc.unknown_reason;
     return;
   }
+  LiveJobGauge live_job;
   // Arm the wall-clock watchdog for this attempt; the guard disarms it the
   // moment the job returns, so a finished job can never be tripped late.
   CancellationSource deadline_source;
@@ -244,6 +257,24 @@ bool VerificationSession::EscalateForRetry(const core::JobResult& result,
 }
 
 core::SessionResult VerificationSession::Wait() {
+  // Export on *every* exit — including an exception thrown by a user
+  // builder running inline — not just the happy-path return: a session
+  // that dies mid-run is exactly the one whose telemetry matters most.
+  // Declared before the wait span so the span ends (and is drained) first.
+  struct ExportGuard {
+    VerificationSession* session;
+    ~ExportGuard() {
+      if (telemetry::Enabled()) session->ExportTelemetry();
+    }
+  } export_guard{this};
+  if (options_.sample_period_ms > 0 && telemetry::Enabled()) {
+    if (sampler_ == nullptr) {
+      telemetry::SamplerOptions sampler_options;
+      sampler_options.period_ms = options_.sample_period_ms;
+      sampler_ = std::make_unique<telemetry::Sampler>(sampler_options);
+    }
+    sampler_->Start();
+  }
   telemetry::Span span("sched.session.wait");
   Stopwatch watch;
   core::SessionResult result;
@@ -275,11 +306,15 @@ core::SessionResult VerificationSession::Wait() {
   result.wall_seconds = watch.ElapsedSeconds();
   result.stats.set_wall_seconds(result.wall_seconds);
   span.End();
-  if (telemetry::Enabled()) ExportTelemetry();
-  return result;
+  return result;  // export_guard flushes trace/metrics/samples
 }
 
 void VerificationSession::ExportTelemetry() {
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+    std::vector<telemetry::TimeSeriesSample> samples = sampler_->TakeSamples();
+    std::move(samples.begin(), samples.end(), std::back_inserter(samples_));
+  }
   std::vector<telemetry::TraceEvent> events =
       telemetry::Tracer::Global().Drain();
   std::move(events.begin(), events.end(), std::back_inserter(trace_log_));
@@ -288,7 +323,8 @@ void VerificationSession::ExportTelemetry() {
   }
   if (!options_.metrics_path.empty()) {
     telemetry::WriteMetricsJsonlFile(
-        options_.metrics_path, telemetry::MetricsRegistry::Global().Snapshot());
+        options_.metrics_path, telemetry::MetricsRegistry::Global().Snapshot(),
+        samples_);
   }
 }
 

@@ -32,12 +32,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "aqed/checker.h"
 #include "sched/cancellation.h"
 #include "sched/watchdog.h"
+#include "telemetry/sampler.h"
 #include "telemetry/trace.h"
 
 namespace aqed::sched {
@@ -97,9 +99,12 @@ class VerificationSession {
   bool EscalateForRetry(const core::JobResult& result, PendingJob& job) const;
   CancellationToken TokenFor(size_t entry) const;
 
-  // Drains the global tracer into the session-owned event log and
-  // (re)writes the configured trace/metrics files. Called at the end of
-  // every Wait() when telemetry is on.
+  // Drains the global tracer (and the flight-recorder samples) into the
+  // session-owned logs and (re)writes the configured trace/metrics files.
+  // Invoked by an RAII guard on *every* exit from Wait() when telemetry is
+  // on — normal return, checker errors, deadline cancellation, or an
+  // exception out of a builder — so a governed session never loses its
+  // telemetry to the failure it was recording.
   void ExportTelemetry();
 
   core::SessionOptions options_;
@@ -111,6 +116,11 @@ class VerificationSession {
   // Session-owned span log: every event drained so far, accumulated across
   // Wait() calls so the exported trace covers the whole session.
   std::vector<telemetry::TraceEvent> trace_log_;
+  // Flight recorder (SessionOptions::sample_period_ms): runs while Wait()
+  // executes jobs; drained samples accumulate across Wait() calls like the
+  // span log. Null when sampling is off (or compiled out).
+  std::unique_ptr<telemetry::Sampler> sampler_;
+  std::vector<telemetry::TimeSeriesSample> samples_;
 };
 
 }  // namespace aqed::sched

@@ -28,10 +28,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  // Queue depth for the flight recorder: sampled mid-session it shows how
+  // far job submission runs ahead of the workers (the backlog the
+  // queue-wait histogram prices in time). Updated outside the pool lock.
+  telemetry::SetGauge("sched.queue_depth", static_cast<int64_t>(depth));
   work_cv_.notify_one();
 }
 
@@ -43,6 +49,7 @@ void ThreadPool::Wait() {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -50,7 +57,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      depth = queue_.size();
     }
+    telemetry::SetGauge("sched.queue_depth", static_cast<int64_t>(depth));
     // Live pool occupancy: how many workers are on a task right now. A
     // metrics snapshot taken mid-session shows saturation; end-of-run
     // snapshots read 0.

@@ -89,11 +89,44 @@ void WriteChromeTrace(std::ostream& out, std::span<const TraceEvent> events) {
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }
 
-void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot) {
+namespace {
+
+// {"name":value,...} over a counter/gauge value list.
+template <typename Values>
+void WriteNameValueObject(std::ostream& out, const Values& values) {
+  out << '{';
+  bool first = true;
+  for (const auto& value : values) {
+    if (!first) out << ',';
+    first = false;
+    WriteJsonString(out, value.name);
+    out << ':' << value.value;
+  }
+  out << '}';
+}
+
+void WriteSample(std::ostream& out, const TimeSeriesSample& sample) {
+  out << "{\"type\":\"sample\",\"timestamp_us\":" << sample.timestamp_us
+      << ",\"rss_kb\":" << sample.resources.rss_kb
+      << ",\"peak_rss_kb\":" << sample.resources.peak_rss_kb
+      << ",\"user_cpu_us\":" << sample.resources.user_cpu_us
+      << ",\"sys_cpu_us\":" << sample.resources.sys_cpu_us
+      << ",\"threads\":" << sample.resources.num_threads << ",\"counters\":";
+  WriteNameValueObject(out, sample.counters);
+  out << ",\"gauges\":";
+  WriteNameValueObject(out, sample.gauges);
+  out << "}\n";
+}
+
+}  // namespace
+
+void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot,
+                       std::span<const TimeSeriesSample> samples) {
   out << "{\"type\":\"snapshot\",\"timestamp_us\":" << snapshot.timestamp_us
       << ",\"counters\":" << snapshot.counters.size()
       << ",\"gauges\":" << snapshot.gauges.size()
-      << ",\"histograms\":" << snapshot.histograms.size() << "}\n";
+      << ",\"histograms\":" << snapshot.histograms.size()
+      << ",\"samples\":" << samples.size() << "}\n";
   for (const auto& counter : snapshot.counters) {
     out << "{\"type\":\"counter\",\"name\":";
     WriteJsonString(out, counter.name);
@@ -121,10 +154,12 @@ void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot) {
     WriteJsonDouble(out, histogram.sum);
     out << "}\n";
   }
+  for (const TimeSeriesSample& sample : samples) WriteSample(out, sample);
 }
 
-std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text) {
-  MetricsSnapshot snapshot;
+std::optional<MetricsLog> ReadMetricsLog(std::string_view text) {
+  MetricsLog log;
+  MetricsSnapshot& snapshot = log.snapshot;
   bool saw_header = false;
   size_t start = 0;
   while (start < text.size()) {
@@ -144,6 +179,38 @@ std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text) {
       if (!timestamp || !timestamp->is_number()) return std::nullopt;
       snapshot.timestamp_us = static_cast<uint64_t>(timestamp->AsNumber());
       saw_header = true;
+      continue;
+    }
+
+    if (type->AsString() == "sample") {
+      TimeSeriesSample sample;
+      const Json* timestamp = json->Find("timestamp_us");
+      const Json* counters = json->Find("counters");
+      const Json* gauges = json->Find("gauges");
+      if (!timestamp || !timestamp->is_number() || !counters ||
+          !counters->is_object() || !gauges || !gauges->is_object()) {
+        return std::nullopt;
+      }
+      sample.timestamp_us = static_cast<uint64_t>(timestamp->AsNumber());
+      const auto read_int = [&](const char* key, int64_t& out_value) {
+        const Json* value = json->Find(key);
+        if (value && value->is_number()) out_value = value->AsInt();
+      };
+      read_int("rss_kb", sample.resources.rss_kb);
+      read_int("peak_rss_kb", sample.resources.peak_rss_kb);
+      read_int("user_cpu_us", sample.resources.user_cpu_us);
+      read_int("sys_cpu_us", sample.resources.sys_cpu_us);
+      read_int("threads", sample.resources.num_threads);
+      for (const auto& [key, value] : counters->AsObject()) {
+        if (!value.is_number()) return std::nullopt;
+        sample.counters.push_back(
+            {key, static_cast<uint64_t>(value.AsNumber())});
+      }
+      for (const auto& [key, value] : gauges->AsObject()) {
+        if (!value.is_number()) return std::nullopt;
+        sample.gauges.push_back({key, value.AsInt()});
+      }
+      log.samples.push_back(std::move(sample));
       continue;
     }
 
@@ -185,7 +252,13 @@ std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text) {
     }
   }
   if (!saw_header) return std::nullopt;
-  return snapshot;
+  return log;
+}
+
+std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text) {
+  std::optional<MetricsLog> log = ReadMetricsLog(text);
+  if (!log) return std::nullopt;
+  return std::move(log->snapshot);
 }
 
 bool WriteChromeTraceFile(const std::string& path,
@@ -197,10 +270,11 @@ bool WriteChromeTraceFile(const std::string& path,
 }
 
 bool WriteMetricsJsonlFile(const std::string& path,
-                           const MetricsSnapshot& snapshot) {
+                           const MetricsSnapshot& snapshot,
+                           std::span<const TimeSeriesSample> samples) {
   std::ofstream out(path);
   if (!out) return false;
-  WriteMetricsJsonl(out, snapshot);
+  WriteMetricsJsonl(out, snapshot, samples);
   return static_cast<bool>(out);
 }
 

@@ -8,7 +8,10 @@
 //
 // Metrics JSONL: one JSON object per line, one line per instrument, plus a
 // leading snapshot-header line — append-friendly, greppable, and loadable
-// with a three-line python loop. ReadMetricsJsonl() round-trips what
+// with a three-line python loop. When the session flight recorder ran, the
+// instrument lines are followed by a `timeseries` section: one "sample"
+// line per flight-recorder sample (registry counters/gauges plus resource
+// probes, see telemetry/sampler.h). ReadMetricsLog() round-trips what
 // WriteMetricsJsonl() emits (see tests/telemetry_test.cpp).
 #pragma once
 
@@ -16,8 +19,10 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
 #include "telemetry/trace.h"
 
 namespace aqed::telemetry {
@@ -27,16 +32,30 @@ namespace aqed::telemetry {
 // file order — plus thread_name metadata so Perfetto labels the rows.
 void WriteChromeTrace(std::ostream& out, std::span<const TraceEvent> events);
 
-// One snapshot as JSON Lines:
-//   {"type":"snapshot","timestamp_us":...,"counters":N,...}
+// One snapshot (plus an optional flight-recorder time series) as JSON Lines:
+//   {"type":"snapshot","timestamp_us":...,"counters":N,...,"samples":N}
 //   {"type":"counter","name":"sat.conflicts","value":123}
 //   {"type":"gauge","name":"sched.pool.active","value":0}
 //   {"type":"histogram","name":"sched.job_ms","bounds":[...],"counts":[...],
 //    "count":N,"sum":S}
-void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot);
+//   {"type":"sample","timestamp_us":...,"rss_kb":...,"peak_rss_kb":...,
+//    "user_cpu_us":...,"sys_cpu_us":...,"threads":...,
+//    "counters":{"name":v,...},"gauges":{"name":v,...}}
+void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot,
+                       std::span<const TimeSeriesSample> samples = {});
 
-// Parses WriteMetricsJsonl output back into a snapshot; nullopt on any
-// malformed line or a missing header.
+// Everything one metrics JSONL file holds: the final snapshot plus the
+// flight-recorder samples (empty when the sampler did not run).
+struct MetricsLog {
+  MetricsSnapshot snapshot;
+  std::vector<TimeSeriesSample> samples;
+};
+
+// Parses WriteMetricsJsonl output back; nullopt on any malformed line or a
+// missing header.
+std::optional<MetricsLog> ReadMetricsLog(std::string_view text);
+
+// Snapshot-only compatibility wrapper over ReadMetricsLog.
 std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text);
 
 // File-writing conveniences; false (with no partial file guarantee beyond
@@ -44,6 +63,7 @@ std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text);
 bool WriteChromeTraceFile(const std::string& path,
                           std::span<const TraceEvent> events);
 bool WriteMetricsJsonlFile(const std::string& path,
-                           const MetricsSnapshot& snapshot);
+                           const MetricsSnapshot& snapshot,
+                           std::span<const TimeSeriesSample> samples = {});
 
 }  // namespace aqed::telemetry

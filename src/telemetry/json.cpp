@@ -86,27 +86,93 @@ class Parser {
     }
   }
 
+  // Four hex digits after "\u"; false on a short or non-hex sequence.
+  bool ParseHex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      out = out << 4 | digit;
+    }
+    return true;
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | code >> 6));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | code >> 12));
+      out.push_back(static_cast<char>(0x80 | (code >> 6 & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | code >> 18));
+      out.push_back(static_cast<char>(0x80 | (code >> 12 & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code >> 6 & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  // A "\uXXXX" escape with pos_ just past the 'u': decodes one code point
+  // (pairing surrogates, rejecting lone ones) and appends it as UTF-8.
+  bool ParseUnicodeEscape(std::string& out) {
+    uint32_t code;
+    if (!ParseHex4(code)) return false;
+    if (code >= 0xDC00 && code <= 0xDFFF) return false;  // lone low surrogate
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: the paired "\uXXXX" low surrogate must follow
+      // immediately, per RFC 8259 — anything else is a lone surrogate.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return false;
+      }
+      pos_ += 2;
+      uint32_t low;
+      if (!ParseHex4(low)) return false;
+      if (low < 0xDC00 || low > 0xDFFF) return false;
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+    AppendUtf8(out, code);
+    return true;
+  }
+
   std::optional<Json> ParseString() {
     ++pos_;  // opening quote
     std::string out;
     while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return std::nullopt;
-        const char escape = text_[pos_++];
-        switch (escape) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          default: return std::nullopt;  // \uXXXX unsupported (unused)
-        }
+      const char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
       }
-      out.push_back(c);
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u':
+          if (!ParseUnicodeEscape(out)) return std::nullopt;
+          break;
+        default: return std::nullopt;
+      }
     }
     if (pos_ >= text_.size()) return std::nullopt;  // unterminated
     ++pos_;                                         // closing quote

@@ -1,11 +1,11 @@
 // Minimal JSON value model + recursive-descent parser.
 //
 // Exists so the telemetry exporters can be round-trip-tested (and the
-// metrics JSONL re-loaded by tools) without an external JSON dependency.
-// Scope is deliberately narrow: the full JSON grammar minus \uXXXX escapes
-// (the exporters only emit printable-ASCII names), numbers parsed with
-// strtod. Not a general-purpose library — everything this repo writes, it
-// reads.
+// metrics JSONL re-loaded by tools like aqed-report) without an external
+// JSON dependency. Scope is deliberately narrow: the full JSON grammar,
+// with \uXXXX escapes decoded to UTF-8 (surrogate pairs included, lone
+// surrogates rejected) and numbers parsed with strtod. Not a
+// general-purpose library — everything this repo writes, it reads.
 #pragma once
 
 #include <cstdint>

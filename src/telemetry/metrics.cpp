@@ -116,8 +116,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 // ---------------------------------------------------------------------------
-// Kill-switch-aware helpers
+// Kill-switch-aware helpers (inline no-ops when compiled out)
 // ---------------------------------------------------------------------------
+
+#if AQED_TELEMETRY_ENABLED
 
 void AddCounter(const std::string& name, uint64_t delta) {
   if (!Enabled()) return;
@@ -143,5 +145,7 @@ void ObserveLatencyMs(const std::string& name, double ms) {
   if (!Enabled()) return;
   MetricsRegistry::Global().histogram(name).Observe(ms);
 }
+
+#endif  // AQED_TELEMETRY_ENABLED
 
 }  // namespace aqed::telemetry

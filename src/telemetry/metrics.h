@@ -145,12 +145,22 @@ class MetricsRegistry {
 };
 
 // Kill-switch-aware conveniences over the global registry: no-ops (one
-// relaxed load) when telemetry is disabled.
+// relaxed load) when telemetry is disabled at runtime, and empty inlines —
+// the instrumented layers record nothing even if SetEnabled(true) is called
+// — when compiled out with -DAQED_TELEMETRY=OFF.
+#if AQED_TELEMETRY_ENABLED
 void AddCounter(const std::string& name, uint64_t delta);
 void SetGauge(const std::string& name, int64_t value);
 void AddGauge(const std::string& name, int64_t delta);
 void MaxGauge(const std::string& name, int64_t value);
 // Observes into a default-bucket latency histogram.
 void ObserveLatencyMs(const std::string& name, double ms);
+#else
+inline void AddCounter(const std::string&, uint64_t) {}
+inline void SetGauge(const std::string&, int64_t) {}
+inline void AddGauge(const std::string&, int64_t) {}
+inline void MaxGauge(const std::string&, int64_t) {}
+inline void ObserveLatencyMs(const std::string&, double) {}
+#endif  // AQED_TELEMETRY_ENABLED
 
 }  // namespace aqed::telemetry

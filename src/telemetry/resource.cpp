@@ -1,0 +1,58 @@
+#include "telemetry/resource.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define AQED_HAVE_GETRUSAGE 1
+#else
+#define AQED_HAVE_GETRUSAGE 0
+#endif
+
+namespace aqed::telemetry {
+
+namespace {
+
+// Parses "<Key>:   <value> kB" lines out of /proc/self/status. Returns
+// false when the file cannot be opened (non-Linux); the caller keeps its
+// fallbacks.
+bool ReadProcSelfStatus(ResourceUsage& usage) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    long long value = 0;
+    if (std::sscanf(line, "VmRSS: %lld", &value) == 1) {
+      usage.rss_kb = value;
+    } else if (std::sscanf(line, "VmHWM: %lld", &value) == 1) {
+      usage.peak_rss_kb = value;
+    } else if (std::sscanf(line, "Threads: %lld", &value) == 1) {
+      usage.num_threads = value;
+    }
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+ResourceUsage SampleResourceUsage() {
+  ResourceUsage usage;
+#if AQED_HAVE_GETRUSAGE
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.user_cpu_us =
+        static_cast<int64_t>(ru.ru_utime.tv_sec) * 1000000 + ru.ru_utime.tv_usec;
+    usage.sys_cpu_us =
+        static_cast<int64_t>(ru.ru_stime.tv_sec) * 1000000 + ru.ru_stime.tv_usec;
+    // ru_maxrss is KiB on Linux; used as the peak fallback when /proc is
+    // absent (and overwritten by VmHWM when it is not).
+    usage.peak_rss_kb = ru.ru_maxrss;
+  }
+#endif
+  ReadProcSelfStatus(usage);
+  return usage;
+}
+
+}  // namespace aqed::telemetry

@@ -1,0 +1,91 @@
+#include "telemetry/sampler.h"
+
+#if AQED_TELEMETRY_ENABLED
+
+#include <chrono>
+#include <iterator>
+#include <utility>
+
+namespace aqed::telemetry {
+
+Sampler::Sampler(SamplerOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? *options.registry
+                                            : MetricsRegistry::Global()) {}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::SampleNowLocked() {
+  // Snapshot() takes the registry mutex, never a hot-path lock; the
+  // resource probe is one /proc read. Both are safe under mu_ because the
+  // worker threads never touch mu_.
+  MetricsSnapshot snapshot = registry_.Snapshot();
+  TimeSeriesSample sample;
+  sample.timestamp_us = snapshot.timestamp_us;
+  sample.resources = SampleResourceUsage();
+  sample.counters = std::move(snapshot.counters);
+  sample.gauges = std::move(snapshot.gauges);
+  if (options_.capacity > 0 && ring_.size() >= options_.capacity) {
+    ring_.pop_front();
+    ++num_dropped_;
+  }
+  ring_.push_back(std::move(sample));
+}
+
+void Sampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  SampleNowLocked();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Sampler::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  to_join.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleNowLocked();  // final point: the run's end state
+  running_ = false;
+}
+
+bool Sampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Sampler::Loop() {
+  const auto period =
+      std::chrono::milliseconds(options_.period_ms > 0 ? options_.period_ms : 1);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // wait_for over a stop-predicate: a Stop() mid-period wakes the thread
+    // immediately instead of costing one trailing period.
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+    SampleNowLocked();
+  }
+}
+
+std::vector<TimeSeriesSample> Sampler::TakeSamples() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimeSeriesSample> out(std::make_move_iterator(ring_.begin()),
+                                    std::make_move_iterator(ring_.end()));
+  ring_.clear();
+  return out;
+}
+
+uint64_t Sampler::num_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_dropped_;
+}
+
+}  // namespace aqed::telemetry
+
+#endif  // AQED_TELEMETRY_ENABLED

@@ -1,0 +1,113 @@
+// Session flight recorder: a background thread that periodically snapshots
+// the metrics registry and the process resource probes into a bounded ring
+// of timestamped samples.
+//
+// End-of-run metric snapshots say what a session cost; they cannot say
+// *when* — whether the solver's clause database grew linearly or blew up at
+// one depth, whether RSS plateaued or climbed until the deadline tripped.
+// The sampler turns the registry's live gauges (bmc.current_depth,
+// sat.clauses, sched.queue_depth, ...) into exactly that time series, which
+// the metrics JSONL exporter writes as "sample" lines and aqed-report plots
+// as depth-vs-time / RSS-vs-time charts.
+//
+// Cost model: one sample is a registry snapshot (one mutex acquisition, no
+// hot-path interaction — instruments are wait-free atomics) plus one
+// /proc/self/status read, every period. The ring drops its *oldest* samples
+// past capacity (a flight recorder keeps the most recent history);
+// num_dropped() reports how many were lost.
+//
+// With -DAQED_TELEMETRY=OFF the class is an inert stub: no thread, no
+// samples, nothing to pay for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/resource.h"
+#include "telemetry/telemetry.h"
+
+#if AQED_TELEMETRY_ENABLED
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace aqed::telemetry {
+
+// One flight-recorder sample: registry counters/gauges plus the resource
+// probes at one instant. Histograms are deliberately not sampled — they are
+// cumulative and land once in the final snapshot; per-sample bucket arrays
+// would multiply the export size for no chart.
+struct TimeSeriesSample {
+  uint64_t timestamp_us = 0;  // NowMicros() at the sample
+  ResourceUsage resources;
+  std::vector<MetricsSnapshot::CounterValue> counters;
+  std::vector<MetricsSnapshot::GaugeValue> gauges;
+};
+
+struct SamplerOptions {
+  uint32_t period_ms = 100;   // sampling period (clamped to >= 1)
+  size_t capacity = 4096;     // ring capacity; oldest samples drop first
+  MetricsRegistry* registry = nullptr;  // nullptr = MetricsRegistry::Global()
+};
+
+#if AQED_TELEMETRY_ENABLED
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerOptions options = {});
+  ~Sampler();  // Stop()s
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // Starts the background thread; records one sample immediately so even a
+  // sub-period run has a first point. No-op when already running.
+  void Start();
+
+  // Stops the thread and records one final sample (a start/stop pair
+  // brackets the run even when it outpaces the period). No-op when idle.
+  void Stop();
+
+  bool running() const;
+
+  // Moves the accumulated samples out, oldest first. Callable while
+  // running; subsequent samples accumulate afresh.
+  std::vector<TimeSeriesSample> TakeSamples();
+
+  // Samples lost to the ring bound so far.
+  uint64_t num_dropped() const;
+
+ private:
+  void Loop();
+  void SampleNowLocked();  // caller holds mu_
+
+  const SamplerOptions options_;
+  MetricsRegistry& registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::deque<TimeSeriesSample> ring_;
+  uint64_t num_dropped_ = 0;
+  std::thread thread_;
+};
+
+#else  // !AQED_TELEMETRY_ENABLED
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerOptions = {}) {}
+  void Start() {}
+  void Stop() {}
+  bool running() const { return false; }
+  std::vector<TimeSeriesSample> TakeSamples() { return {}; }
+  uint64_t num_dropped() const { return 0; }
+};
+
+#endif  // AQED_TELEMETRY_ENABLED
+
+}  // namespace aqed::telemetry

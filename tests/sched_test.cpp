@@ -4,8 +4,13 @@
 // and verdict stability across worker counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "accel/motivating.h"
 #include "aqed/checker.h"
@@ -14,6 +19,10 @@
 #include "sched/cancellation.h"
 #include "sched/session.h"
 #include "sched/thread_pool.h"
+#include "telemetry/export.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace aqed::sched {
 namespace {
@@ -249,6 +258,90 @@ TEST(VerificationSessionTest, ExternalCancelStopsPendingJobs) {
   EXPECT_EQ(result.jobs[0].ts, nullptr);
   EXPECT_FALSE(result.bug_found(0));
 }
+
+// --- session telemetry export ------------------------------------------------
+
+#if AQED_TELEMETRY_ENABLED
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+// Restores the process-wide telemetry switch (sessions with sink paths arm
+// it as a side effect) and leaves a clean global tracer behind.
+struct TelemetryCleanup {
+  ~TelemetryCleanup() {
+    telemetry::SetEnabled(false);
+    telemetry::Tracer::Global().Clear();
+  }
+};
+
+TEST(SessionTelemetryTest, WaitExportsTraceMetricsAndFlightRecorderSamples) {
+  TelemetryCleanup cleanup;
+  telemetry::Tracer::Global().Clear();
+  const std::string trace_path = testing::TempDir() + "/aqed_ok_trace.json";
+  const std::string metrics_path =
+      testing::TempDir() + "/aqed_ok_metrics.jsonl";
+  core::SessionOptions session_options;
+  session_options.trace_path = trace_path;
+  session_options.metrics_path = metrics_path;
+  session_options.sample_period_ms = 1;
+  VerificationSession session(session_options);
+  core::AqedOptions options;
+  options.bmc.max_bound = 6;
+  session.Enqueue(ToyBuilder(true), options, "toy");
+  const auto result = session.Wait();
+  EXPECT_TRUE(result.bug_found(0));
+
+  const auto spans = telemetry::ParseChromeTrace(SlurpFile(trace_path));
+  ASSERT_TRUE(spans.has_value());
+  EXPECT_TRUE(std::any_of(spans->begin(), spans->end(), [](const auto& s) {
+    return s.name == "sched.job:toy/FC";
+  }));
+  const auto log = telemetry::ReadMetricsLog(SlurpFile(metrics_path));
+  ASSERT_TRUE(log.has_value());
+  // The sampler brackets the run: at least the start and stop samples.
+  EXPECT_GE(log->samples.size(), 2u);
+}
+
+// Regression test for the RAII export guard: a builder that throws out of
+// an inline Wait() must still leave parseable telemetry files behind — a
+// session that dies mid-run is the one whose telemetry matters most.
+TEST(SessionTelemetryTest, ExportGuardWritesFilesWhenABuilderThrows) {
+  TelemetryCleanup cleanup;
+  telemetry::Tracer::Global().Clear();
+  const std::string trace_path = testing::TempDir() + "/aqed_throw_trace.json";
+  const std::string metrics_path =
+      testing::TempDir() + "/aqed_throw_metrics.jsonl";
+  core::SessionOptions session_options;
+  session_options.jobs = 1;  // inline: the exception escapes Wait()
+  session_options.trace_path = trace_path;
+  session_options.metrics_path = metrics_path;
+  VerificationSession session(session_options);
+  core::AqedOptions options;
+  options.bmc.max_bound = 4;
+  session.Enqueue(ToyBuilder(false), options, "before");
+  session.Enqueue(
+      [](ir::TransitionSystem&) -> core::AcceleratorInterface {
+        throw std::runtime_error("builder exploded");
+      },
+      options, "boom");
+  EXPECT_THROW(session.Wait(), std::runtime_error);
+
+  // Both files exist and parse; the trace covers the work done before the
+  // explosion (the first entry's completed FC job).
+  const auto spans = telemetry::ParseChromeTrace(SlurpFile(trace_path));
+  ASSERT_TRUE(spans.has_value());
+  EXPECT_TRUE(std::any_of(spans->begin(), spans->end(), [](const auto& s) {
+    return s.name == "sched.job:before/FC";
+  }));
+  EXPECT_TRUE(telemetry::ReadMetricsLog(SlurpFile(metrics_path)).has_value());
+}
+
+#endif  // AQED_TELEMETRY_ENABLED
 
 // The scheduler must not change verdicts: the paper's motivating example
 // (clock-enable bug) reports the identical result at every worker count.

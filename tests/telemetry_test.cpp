@@ -1,11 +1,18 @@
 // Telemetry subsystem tests: the runtime kill switch, span recording into
 // per-thread buffers (no events lost across threads or flush boundaries),
 // Chrome trace-event export validity (parseable JSON, per-tid ordering,
-// thread metadata), metrics instruments and registry snapshots, and the
-// JSONL round trip.
+// thread metadata), metrics instruments and registry snapshots, the JSONL
+// round trip (snapshot + flight-recorder time series), the resource probes,
+// the sampler ring, and the HTML report renderer.
+//
+// Span-producing tests are gated on AQED_TELEMETRY_ENABLED: with
+// -DAQED_TELEMETRY=OFF the Span class is an inert stub, and the OFF build
+// instead asserts that stubbed instrumentation records nothing even with
+// the runtime switch forced on.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
 #include <string>
@@ -15,6 +22,9 @@
 #include "telemetry/export.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "telemetry/resource.h"
+#include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -65,6 +75,8 @@ TEST(KillSwitchTest, SpanConstructedWhileDisabledStaysInert) {
 }
 
 // --- spans -------------------------------------------------------------------
+
+#if AQED_TELEMETRY_ENABLED
 
 TEST(SpanTest, RecordsOneCompleteEventWithArgs) {
   ScopedTelemetry telemetry;
@@ -139,8 +151,33 @@ TEST(SpanTest, ConcurrentSpansFromEightThreadsLoseNoEvents) {
   EXPECT_TRUE(Tracer::Global().Drain().empty());
 }
 
+#else  // !AQED_TELEMETRY_ENABLED
+
+TEST(SpanTest, CompiledOutSpansRecordNothingEvenWhenRuntimeEnabled) {
+  ScopedTelemetry telemetry;
+  {
+    TELEMETRY_SPAN("stub.span", {{"k", 1}});
+    Span span("stub.explicit");
+    span.AddArg("k", 2);
+    span.End();
+  }
+  EXPECT_EQ(Tracer::Global().num_recorded(), 0u);
+  // The metric free helpers are empty inlines in this configuration.
+  AddCounter("stub.counter", 5);
+  SetGauge("stub.gauge", 7);
+  for (const auto& c : MetricsRegistry::Global().Snapshot().counters) {
+    EXPECT_NE(c.name, "stub.counter");
+  }
+  for (const auto& g : MetricsRegistry::Global().Snapshot().gauges) {
+    EXPECT_NE(g.name, "stub.gauge");
+  }
+}
+
+#endif  // AQED_TELEMETRY_ENABLED
+
 // --- Chrome trace export -----------------------------------------------------
 
+#if AQED_TELEMETRY_ENABLED
 TEST(ChromeTraceTest, ExportIsValidJsonWithOrderedPerThreadSpans) {
   ScopedTelemetry telemetry;
   std::vector<std::thread> threads;
@@ -203,6 +240,7 @@ TEST(ChromeTraceTest, ExportIsValidJsonWithOrderedPerThreadSpans) {
     EXPECT_EQ(names_per_tid[tid], 1);
   }
 }
+#endif  // AQED_TELEMETRY_ENABLED
 
 TEST(ChromeTraceTest, EscapesSpanNames) {
   ScopedTelemetry telemetry;
@@ -324,6 +362,250 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("[1,]").has_value());
   EXPECT_FALSE(ParseJson("{\"a\":1} trailing").has_value());
   EXPECT_FALSE(ParseJson("'single'").has_value());
+}
+
+TEST(JsonTest, DecodesUnicodeEscapesToUtf8) {
+  // One, two, and three UTF-8 bytes from the BMP.
+  auto json = ParseJson(R"("A=\u0041 \u00e9 \u20ac")");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(json->AsString(), "A=A \xC3\xA9 \xE2\x82\xAC");
+  // A surrogate pair: U+1F600, four UTF-8 bytes.
+  json = ParseJson(R"("\ud83d\ude00")");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(json->AsString(), "\xF0\x9F\x98\x80");
+  // Escaped NUL embeds a real NUL (std::string carries it fine).
+  json = ParseJson(R"("a\u0000b")");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(json->AsString(), std::string("a\0b", 3));
+  // Case-insensitive hex digits.
+  json = ParseJson(R"("\u20AC")");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(json->AsString(), "\xE2\x82\xAC");
+}
+
+TEST(JsonTest, RejectsLoneAndMalformedSurrogates) {
+  EXPECT_FALSE(ParseJson(R"("\ud800")").has_value());        // lone high
+  EXPECT_FALSE(ParseJson(R"("\ude00")").has_value());        // lone low
+  EXPECT_FALSE(ParseJson(R"("\ud83d junk")").has_value());   // high, no pair
+  EXPECT_FALSE(ParseJson(R"("\ud83dA")").has_value());  // high + non-low
+  EXPECT_FALSE(ParseJson(R"("\u12g4")").has_value());        // bad hex digit
+  EXPECT_FALSE(ParseJson(R"("\u12")").has_value());          // truncated
+}
+
+// --- resource probes ---------------------------------------------------------
+
+TEST(ResourceTest, ProbesReportPlausibleValues) {
+  const ResourceUsage usage = SampleResourceUsage();
+  EXPECT_GE(usage.cpu_seconds(), 0.0);
+#if defined(__linux__)
+  EXPECT_GT(usage.rss_kb, 0);
+  EXPECT_GE(usage.peak_rss_kb, usage.rss_kb);
+  EXPECT_GE(usage.num_threads, 1);
+#endif
+}
+
+// --- sampler -----------------------------------------------------------------
+
+#if AQED_TELEMETRY_ENABLED
+
+TEST(SamplerTest, BracketsTheRunAndSnapshotsTheRegistry) {
+  MetricsRegistry registry;
+  registry.counter("s.counter").Add(7);
+  registry.gauge("s.gauge").Set(3);
+  SamplerOptions options;
+  options.period_ms = 1;
+  options.registry = &registry;
+  Sampler sampler(options);
+  EXPECT_FALSE(sampler.running());
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+
+  const auto samples = sampler.TakeSamples();
+  // At least the immediate start sample and the final stop sample.
+  ASSERT_GE(samples.size(), 2u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].timestamp_us, samples[i - 1].timestamp_us);
+  }
+  ASSERT_EQ(samples.front().counters.size(), 1u);
+  EXPECT_EQ(samples.front().counters[0].name, "s.counter");
+  EXPECT_EQ(samples.front().counters[0].value, 7u);
+  ASSERT_EQ(samples.front().gauges.size(), 1u);
+  EXPECT_EQ(samples.front().gauges[0].value, 3);
+  EXPECT_EQ(sampler.num_dropped(), 0u);
+  // TakeSamples moves the ring out.
+  EXPECT_TRUE(sampler.TakeSamples().empty());
+}
+
+TEST(SamplerTest, RingDropsOldestPastCapacity) {
+  MetricsRegistry registry;
+  SamplerOptions options;
+  options.period_ms = 1;
+  options.capacity = 3;
+  options.registry = &registry;
+  Sampler sampler(options);
+  sampler.Start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sampler.num_dropped() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.Stop();
+  EXPECT_GT(sampler.num_dropped(), 0u);
+  const auto samples = sampler.TakeSamples();
+  ASSERT_LE(samples.size(), 3u);
+  ASSERT_GE(samples.size(), 1u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].timestamp_us, samples[i - 1].timestamp_us);
+  }
+}
+
+#else  // !AQED_TELEMETRY_ENABLED
+
+TEST(SamplerTest, CompiledOutStubIsInert) {
+  Sampler sampler;
+  sampler.Start();
+  EXPECT_FALSE(sampler.running());
+  sampler.Stop();
+  EXPECT_TRUE(sampler.TakeSamples().empty());
+  EXPECT_EQ(sampler.num_dropped(), 0u);
+}
+
+#endif  // AQED_TELEMETRY_ENABLED
+
+// --- time-series JSONL round trip --------------------------------------------
+
+TEST(MetricsJsonlTest, TimeSeriesSamplesRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("sat.conflicts").Add(1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::vector<TimeSeriesSample> samples(2);
+  samples[0].timestamp_us = 100;
+  samples[0].resources = {.rss_kb = 11,
+                          .peak_rss_kb = 22,
+                          .user_cpu_us = 33,
+                          .sys_cpu_us = 44,
+                          .num_threads = 5};
+  samples[0].counters = {{"sat.conflicts", 9}};
+  samples[0].gauges = {{"bmc.current_depth", 4}};
+  samples[1].timestamp_us = 200;
+
+  std::ostringstream out;
+  WriteMetricsJsonl(out, snapshot, samples);
+  const auto log = ReadMetricsLog(out.str());
+  ASSERT_TRUE(log.has_value()) << out.str();
+  ASSERT_EQ(log->samples.size(), 2u);
+  const TimeSeriesSample& s0 = log->samples[0];
+  EXPECT_EQ(s0.timestamp_us, 100u);
+  EXPECT_EQ(s0.resources.rss_kb, 11);
+  EXPECT_EQ(s0.resources.peak_rss_kb, 22);
+  EXPECT_EQ(s0.resources.user_cpu_us, 33);
+  EXPECT_EQ(s0.resources.sys_cpu_us, 44);
+  EXPECT_EQ(s0.resources.num_threads, 5);
+  ASSERT_EQ(s0.counters.size(), 1u);
+  EXPECT_EQ(s0.counters[0].name, "sat.conflicts");
+  EXPECT_EQ(s0.counters[0].value, 9u);
+  ASSERT_EQ(s0.gauges.size(), 1u);
+  EXPECT_EQ(s0.gauges[0].name, "bmc.current_depth");
+  EXPECT_EQ(s0.gauges[0].value, 4);
+  EXPECT_TRUE(log->samples[1].counters.empty());
+  // The snapshot-only wrapper still loads files that carry samples.
+  EXPECT_TRUE(ReadMetricsJsonl(out.str()).has_value());
+}
+
+// --- report ------------------------------------------------------------------
+
+// A trace with one job span (entry/attempt at start, bug/frames at end) and
+// one plain nested span, exported and re-parsed.
+std::vector<ReportSpan> ReparsedSpans() {
+  std::vector<TraceEvent> events(2);
+  events[0].name = "sched.job:fifo/RB";
+  events[0].begin_us = 1000;
+  events[0].dur_us = 5000;
+  events[0].tid = 1;
+  events[0].args = {{{"entry", 0}, {"attempt", 0}, {"bug", 1}, {"frames", 4}}};
+  events[0].num_args = 4;
+  events[1].name = "bmc.solve_depth";
+  events[1].begin_us = 1500;
+  events[1].dur_us = 2000;
+  events[1].tid = 2;
+  std::ostringstream out;
+  WriteChromeTrace(out, events);
+  auto spans = ParseChromeTrace(out.str());
+  EXPECT_TRUE(spans.has_value());
+  return spans.value_or(std::vector<ReportSpan>{});
+}
+
+TEST(ReportTest, ChromeTraceRoundTripsThroughParseChromeTrace) {
+  const std::vector<ReportSpan> spans = ReparsedSpans();
+  ASSERT_EQ(spans.size(), 2u);  // thread_name metadata skipped
+  const auto job = std::find_if(
+      spans.begin(), spans.end(),
+      [](const ReportSpan& s) { return s.name == "sched.job:fifo/RB"; });
+  ASSERT_NE(job, spans.end());
+  EXPECT_EQ(job->begin_us, 1000u);
+  EXPECT_EQ(job->dur_us, 5000u);
+  EXPECT_EQ(job->tid, 1u);
+  EXPECT_EQ(job->args.at("bug"), 1);
+  EXPECT_EQ(job->args.at("frames"), 4);
+}
+
+TEST(ReportTest, RejectsNonTraceInput) {
+  EXPECT_FALSE(ParseChromeTrace("not json").has_value());
+  EXPECT_FALSE(ParseChromeTrace("{\"noTraceEvents\":1}").has_value());
+  EXPECT_FALSE(ParseChromeTrace("[1,2]").has_value());
+}
+
+TEST(ReportTest, RendersSelfContainedHtmlWithAllSections) {
+  ReportData data;
+  data.title = "unit <title> & co";
+  data.spans = ReparsedSpans();
+  data.metrics.snapshot.counters.push_back({"sat.conflicts", 42});
+  data.metrics.snapshot.gauges.push_back({"bmc.depth_reached", 6});
+  data.metrics.snapshot.histograms.push_back(
+      {"sched.job_ms", {1.0, 10.0}, {2, 1, 0}, 3, 7.5});
+  TimeSeriesSample sample;
+  sample.timestamp_us = 2000;
+  sample.resources.rss_kb = 1024;
+  sample.gauges = {{"bmc.current_depth", 3}};
+  data.metrics.samples = {sample, sample};
+
+  const std::string html = RenderHtmlReport(data);
+  // Self-contained: no scripts, no external references.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  // The title is HTML-escaped, not injected.
+  EXPECT_NE(html.find("unit &lt;title&gt; &amp; co"), std::string::npos);
+  EXPECT_EQ(html.find("<title> & co"), std::string::npos);
+  // Verdict table: the job span's label and its BUG verdict.
+  EXPECT_NE(html.find("fifo/RB"), std::string::npos);
+  EXPECT_NE(html.find("BUG"), std::string::npos);
+  // Charts and tables render.
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("<polyline"), std::string::npos);
+  EXPECT_NE(html.find("sched.job_ms"), std::string::npos);
+  EXPECT_NE(html.find("sat.conflicts"), std::string::npos);
+  EXPECT_NE(html.find("bmc.solve_depth"), std::string::npos);
+}
+
+TEST(ReportTest, RendersPlaceholdersWhenEitherInputIsMissing) {
+  // Metrics only (no trace): still a document, with empty-state markers.
+  ReportData metrics_only;
+  metrics_only.metrics.snapshot.counters.push_back({"sat.solves", 1});
+  std::string html = RenderHtmlReport(metrics_only);
+  EXPECT_NE(html.find("no sched.job spans"), std::string::npos);
+  EXPECT_NE(html.find("sat.solves"), std::string::npos);
+  // Trace only (no metrics).
+  ReportData trace_only;
+  trace_only.spans = ReparsedSpans();
+  html = RenderHtmlReport(trace_only);
+  EXPECT_NE(html.find("no metrics snapshot"), std::string::npos);
+  EXPECT_NE(html.find("fifo/RB"), std::string::npos);
 }
 
 }  // namespace

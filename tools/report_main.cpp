@@ -1,0 +1,96 @@
+// aqed-report: merges the telemetry files a verification session writes —
+// a Chrome trace JSON (--trace) and/or a metrics JSONL with the
+// flight-recorder time series (--metrics) — into one self-contained HTML
+// report (inline CSS + SVG, opens anywhere, no network references).
+//
+// Usage:
+//   aqed-report [--trace trace.json] [--metrics metrics.jsonl]
+//               [--out report.html] [--title TEXT] [--top-spans N]
+//
+// At least one input is required; each side degrades gracefully when the
+// other is absent (see telemetry/report.h). Exit status: 0 on success, 1 on
+// an unreadable or unparsable input, 2 on bad flags.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "telemetry/report.h"
+
+using namespace aqed;
+
+namespace {
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::FlagParser flags(argc, argv);
+  const std::string trace_path = flags.String("--trace");
+  const std::string metrics_path = flags.String("--metrics");
+  const std::string out_path = flags.String("--out", "aqed-report.html");
+  telemetry::ReportData data;
+  data.title = flags.String("--title", data.title);
+  telemetry::ReportOptions options;
+  options.top_spans = flags.Uint32("--top-spans", options.top_spans);
+  flags.RejectUnknown(argv[0]);
+
+  if (trace_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "%s: nothing to report: give --trace FILE and/or "
+                 "--metrics FILE (plus [--out FILE] [--title TEXT] "
+                 "[--top-spans N])\n",
+                 argv[0]);
+    return 2;
+  }
+
+  if (!trace_path.empty()) {
+    const auto text = ReadFile(trace_path);
+    if (!text) {
+      std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                   trace_path.c_str());
+      return 1;
+    }
+    auto spans = telemetry::ParseChromeTrace(*text);
+    if (!spans) {
+      std::fprintf(stderr, "%s: %s is not a Chrome trace-event JSON\n",
+                   argv[0], trace_path.c_str());
+      return 1;
+    }
+    data.spans = std::move(*spans);
+  }
+
+  if (!metrics_path.empty()) {
+    const auto text = ReadFile(metrics_path);
+    if (!text) {
+      std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                   metrics_path.c_str());
+      return 1;
+    }
+    auto log = telemetry::ReadMetricsLog(*text);
+    if (!log) {
+      std::fprintf(stderr, "%s: %s is not a metrics JSONL\n", argv[0],
+                   metrics_path.c_str());
+      return 1;
+    }
+    data.metrics = std::move(*log);
+  }
+
+  if (!telemetry::WriteHtmlReportFile(out_path, data, options)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", argv[0], out_path.c_str());
+    return 1;
+  }
+  std::printf("aqed-report: %zu spans, %zu samples -> %s\n", data.spans.size(),
+              data.metrics.samples.size(), out_path.c_str());
+  return 0;
+}
