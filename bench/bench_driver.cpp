@@ -24,7 +24,13 @@
 //
 // The matrix is deliberately small (about a minute end to end) so CI can
 // run the *same* scenarios as the committed baselines — scenario names must
-// match for --compare to mean anything.
+// match for --compare to mean anything. Generate and compare baselines with
+// the same --suite selection: peak_rss_kb is the process-wide peak sampled
+// when a suite finishes, so under --suite all the second suite's peak (and
+// each scenario's rss_end_kb) includes memory the earlier suite touched.
+// The baseline is fully loaded before the new BENCH_*.json is opened, so
+// comparing in place against the file being rewritten is safe; restore the
+// committed baseline with git afterwards if the rewrite was unwanted.
 //
 // Flags: --suite sched|fault|all (default all)
 //        --out-dir DIR   where BENCH_*.json land (default ".")
@@ -303,7 +309,7 @@ std::optional<OldSuite> LoadOldSuite(const std::string& path) {
       for (const auto& [key, value] : counters->AsObject()) {
         if (value.is_number()) {
           scenario.counters.emplace_back(
-              key, static_cast<uint64_t>(value.AsNumber()));
+              key, static_cast<uint64_t>(value.AsInt()));
         }
       }
     }
@@ -384,6 +390,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Load the baseline before anything else: the documented in-place usage
+  // (`bench_driver --suite sched --compare BENCH_sched.json` from the repo
+  // root) points --compare at the very file this run will rewrite, so
+  // reading it after opening the output would see a truncated/self-written
+  // file. Loading up front also fails fast on a bad path instead of after a
+  // minute of benchmarks.
+  std::optional<OldSuite> baseline;
+  if (!compare_path.empty()) {
+    baseline = LoadOldSuite(compare_path);
+    if (!baseline) {
+      std::fprintf(stderr, "%s: %s is not an aqed-bench-v1 file\n", argv[0],
+                   compare_path.c_str());
+      return 2;
+    }
+  }
+
   // Counters come from the telemetry registry; arm it (spanless — no trace
   // file is written, the registry is read directly).
   telemetry::SetEnabled(true);
@@ -391,17 +413,25 @@ int main(int argc, char** argv) {
   struct SuiteRun {
     std::string name;
     std::vector<ScenarioResult> scenarios;
+    int64_t peak_rss_kb = 0;
   };
   std::vector<SuiteRun> runs;
+  // Peak RSS is sampled right after each suite so the first suite's number
+  // is untainted by later ones. The process-wide peak is monotonic, so with
+  // --suite all the *second* suite's peak still includes the first — see
+  // the baseline-generation note in the header comment.
   if (suite == "sched" || suite == "all") {
     std::printf("suite sched:\n");
-    runs.push_back({"sched", RunSchedSuite()});
+    std::vector<ScenarioResult> scenarios = RunSchedSuite();
+    runs.push_back({"sched", std::move(scenarios),
+                    telemetry::SampleResourceUsage().peak_rss_kb});
   }
   if (suite == "fault" || suite == "all") {
     std::printf("suite fault:\n");
-    runs.push_back({"fault", RunFaultSuite()});
+    std::vector<ScenarioResult> scenarios = RunFaultSuite();
+    runs.push_back({"fault", std::move(scenarios),
+                    telemetry::SampleResourceUsage().peak_rss_kb});
   }
-  const int64_t peak_rss_kb = telemetry::SampleResourceUsage().peak_rss_kb;
 
   int exit_code = 0;
   for (const SuiteRun& run : runs) {
@@ -411,16 +441,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: cannot write %s\n", argv[0], path.c_str());
       return 1;
     }
-    out << SerializeSuite(run.name, run.scenarios, peak_rss_kb);
+    out << SerializeSuite(run.name, run.scenarios, run.peak_rss_kb);
     std::printf("wrote %s\n", path.c_str());
 
-    if (!compare_path.empty()) {
-      const std::optional<OldSuite> old = LoadOldSuite(compare_path);
-      if (!old) {
-        std::fprintf(stderr, "%s: %s is not an aqed-bench-v1 file\n", argv[0],
-                     compare_path.c_str());
-        return 2;
-      }
+    if (baseline) {
+      const std::optional<OldSuite>& old = baseline;
       if (old->suite != run.name) {
         // With --suite all only the matching suite is compared.
         if (suite != "all") {

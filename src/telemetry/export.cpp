@@ -177,7 +177,7 @@ std::optional<MetricsLog> ReadMetricsLog(std::string_view text) {
     if (type->AsString() == "snapshot") {
       const Json* timestamp = json->Find("timestamp_us");
       if (!timestamp || !timestamp->is_number()) return std::nullopt;
-      snapshot.timestamp_us = static_cast<uint64_t>(timestamp->AsNumber());
+      snapshot.timestamp_us = static_cast<uint64_t>(timestamp->AsInt());
       saw_header = true;
       continue;
     }
@@ -191,7 +191,7 @@ std::optional<MetricsLog> ReadMetricsLog(std::string_view text) {
           !counters->is_object() || !gauges || !gauges->is_object()) {
         return std::nullopt;
       }
-      sample.timestamp_us = static_cast<uint64_t>(timestamp->AsNumber());
+      sample.timestamp_us = static_cast<uint64_t>(timestamp->AsInt());
       const auto read_int = [&](const char* key, int64_t& out_value) {
         const Json* value = json->Find(key);
         if (value && value->is_number()) out_value = value->AsInt();
@@ -203,8 +203,10 @@ std::optional<MetricsLog> ReadMetricsLog(std::string_view text) {
       read_int("threads", sample.resources.num_threads);
       for (const auto& [key, value] : counters->AsObject()) {
         if (!value.is_number()) return std::nullopt;
+        // AsInt, not AsNumber: counter values are uint64 and must survive
+        // the round trip exactly even above 2^53.
         sample.counters.push_back(
-            {key, static_cast<uint64_t>(value.AsNumber())});
+            {key, static_cast<uint64_t>(value.AsInt())});
       }
       for (const auto& [key, value] : gauges->AsObject()) {
         if (!value.is_number()) return std::nullopt;
@@ -220,7 +222,7 @@ std::optional<MetricsLog> ReadMetricsLog(std::string_view text) {
       const Json* value = json->Find("value");
       if (!value || !value->is_number()) return std::nullopt;
       snapshot.counters.push_back(
-          {name->AsString(), static_cast<uint64_t>(value->AsNumber())});
+          {name->AsString(), static_cast<uint64_t>(value->AsInt())});
     } else if (type->AsString() == "gauge") {
       const Json* value = json->Find("value");
       if (!value || !value->is_number()) return std::nullopt;
@@ -242,9 +244,9 @@ std::optional<MetricsLog> ReadMetricsLog(std::string_view text) {
       }
       for (const Json& bucket : counts->AsArray()) {
         if (!bucket.is_number()) return std::nullopt;
-        value.counts.push_back(static_cast<uint64_t>(bucket.AsNumber()));
+        value.counts.push_back(static_cast<uint64_t>(bucket.AsInt()));
       }
-      value.count = static_cast<uint64_t>(count->AsNumber());
+      value.count = static_cast<uint64_t>(count->AsInt());
       value.sum = sum->AsNumber();
       snapshot.histograms.push_back(std::move(value));
     } else {

@@ -1,6 +1,7 @@
 #include "telemetry/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace aqed::telemetry {
@@ -181,15 +182,29 @@ class Parser {
 
   std::optional<Json> ParseNumber() {
     const size_t start = pos_;
+    bool integral = true;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+        integral = false;
+      }
       ++pos_;
     }
     if (pos_ == start) return std::nullopt;
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
+    if (integral) {
+      // Integer literals take the exact int64 path: doubles silently lose
+      // precision above 2^53, which uint64 telemetry counters can exceed.
+      // Out-of-int64-range literals fall through to the double path.
+      errno = 0;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno != ERANGE) {
+        return Json(static_cast<int64_t>(value));
+      }
+    }
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return std::nullopt;
     return Json(value);

@@ -4,7 +4,8 @@
 // metrics JSONL re-loaded by tools like aqed-report) without an external
 // JSON dependency. Scope is deliberately narrow: the full JSON grammar,
 // with \uXXXX escapes decoded to UTF-8 (surrogate pairs included, lone
-// surrogates rejected) and numbers parsed with strtod. Not a
+// surrogates rejected), integer literals kept exact in int64 (doubles lose
+// integers above 2^53), and other numbers parsed with strtod. Not a
 // general-purpose library — everything this repo writes, it reads.
 #pragma once
 
@@ -25,6 +26,13 @@ class Json {
   Json() = default;  // null
   explicit Json(bool value) : kind_(Kind::kBool), bool_(value) {}
   explicit Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  // Integer-valued number: keeps full int64 precision (doubles lose
+  // integers above 2^53, which uint64 telemetry counters can exceed).
+  explicit Json(int64_t value)
+      : kind_(Kind::kNumber),
+        is_int_(true),
+        int_(value),
+        number_(static_cast<double>(value)) {}
   explicit Json(std::string value)
       : kind_(Kind::kString), string_(std::move(value)) {}
 
@@ -39,8 +47,13 @@ class Json {
   bool is_object() const { return kind_ == Kind::kObject; }
 
   bool AsBool() const { return bool_; }
+  // True when the number was an integer literal (no '.', no exponent) that
+  // fits int64 — AsInt() is then exact even beyond 2^53.
+  bool is_integer() const { return is_int_; }
   double AsNumber() const { return number_; }
-  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  int64_t AsInt() const {
+    return is_int_ ? int_ : static_cast<int64_t>(number_);
+  }
   const std::string& AsString() const { return string_; }
   const std::vector<Json>& AsArray() const { return array_; }
   const std::map<std::string, Json>& AsObject() const { return object_; }
@@ -51,6 +64,8 @@ class Json {
  private:
   Kind kind_ = Kind::kNull;
   bool bool_ = false;
+  bool is_int_ = false;
+  int64_t int_ = 0;
   double number_ = 0;
   std::string string_;
   std::vector<Json> array_;

@@ -46,14 +46,17 @@ void Sampler::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
+    // Flip running_ before releasing the lock so a concurrent Stop() bails
+    // out above instead of join()ing the already-moved (non-joinable)
+    // thread_; the joinable() guard below is belt and braces.
+    running_ = false;
     stop_ = true;
     to_join = std::move(thread_);
   }
   cv_.notify_all();
-  to_join.join();
+  if (to_join.joinable()) to_join.join();
   std::lock_guard<std::mutex> lock(mu_);
   SampleNowLocked();  // final point: the run's end state
-  running_ = false;
 }
 
 bool Sampler::running() const {

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
@@ -333,6 +334,24 @@ TEST(MetricsJsonlTest, SnapshotRoundTrips) {
   EXPECT_DOUBLE_EQ(hist.sum, snapshot.histograms[0].sum);
 }
 
+TEST(MetricsJsonlTest, CounterValuesAbove2To53RoundTripExactly) {
+  constexpr uint64_t kBig = (UINT64_C(1) << 53) + 1;  // not double-exact
+  MetricsRegistry registry;
+  registry.counter("big.counter").Add(kBig);
+  std::ostringstream out;
+  std::vector<TimeSeriesSample> samples(1);
+  samples[0].timestamp_us = 1;
+  samples[0].counters = {{"big.counter", kBig}};
+  WriteMetricsJsonl(out, registry.Snapshot(), samples);
+  const auto log = ReadMetricsLog(out.str());
+  ASSERT_TRUE(log.has_value()) << out.str();
+  ASSERT_EQ(log->snapshot.counters.size(), 1u);
+  EXPECT_EQ(log->snapshot.counters[0].value, kBig);
+  ASSERT_EQ(log->samples.size(), 1u);
+  ASSERT_EQ(log->samples[0].counters.size(), 1u);
+  EXPECT_EQ(log->samples[0].counters[0].value, kBig);
+}
+
 TEST(MetricsJsonlTest, RejectsMissingHeaderAndMalformedLines) {
   EXPECT_FALSE(ReadMetricsJsonl("{\"type\":\"counter\",\"name\":\"c\","
                                 "\"value\":1}\n")
@@ -355,6 +374,34 @@ TEST(JsonTest, ParsesNestedValues) {
   EXPECT_TRUE(a[3].is_null());
   EXPECT_EQ(a[4].AsString(), "s\t\"q\"");
   EXPECT_EQ(json->Find("b")->Find("c")->AsInt(), 3);
+}
+
+TEST(JsonTest, IntegerLiteralsKeepInt64Precision) {
+  // 2^53 + 1 is the first integer a double cannot represent.
+  auto json = ParseJson("9007199254740993");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_TRUE(json->is_integer());
+  EXPECT_EQ(json->AsInt(), INT64_C(9007199254740993));
+  json = ParseJson("-9007199254740993");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(json->AsInt(), INT64_C(-9007199254740993));
+  json = ParseJson("1234567890123456789");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(json->AsInt(), INT64_C(1234567890123456789));
+  // Fractions and exponents stay on the double path.
+  json = ParseJson("2.5");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_FALSE(json->is_integer());
+  EXPECT_DOUBLE_EQ(json->AsNumber(), 2.5);
+  json = ParseJson("1e3");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_FALSE(json->is_integer());
+  EXPECT_DOUBLE_EQ(json->AsNumber(), 1000.0);
+  // Integer literals beyond int64 fall back to double, not a parse error.
+  json = ParseJson("99999999999999999999999999");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_FALSE(json->is_integer());
+  EXPECT_GT(json->AsNumber(), 9e24);
 }
 
 TEST(JsonTest, RejectsMalformedInput) {
@@ -460,6 +507,26 @@ TEST(SamplerTest, RingDropsOldestPastCapacity) {
   ASSERT_GE(samples.size(), 1u);
   for (size_t i = 1; i < samples.size(); ++i) {
     EXPECT_GE(samples[i].timestamp_us, samples[i - 1].timestamp_us);
+  }
+}
+
+TEST(SamplerTest, ConcurrentStopCallsAreSafe) {
+  MetricsRegistry registry;
+  SamplerOptions options;
+  options.period_ms = 1;
+  options.registry = &registry;
+  // Racing Stop()s must not double-join (or join a moved-from thread, which
+  // throws std::system_error); exactly one caller records the final sample.
+  for (int round = 0; round < 20; ++round) {
+    Sampler sampler(options);
+    sampler.Start();
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&sampler] { sampler.Stop(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+    EXPECT_FALSE(sampler.running());
+    EXPECT_GE(sampler.TakeSamples().size(), 2u);  // start + final sample
   }
 }
 
