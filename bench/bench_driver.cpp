@@ -37,6 +37,7 @@
 //        --compare OLD.json   compare the matching suite against OLD
 //        --tolerance PCT      regression threshold, percent (default 25)
 //        --warn-only          print regressions but exit 0
+//        --jobs N        cube workers for the hunt_cube scenario (default 8)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -145,10 +146,39 @@ void RunHuntScenario(uint32_t jobs) {
   (void)session.Wait();
 }
 
-std::vector<ScenarioResult> RunSchedSuite() {
+// Single hard property: the portfolio pattern cannot help (there is
+// nothing else to schedule), so this scenario exercises intra-property
+// parallelism instead — the depth-9 FC refutation of the clean FIFO
+// controller stalls past the conflict threshold and escalates into a cube
+// fan-out. A clean design is the honest workload here: every cube must be
+// refuted, so `--jobs` parallelizes real work rather than racing to a
+// lucky model, and the verdict is identical at any job count.
+void RunCubeScenario(uint32_t cube_jobs) {
+  bmc::BmcOptions::CubeEscalation cube;
+  cube.conflict_threshold = 20000;
+  cube.num_split_vars = 3;
+  // Explicit rather than inherited: this session runs `jobs = 1` (one
+  // property — nothing else to overlap), and inheriting would pin the
+  // cube fan-out to one worker too.
+  cube.jobs = cube_jobs;
+  const auto options =
+      core::AqedOptions::Builder().WithBound(9).WithCubes(cube).Build();
+  core::SessionOptions session_options;
+  session_options.jobs = 1;
+  sched::VerificationSession session(session_options);
+  (void)session.Enqueue(
+      [](ir::TransitionSystem& ts) {
+        return accel::BuildMemCtrl(ts, accel::MemCtrlConfig::kFifo).acc;
+      },
+      options, "fifo/clean-cubed");
+  (void)session.Wait();
+}
+
+std::vector<ScenarioResult> RunSchedSuite(uint32_t cube_jobs) {
   return {
       RunScenario("hunt_seq", [] { RunHuntScenario(1); }),
       RunScenario("hunt_par2", [] { RunHuntScenario(2); }),
+      RunScenario("hunt_cube", [&] { RunCubeScenario(cube_jobs); }),
   };
 }
 
@@ -382,6 +412,7 @@ int main(int argc, char** argv) {
   const std::string out_dir = flags.String("--out-dir", ".");
   const std::string compare_path = flags.String("--compare");
   const uint32_t tolerance = flags.Uint32("--tolerance", 25);
+  const uint32_t cube_jobs = flags.Uint32("--jobs", 8);
   const bool warn_only = flags.Switch("--warn-only");
   flags.RejectUnknown(argv[0]);
   if (suite != "sched" && suite != "fault" && suite != "all") {
@@ -422,7 +453,7 @@ int main(int argc, char** argv) {
   // the baseline-generation note in the header comment.
   if (suite == "sched" || suite == "all") {
     std::printf("suite sched:\n");
-    std::vector<ScenarioResult> scenarios = RunSchedSuite();
+    std::vector<ScenarioResult> scenarios = RunSchedSuite(cube_jobs);
     runs.push_back({"sched", std::move(scenarios),
                     telemetry::SampleResourceUsage().peak_rss_kb});
   }

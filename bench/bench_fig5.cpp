@@ -3,6 +3,7 @@
 // corner-case bugs that escape it (paper: 13% unique to A-QED; one bug found
 // via RB, the rest via FC).
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "sched/session.h"
@@ -23,12 +24,13 @@ int main(int argc, char** argv) {
 
   const auto& catalog = accel::MemCtrlBugCatalog();
   sched::VerificationSession session(session_options);
+  std::vector<core::JobHandle> handles;
   for (const auto& info : catalog) {
-    session.Enqueue(
+    handles.push_back(session.Enqueue(
         [&info](ir::TransitionSystem& ts) {
           return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
         },
-        bench::MemCtrlStudyOptions(info.config), info.name);
+        bench::MemCtrlStudyOptions(info.config), info.name));
   }
   const core::SessionResult results = session.Wait();
 
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   for (size_t i = 0; i < catalog.size(); ++i) {
     const auto& info = catalog[i];
+    const core::JobHandle& handle = handles[i];
     ++total;
     const auto campaign = harness::RunCampaign(
         [&](ir::TransitionSystem& ts) {
@@ -46,21 +49,22 @@ int main(int argc, char** argv) {
         bench::MemCtrlConventionalOptions(info.config));
 
     if (campaign.bug_detected) ++conv_detected;
-    if (results.bug_found(i)) {
+    if (results.bug_found(handle)) {
       ++aqed_detected;
-      if (results.kind(i) == core::BugKind::kResponseBound ||
-          results.kind(i) == core::BugKind::kInputStarvation) {
+      if (results.kind(handle) == core::BugKind::kResponseBound ||
+          results.kind(handle) == core::BugKind::kInputStarvation) {
         ++rb_detected;
       } else {
         ++fc_detected;
       }
       if (!campaign.bug_detected) ++aqed_only;
     }
-    if (campaign.bug_detected && results.bug_found(i)) ++both;
-    printf("%-24s %-14s %-12s %-10s\n", info.name,
+    if (campaign.bug_detected && results.bug_found(handle)) ++both;
+    printf("%-24s %-14s %-12s %-10s\n", handle.label().c_str(),
            campaign.bug_detected ? "detected" : "ESCAPED",
-           results.bug_found(i) ? "detected" : "MISSED",
-           results.bug_found(i) ? core::BugKindName(results.kind(i)) : "-");
+           results.bug_found(handle) ? "detected" : "MISSED",
+           results.bug_found(handle) ? core::BugKindName(results.kind(handle))
+                                     : "-");
   }
 
   bench::PrintRule('=');

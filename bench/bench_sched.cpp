@@ -12,6 +12,7 @@
 //   (N > 1 enables the parallel run; default 4. Telemetry files capture the
 //   parallel hunt — the run whose schedule is worth looking at.)
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "sched/session.h"
@@ -56,8 +57,12 @@ constexpr HuntEntry kHunt[] = {
 
 // `telemetry` contributes only the sink paths and the flight-recorder
 // period; scheduling knobs are fixed by the benchmark itself.
-core::SessionResult RunHunt(uint32_t jobs,
-                            const core::SessionOptions& telemetry = {}) {
+struct HuntRun {
+  core::SessionResult result;
+  std::vector<core::JobHandle> handles;  // one per kHunt entry
+};
+
+HuntRun RunHunt(uint32_t jobs, const core::SessionOptions& telemetry = {}) {
   core::SessionOptions options;
   options.jobs = jobs;
   options.cancel = core::SessionOptions::CancelPolicy::kSession;
@@ -65,23 +70,26 @@ core::SessionResult RunHunt(uint32_t jobs,
   options.metrics_path = telemetry.metrics_path;
   options.sample_period_ms = telemetry.sample_period_ms;
   sched::VerificationSession session(options);
+  HuntRun run;
   for (const HuntEntry& entry : kHunt) {
-    session.Enqueue(
+    run.handles.push_back(session.Enqueue(
         [&entry](ir::TransitionSystem& ts) {
           return accel::BuildMemCtrl(ts, entry.config, entry.bug).acc;
         },
-        HuntOptions(entry.config), entry.name);
+        HuntOptions(entry.config), entry.name));
   }
-  return session.Wait();
+  run.result = session.Wait();
+  return run;
 }
 
-void PrintVerdicts(const core::SessionResult& result) {
-  for (size_t i = 0; i < std::size(kHunt); ++i) {
-    if (result.bug_found(i)) {
-      printf("  %-22s BUG %s, %u-cycle trace\n", kHunt[i].name,
-             core::BugKindName(result.kind(i)), result.cex_cycles(i));
+void PrintVerdicts(const HuntRun& run) {
+  for (const core::JobHandle& handle : run.handles) {
+    if (run.result.bug_found(handle)) {
+      printf("  %-22s BUG %s, %u-cycle trace\n", handle.label().c_str(),
+             core::BugKindName(run.result.kind(handle)),
+             run.result.cex_cycles(handle));
     } else {
-      printf("  %-22s clean within bound\n", kHunt[i].name);
+      printf("  %-22s clean within bound\n", handle.label().c_str());
     }
   }
 }
@@ -99,15 +107,15 @@ int main(int argc, char** argv) {
   bench::PrintRule('=');
 
   printf("--jobs 1 (sequential baseline)\n");
-  const core::SessionResult serial = RunHunt(1);
+  const HuntRun serial = RunHunt(1);
   PrintVerdicts(serial);
-  printf("%s", serial.stats.ToTable().c_str());
+  printf("%s", serial.result.stats.ToTable().c_str());
   bench::PrintRule();
 
   printf("--jobs %u (first bug cancels the session)\n", jobs);
-  const core::SessionResult parallel = RunHunt(jobs, parsed);
+  const HuntRun parallel = RunHunt(jobs, parsed);
   PrintVerdicts(parallel);
-  printf("%s", parallel.stats.ToTable().c_str());
+  printf("%s", parallel.result.stats.ToTable().c_str());
   bench::PrintRule('=');
   if (!parsed.trace_path.empty()) {
     printf("trace written to %s (load in https://ui.perfetto.dev)\n",
@@ -121,19 +129,23 @@ int main(int argc, char** argv) {
   // never a verdict.
   bool verdicts_match = true;
   for (size_t i = 0; i < std::size(kHunt); ++i) {
-    if (serial.bug_found(i) != parallel.bug_found(i) ||
-        (serial.bug_found(i) && (serial.kind(i) != parallel.kind(i) ||
-                                 serial.cex_cycles(i) !=
-                                     parallel.cex_cycles(i)))) {
+    const core::JobHandle& s = serial.handles[i];
+    const core::JobHandle& p = parallel.handles[i];
+    if (serial.result.bug_found(s) != parallel.result.bug_found(p) ||
+        (serial.result.bug_found(s) &&
+         (serial.result.kind(s) != parallel.result.kind(p) ||
+          serial.result.cex_cycles(s) != parallel.result.cex_cycles(p)))) {
       printf("VERDICT MISMATCH on %s\n", kHunt[i].name);
       verdicts_match = false;
     }
   }
-  const double speedup =
-      parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds
-                                : 0.0;
+  const double speedup = parallel.result.wall_seconds > 0
+                             ? serial.result.wall_seconds /
+                                   parallel.result.wall_seconds
+                             : 0.0;
   printf("wall: %.3fs sequential vs %.3fs at --jobs %u  =>  %.2fx %s\n",
-         serial.wall_seconds, parallel.wall_seconds, jobs, speedup,
+         serial.result.wall_seconds, parallel.result.wall_seconds, jobs,
+         speedup,
          verdicts_match ? "(identical verdicts)" : "(VERDICTS DIFFER)");
   return verdicts_match && speedup >= 1.5 ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 // dramatically shorter than conventional failure traces (paper: 37x), and
 // (b) A-QED detection is fast.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "sched/session.h"
@@ -31,12 +32,13 @@ int main(int argc, char** argv) {
   // run concurrently under --jobs N.
   const auto& catalog = accel::MemCtrlBugCatalog();
   sched::VerificationSession session(session_options);
+  std::vector<core::JobHandle> handles;
   for (const auto& info : catalog) {
-    session.Enqueue(
+    handles.push_back(session.Enqueue(
         [&info](ir::TransitionSystem& ts) {
           return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
         },
-        bench::MemCtrlStudyOptions(info.config), info.name);
+        bench::MemCtrlStudyOptions(info.config), info.name));
   }
   const core::SessionResult results = session.Wait();
 
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   for (size_t i = 0; i < catalog.size(); ++i) {
     const auto& info = catalog[i];
+    const core::JobHandle& handle = handles[i];
     const auto campaign = harness::RunCampaign(
         [&](ir::TransitionSystem& ts) {
           return accel::BuildMemCtrl(ts, info.config, info.bug).acc;
@@ -52,17 +55,18 @@ int main(int argc, char** argv) {
         accel::MemCtrlGolden(info.config),
         bench::MemCtrlConventionalOptions(info.config));
 
-    if (results.bug_found(i)) {
-      aqed_runtime.Add(results.solver_seconds(i));
-      aqed_trace.Add(results.cex_cycles(i));
+    if (results.bug_found(handle)) {
+      aqed_runtime.Add(results.solver_seconds(handle));
+      aqed_trace.Add(results.cex_cycles(handle));
     }
     if (campaign.bug_detected) {
       conv_runtime.Add(campaign.seconds);
       conv_trace.Add(static_cast<double>(campaign.detection_cycle));
     }
-    printf("%-24s %-6s %10.3f %8u | ", info.name,
-           results.bug_found(i) ? core::BugKindName(results.kind(i)) : "MISS",
-           results.solver_seconds(i), results.cex_cycles(i));
+    printf("%-24s %-6s %10.3f %8u | ", handle.label().c_str(),
+           results.bug_found(handle) ? core::BugKindName(results.kind(handle))
+                                     : "MISS",
+           results.solver_seconds(handle), results.cex_cycles(handle));
     if (campaign.bug_detected) {
       printf("%12.3f %10llu\n", campaign.seconds,
              static_cast<unsigned long long>(campaign.detection_cycle));

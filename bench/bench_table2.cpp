@@ -99,8 +99,9 @@ int main(int argc, char** argv) {
   // One session entry per design row; under --jobs N the per-property jobs
   // of every design run concurrently with first-bug-wins inside each entry.
   sched::VerificationSession session(session_options);
+  std::vector<core::JobHandle> handles;
   for (const Row& row : rows) {
-    session.Enqueue(row.build, row.options, row.design);
+    handles.push_back(session.Enqueue(row.build, row.options, row.design));
   }
   const core::SessionResult results = session.Wait();
 
@@ -111,14 +112,17 @@ int main(int argc, char** argv) {
   bool kinds_match = true;
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    all_found &= results.bug_found(i);
-    const bool is_rb = results.kind(i) == core::BugKind::kResponseBound ||
-                       results.kind(i) == core::BugKind::kInputStarvation;
-    const char* kind = !results.bug_found(i) ? "MISS" : (is_rb ? "RB" : "FC");
-    kinds_match &= results.bug_found(i) &&
+    const core::JobHandle& handle = handles[i];
+    all_found &= results.bug_found(handle);
+    const bool is_rb =
+        results.kind(handle) == core::BugKind::kResponseBound ||
+        results.kind(handle) == core::BugKind::kInputStarvation;
+    const char* kind =
+        !results.bug_found(handle) ? "MISS" : (is_rb ? "RB" : "FC");
+    kinds_match &= results.bug_found(handle) &&
                    ((row.paper_bug[0] == 'R') == is_rb);
     printf("%-26s %-14s %-5s %10.3f %8u %12s\n", row.source, row.design,
-           kind, results.solver_seconds(i), results.cex_cycles(i),
+           kind, results.solver_seconds(handle), results.cex_cycles(handle),
            row.paper_cex);
   }
   bench::PrintRule('=');

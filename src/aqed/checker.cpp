@@ -64,6 +64,15 @@ Status AqedOptions::Validate() const {
   if (rb.has_value() && rb->tau == 0) {
     return Status::Error("rb.tau must be at least 1");
   }
+  if (bmc.cube.enabled) {
+    if (bmc.cube.conflict_threshold <= 0) {
+      return Status::Error(
+          "cube.conflict_threshold must be positive when cubes are enabled");
+    }
+    if (bmc.cube.num_split_vars == 0 || bmc.cube.num_split_vars > 16) {
+      return Status::Error("cube.num_split_vars must be in [1, 16]");
+    }
+  }
   if (rb.has_value() && rb->in_min == 0) {
     return Status::Error("rb.in_min must be at least 1");
   }
@@ -116,6 +125,13 @@ AqedOptions::Builder& AqedOptions::Builder::WithSacBound(uint32_t bound) {
 AqedOptions::Builder& AqedOptions::Builder::WithConflictBudget(
     int64_t budget) {
   options_.bmc.conflict_budget = budget;
+  return *this;
+}
+
+AqedOptions::Builder& AqedOptions::Builder::WithCubes(
+    bmc::BmcOptions::CubeEscalation cube) {
+  cube.enabled = true;
+  options_.bmc.cube = cube;
   return *this;
 }
 

@@ -96,6 +96,10 @@ class AqedOptions::Builder {
   Builder& WithRbBound(uint32_t bound);
   Builder& WithSacBound(uint32_t bound);
   Builder& WithConflictBudget(int64_t budget);
+  // Cube-and-conquer escalation for stalled depths (intra-property
+  // parallelism; see bmc::BmcOptions::CubeEscalation). enabled is set for
+  // the caller.
+  Builder& WithCubes(bmc::BmcOptions::CubeEscalation cube);
   Builder& WithPreprocessing(bool enabled);
   Builder& WithValidation(bool replay_counterexamples);
   Builder& WithSolverOptions(sat::Solver::Options solver_options);
@@ -197,6 +201,30 @@ struct SessionOptions {
   RetryPolicy retry;
 };
 
+// Typed handle to one VerificationSession entry — the unit an Enqueue()
+// call creates. Replaces the bare size_t the session used to return: the
+// handle carries the label it was enqueued under (for reports and error
+// messages) and makes it impossible to feed a job count, loop counter, or
+// other stray integer to a SessionResult accessor unnoticed. The wrapped
+// index is still reachable (index()) for map keys and legacy call sites.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  JobHandle(size_t index, std::string label)
+      : index_(index), label_(std::move(label)) {}
+
+  size_t index() const { return index_; }
+  const std::string& label() const { return label_; }
+
+  bool operator==(const JobHandle& other) const {
+    return index_ == other.index_;
+  }
+
+ private:
+  size_t index_ = 0;
+  std::string label_;
+};
+
 // Outcome of one verification job (one property group on one design copy).
 struct JobResult {
   size_t entry = 0;        // index returned by the Enqueue() that spawned it
@@ -256,6 +284,34 @@ struct SessionResult {
   // property runs).
   double solver_seconds(size_t entry = 0) const;
   uint64_t conflicts(size_t entry = 0) const;
+
+  // Handle-taking overloads: the preferred accessors when the Enqueue()
+  // handle is in hand (benches, tests, campaigns iterate their handles
+  // instead of re-deriving entry indices).
+  const JobResult* FirstBug(const JobHandle& h) const {
+    return FirstBug(h.index());
+  }
+  const JobResult& Reported(const JobHandle& h) const {
+    return Reported(h.index());
+  }
+  bool bug_found(const JobHandle& h) const { return bug_found(h.index()); }
+  BugKind kind(const JobHandle& h) const { return kind(h.index()); }
+  uint32_t cex_cycles(const JobHandle& h) const {
+    return cex_cycles(h.index());
+  }
+  UnknownReason unknown_reason(const JobHandle& h) const {
+    return unknown_reason(h.index());
+  }
+  const AqedResult& aqed(const JobHandle& h) const { return aqed(h.index()); }
+  const ir::TransitionSystem& ts(const JobHandle& h) const {
+    return ts(h.index());
+  }
+  double solver_seconds(const JobHandle& h) const {
+    return solver_seconds(h.index());
+  }
+  uint64_t conflicts(const JobHandle& h) const {
+    return conflicts(h.index());
+  }
 };
 
 // Preferred top-level entry point: checks each enabled property group (FC,

@@ -1,8 +1,12 @@
 #include "bmc/engine.h"
 
+#include <atomic>
+#include <memory>
 #include <numeric>
 
+#include "sat/cube.h"
 #include "sat/preprocessor.h"
+#include "sched/thread_pool.h"
 #include "support/stats.h"
 #include "support/status.h"
 #include "telemetry/metrics.h"
@@ -18,6 +22,8 @@ struct DepthQuery {
   std::vector<sat::LBool> model;  // over the main solver's variables
   uint64_t conflicts = 0;
   uint64_t decisions = 0;
+  bool cube_escalated = false;
+  uint64_t cubes_solved = 0;
 };
 
 // Solves "target holds at this depth" on a preprocessed copy of the current
@@ -38,11 +44,9 @@ DepthQuery SolvePreprocessed(const sat::Solver& main_solver, sat::Lit target,
     query.result = sat::SolveResult::kUnsat;
     return query;
   }
-  if (options.conflict_budget >= 0) {
-    scratch.SetConflictBudget(options.conflict_budget);
-  }
   const sat::Lit assumptions[] = {target};
-  query.result = scratch.Solve(assumptions);
+  query.result = scratch.Solve(
+      assumptions, sat::SolveLimits{.max_conflicts = options.conflict_budget});
   query.conflicts = scratch.stats().conflicts;
   query.decisions = scratch.stats().decisions;
   if (query.result == sat::SolveResult::kSat) {
@@ -53,21 +57,162 @@ DepthQuery SolvePreprocessed(const sat::Solver& main_solver, sat::Lit target,
   return query;
 }
 
-// Solves directly on the incremental main solver.
+// Solves directly on the incremental main solver under the given conflict
+// limit (negative: unlimited).
 DepthQuery SolveIncremental(sat::Solver& main_solver, sat::Lit target,
-                            const BmcOptions& options) {
+                            int64_t max_conflicts) {
   DepthQuery query;
   const uint64_t conflicts_before = main_solver.stats().conflicts;
   const uint64_t decisions_before = main_solver.stats().decisions;
-  if (options.conflict_budget >= 0) {
-    main_solver.SetConflictBudget(options.conflict_budget);
-  }
   const sat::Lit assumptions[] = {target};
-  query.result = main_solver.Solve(assumptions);
+  query.result = main_solver.Solve(
+      assumptions, sat::SolveLimits{.max_conflicts = max_conflicts});
   query.conflicts = main_solver.stats().conflicts - conflicts_before;
   query.decisions = main_solver.stats().decisions - decisions_before;
   if (query.result == sat::SolveResult::kSat) query.model = main_solver.model();
   return query;
+}
+
+// One cube worker's outcome; slots are written by exactly one pool task.
+struct CubeOutcome {
+  sat::SolveResult result = sat::SolveResult::kUnknown;
+  std::vector<sat::LBool> model;  // set on kSat
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  bool ran = false;  // false: skipped because a sibling already won
+};
+
+// Cube-and-conquer fan-out for one stalled depth: splits on the main
+// solver's hottest VSIDS variables and solves every cube on its own clone
+// of the incremental solver, concurrently. First SAT wins and cancels the
+// sibling cubes; UNSAT requires every cube refuted.
+DepthQuery SolveCubes(sat::Solver& main_solver, sat::Lit target,
+                      const BmcOptions& options, uint32_t depth,
+                      int64_t per_cube_budget) {
+  DepthQuery query;
+  query.cube_escalated = true;
+
+  const sat::CubeSplitter splitter(
+      {.num_split_vars = options.cube.num_split_vars,
+       .seed = options.cube.seed});
+  const std::vector<std::vector<sat::Lit>> cubes = splitter.Split(main_solver);
+  if (cubes.empty()) return query;  // nothing free to branch on: kUnknown
+
+  telemetry::Span span("bmc.cube_escalation",
+                       {{"depth", depth},
+                        {"cubes", static_cast<int64_t>(cubes.size())}});
+  telemetry::AddCounter("bmc.cube_escalations", 1);
+
+  // First-SAT-wins: the winner trips this source; sibling cubes observe it
+  // through their solver token at the next search-loop poll and stop. The
+  // parent token (session / deadline) stays merged in, so an outer cancel
+  // still lands mid-cube.
+  sched::CancellationSource won;
+  sat::Solver::Options worker_options = options.solver_options;
+  worker_options.cancel =
+      sched::CancellationToken::Any(options.cancel, won.token());
+
+  std::vector<CubeOutcome> outcomes(cubes.size());
+  const uint32_t jobs = options.cube.jobs == 0
+                            ? sched::ThreadPool::HardwareJobs()
+                            : options.cube.jobs;
+  {
+    // A pool local to the escalation: a session job runs *on* a session
+    // pool worker, and submitting subtasks to the pool you occupy deadlocks
+    // its Wait(). Thread spin-up is noise next to the seconds of SAT search
+    // that triggered the escalation.
+    sched::ThreadPool pool(
+        std::min<uint32_t>(jobs, static_cast<uint32_t>(cubes.size())));
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      pool.Submit([&, i] {
+        if (worker_options.cancel.cancelled()) return;  // sibling already won
+        telemetry::Span cube_span(
+            "bmc.cube_solve",
+            {{"depth", depth}, {"cube", static_cast<int64_t>(i)}});
+        const std::unique_ptr<sat::Solver> worker =
+            main_solver.Clone(worker_options);
+        std::vector<sat::Lit> assumptions = cubes[i];
+        assumptions.push_back(target);
+        CubeOutcome& out = outcomes[i];
+        out.ran = true;
+        out.result = worker->Solve(
+            assumptions, sat::SolveLimits{.max_conflicts = per_cube_budget});
+        out.conflicts = worker->stats().conflicts;
+        out.decisions = worker->stats().decisions;
+        telemetry::AddCounter("sat.cubes", 1);
+        if (telemetry::Enabled()) {
+          cube_span.AddArg("result", static_cast<int64_t>(out.result));
+          cube_span.AddArg("conflicts",
+                           static_cast<int64_t>(out.conflicts));
+        }
+        if (out.result == sat::SolveResult::kSat) {
+          out.model = worker->model();
+          won.Cancel(sched::CancelReason::kCubeSolved);
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  bool all_unsat = true;
+  size_t sat_cube = cubes.size();
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    const CubeOutcome& out = outcomes[i];
+    if (out.ran) ++query.cubes_solved;
+    query.conflicts += out.conflicts;
+    query.decisions += out.decisions;
+    if (out.result == sat::SolveResult::kSat && sat_cube == cubes.size()) {
+      sat_cube = i;  // lowest emitted index wins the report, for determinism
+    }
+    if (out.result != sat::SolveResult::kUnsat) all_unsat = false;
+  }
+  if (sat_cube < cubes.size()) {
+    query.result = sat::SolveResult::kSat;
+    query.model = std::move(outcomes[sat_cube].model);
+  } else if (all_unsat) {
+    query.result = sat::SolveResult::kUnsat;
+  }
+  // else kUnknown: an un-won cube ran out of budget or an outer cancel
+  // fired; the caller tells the two apart through options.cancel.
+  if (telemetry::Enabled()) {
+    span.AddArg("result", static_cast<int64_t>(query.result));
+  }
+  return query;
+}
+
+// One depth's query on the incremental solver, with the cube-and-conquer
+// escalation policy layered on when enabled: a monolithic attempt under the
+// escalation threshold first, then the cube fan-out for depths that stall.
+DepthQuery SolveWithEscalation(sat::Solver& main_solver, sat::Lit target,
+                               const BmcOptions& options, uint32_t depth) {
+  const int64_t budget = options.conflict_budget;
+  const bool can_escalate =
+      options.cube.enabled && options.cube.conflict_threshold > 0 &&
+      // A depth budget at or under the threshold exhausts for real before
+      // the escalation could fire.
+      (budget < 0 || budget > options.cube.conflict_threshold);
+  const int64_t first_attempt =
+      can_escalate ? options.cube.conflict_threshold : budget;
+
+  DepthQuery query = SolveIncremental(main_solver, target, first_attempt);
+  if (query.result != sat::SolveResult::kUnknown || !can_escalate ||
+      options.cancel.cancelled()) {
+    return query;
+  }
+
+  // The monolithic attempt stalled: hand the depth to the cubes. Each cube
+  // gets the depth budget net of what the attempt already spent — cubes are
+  // strictly easier instances, so the un-divided remainder is generous
+  // without being unbounded.
+  const int64_t per_cube_budget =
+      budget < 0 ? -1
+                 : std::max<int64_t>(
+                       budget - options.cube.conflict_threshold, 1);
+  DepthQuery cube_query =
+      SolveCubes(main_solver, target, options, depth, per_cube_budget);
+  cube_query.conflicts += query.conflicts;
+  cube_query.decisions += query.decisions;
+  return cube_query;
 }
 
 }  // namespace
@@ -76,8 +221,15 @@ BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options_in) {
   const Status valid = ts.Validate();
   AQED_CHECK(valid.ok(), "RunBmc on invalid system: " + valid.message());
 
-  // Forward the cancellation token into the solver(s) so a cancel lands
-  // mid-refutation, not only between depths.
+  // One token, threaded top-down: BmcOptions::cancel is forwarded into
+  // every solver this run creates, so a cancel lands mid-refutation, not
+  // only between depths. A solver_options token that observes *different*
+  // sources is a wiring bug (the legacy two-knob plumbing silently
+  // clobbered it here) — reject it loudly.
+  AQED_CHECK(!options_in.solver_options.cancel.armed() ||
+                 options_in.solver_options.cancel == options_in.cancel,
+             "BmcOptions::solver_options.cancel conflicts with "
+             "BmcOptions::cancel; arm only the top-level token");
   BmcOptions options = options_in;
   options.solver_options.cancel = options.cancel;
 
@@ -122,13 +274,18 @@ BmcResult RunBmc(const ir::TransitionSystem& ts, const BmcOptions& options_in) {
     if (solver.inconsistent()) break;       // constraints are contradictory
 
     telemetry::Span solve_span("bmc.solve_depth", {{"depth", depth}});
+    // Cube escalation rides the incremental path only: the preprocessed
+    // path already rebuilds a scratch solver per depth and has no VSIDS
+    // history for the splitter to read.
     const DepthQuery query =
         options.use_preprocessing
             ? SolvePreprocessed(solver, any_bad, options)
-            : SolveIncremental(solver, any_bad, options);
+            : SolveWithEscalation(solver, any_bad, options, depth);
     solve_span.End();
     result.conflicts += query.conflicts;
     result.decisions += query.decisions;
+    if (query.cube_escalated) ++result.cube_escalations;
+    result.cubes_solved += query.cubes_solved;
     if (query.result == sat::SolveResult::kUnknown) {
       if (options.cancel.cancelled()) {
         result.cancelled = true;

@@ -35,9 +35,41 @@ struct BmcOptions {
   // clauses; see bench_ablation_sat for the measured effect).
   bool use_preprocessing = false;
   // Cooperative cancellation (first-bug-wins sessions): checked at every
-  // depth and forwarded into the SAT solver's search loop. When it fires,
-  // the run stops with outcome kUnknown and `cancelled` set.
+  // depth and forwarded into the SAT solver's search loop. This is the ONE
+  // cancellation token of a BMC run, threaded top-down into every solver it
+  // creates (including cube workers). Leave solver_options.cancel unarmed:
+  // RunBmc rejects (AQED_CHECK) a solver_options token that observes
+  // different sources than this one — the old two-knob plumbing silently
+  // clobbered it, which hid real wiring bugs.
   sched::CancellationToken cancel;
+
+  // Cube-and-conquer escalation for a stalled depth (see DESIGN.md,
+  // "Intra-property parallelism"). When the incremental solve of one depth
+  // exceeds `conflict_threshold` conflicts, the engine abandons it, splits
+  // the query into up to 2^num_split_vars cubes on the top VSIDS decision
+  // variables (sat::CubeSplitter), clones the incremental solver per cube
+  // (sat::Solver::Clone), and solves the cubes concurrently on a
+  // sched::ThreadPool local to the escalation. The first SAT cube wins and
+  // cancels its siblings (CancelReason::kCubeSolved); the depth is refuted
+  // only when every cube comes back UNSAT. Soundness: the cubes partition
+  // the search space, and each worker starts from a clone of the exact
+  // incremental formula.
+  struct CubeEscalation {
+    bool enabled = false;
+    // Split variables m: up to 2^m cubes per escalated depth.
+    uint32_t num_split_vars = 3;
+    // Conflicts granted to the monolithic attempt before escalating. Must
+    // be positive when enabled — the attempt both filters depths that never
+    // needed splitting and builds the VSIDS profile the splitter reads.
+    int64_t conflict_threshold = 20000;
+    // Cube worker threads: 0 = inherit (the session's worker count when run
+    // under a VerificationSession, hardware concurrency standalone).
+    uint32_t jobs = 0;
+    // Cube emission order seed (sat::CubeSplitOptions::seed).
+    uint64_t seed = 0;
+  };
+  CubeEscalation cube;
+
   sat::Solver::Options solver_options;
 };
 
@@ -65,6 +97,11 @@ struct BmcResult {
   uint64_t conflicts = 0;
   uint64_t decisions = 0;
   uint64_t clauses = 0;
+  // Cube-and-conquer accounting (zero unless BmcOptions::cube fired):
+  // depths whose monolithic attempt stalled and was split, and the total
+  // cube solves executed across them (cancelled siblings included).
+  uint64_t cube_escalations = 0;
+  uint64_t cubes_solved = 0;
 
   bool found_bug() const { return outcome == Outcome::kCounterexample; }
 };

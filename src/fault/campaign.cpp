@@ -63,6 +63,7 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
   struct EntryInfo {
     size_t design;
     MutantKey key;
+    core::JobHandle handle;
   };
   std::vector<EntryInfo> entries;
   const size_t num_designs = designs.size();
@@ -76,9 +77,10 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     const core::AcceleratorInterface acc = designs[d].build(scratch);
     for (const MutantKey& key :
          SampleMutants(scratch, acc, options.seed, share)) {
-      entries.push_back({d, key});
-      session.Enqueue(MutantBuilder(designs[d].build, key), designs[d].options,
-                      designs[d].name + "/" + key.ToString());
+      core::JobHandle handle = session.Enqueue(
+          MutantBuilder(designs[d].build, key), designs[d].options,
+          designs[d].name + "/" + key.ToString());
+      entries.push_back({d, key, std::move(handle)});
     }
   }
 
@@ -94,7 +96,7 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     bool inconclusive = false;
     UnknownReason reason = UnknownReason::kNone;
     for (const core::JobResult& job : session_result.jobs) {
-      if (job.entry != e) continue;
+      if (job.entry != entries[e].handle.index()) continue;
       report.attempts = std::max(report.attempts, job.attempt + 1);
       report.wall_seconds += job.wall_seconds;
       if (job.result.bug_found) {

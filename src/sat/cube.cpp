@@ -1,0 +1,28 @@
+#include "sat/cube.h"
+
+#include "support/rng.h"
+
+namespace aqed::sat {
+
+std::vector<std::vector<Lit>> CubeSplitter::Split(const Solver& solver) const {
+  const std::vector<Var> split_vars =
+      solver.TopActivityVars(options_.num_split_vars);
+  if (split_vars.empty()) return {};
+
+  const size_t num_cubes = size_t{1} << split_vars.size();
+  std::vector<std::vector<Lit>> cubes(num_cubes);
+  for (size_t mask = 0; mask < num_cubes; ++mask) {
+    cubes[mask].reserve(split_vars.size());
+    for (size_t i = 0; i < split_vars.size(); ++i) {
+      cubes[mask].push_back(Lit(split_vars[i], (mask >> i & 1) != 0));
+    }
+  }
+  // Deterministic Fisher-Yates on the emission order (see CubeSplitOptions).
+  Rng rng(options_.seed);
+  for (size_t i = num_cubes - 1; i > 0; --i) {
+    std::swap(cubes[i], cubes[rng.NextBelow(i + 1)]);
+  }
+  return cubes;
+}
+
+}  // namespace aqed::sat

@@ -1,0 +1,50 @@
+// Cube-and-conquer splitting for a stalled incremental SAT query.
+//
+// A cube is a partial assignment passed to a solver as extra assumptions.
+// The splitter picks the top-m unassigned variables by VSIDS activity — the
+// variables the stalled search itself judged most decision-worthy — and
+// emits all 2^m sign combinations. The cubes partition the search space:
+// the query is SAT iff some cube is SAT, and refuted iff every cube is
+// UNSAT, so solving them on independent solver clones (Solver::Clone) is a
+// sound parallelization of one hard query. The BMC engine's escalation
+// policy (bmc::BmcOptions::cube) is the production consumer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace aqed::sat {
+
+struct CubeSplitOptions {
+  // Number of split variables m; up to 2^m cubes are emitted (fewer only
+  // when the solver has fewer free variables).
+  uint32_t num_split_vars = 3;
+  // Seed for the deterministic shuffle of the emitted cube order. The order
+  // decides which cube a sequential (or narrow) worker pool tries first —
+  // shuffling decorrelates that from the phase-saving polarity so a
+  // first-SAT-wins race is not systematically won by cube 0. The same seed
+  // over the same solver state always yields the same cube list.
+  uint64_t seed = 0;
+};
+
+class CubeSplitter {
+ public:
+  explicit CubeSplitter(CubeSplitOptions options = {}) : options_(options) {}
+
+  // Splits the solver's current search space. Returns 2^k cubes over the
+  // top-k activity variables (k = min(num_split_vars, free variables)),
+  // pairwise disjoint and jointly exhaustive; an empty list when the solver
+  // has no free variable to branch on. Deterministic: same solver state and
+  // options, same cubes in the same order.
+  std::vector<std::vector<Lit>> Split(const Solver& solver) const;
+
+  const CubeSplitOptions& options() const { return options_; }
+
+ private:
+  CubeSplitOptions options_;
+};
+
+}  // namespace aqed::sat

@@ -575,7 +575,53 @@ SolveResult Solver::Search(int64_t conflicts_budget) {
   }
 }
 
-SolveResult Solver::Solve(std::span<const Lit> assumptions) {
+std::unique_ptr<Solver> Solver::Clone(const Options& options) const {
+  AQED_CHECK(DecisionLevel() == 0, "Clone requires decision level 0");
+  auto clone = std::make_unique<Solver>(options);
+  clone->arena_ = arena_;
+  clone->clauses_ = clauses_;
+  clone->learnts_ = learnts_;
+  clone->num_problem_clauses_ = num_problem_clauses_;
+  clone->assigns_ = assigns_;
+  clone->model_ = model_;
+  clone->polarity_ = polarity_;
+  clone->activity_ = activity_;
+  clone->reason_ = reason_;
+  clone->level_ = level_;
+  clone->watches_ = watches_;
+  clone->trail_ = trail_;
+  clone->trail_lim_ = trail_lim_;
+  clone->qhead_ = qhead_;
+  clone->heap_ = heap_;
+  clone->heap_index_ = heap_index_;
+  clone->seen_ = seen_;
+  clone->var_inc_ = var_inc_;
+  clone->cla_inc_ = cla_inc_;
+  clone->max_learnts_ = max_learnts_;
+  clone->ok_ = ok_;
+  return clone;
+}
+
+std::vector<Var> Solver::TopActivityVars(uint32_t n) const {
+  std::vector<Var> free_vars;
+  free_vars.reserve(num_vars());
+  for (Var var = 0; var < num_vars(); ++var) {
+    if (Value(var) == LBool::kUndef) free_vars.push_back(var);
+  }
+  const size_t count = std::min<size_t>(n, free_vars.size());
+  std::partial_sort(free_vars.begin(), free_vars.begin() + count,
+                    free_vars.end(), [&](Var a, Var b) {
+                      if (activity_[a] != activity_[b]) {
+                        return activity_[a] > activity_[b];
+                      }
+                      return a < b;
+                    });
+  free_vars.resize(count);
+  return free_vars;
+}
+
+SolveResult Solver::Solve(std::span<const Lit> assumptions,
+                          const SolveLimits& limits) {
   conflict_.clear();
   if (!ok_) return SolveResult::kUnsat;
   // One span per solve call; search-effort counters are accumulated in the
@@ -592,8 +638,7 @@ SolveResult Solver::Solve(std::span<const Lit> assumptions) {
   }
   max_learnts_ = std::max<double>(static_cast<double>(num_problem_clauses_) / 3.0, 1000.0);
 
-  const int64_t budget = conflict_budget_;
-  conflict_budget_ = -1;  // one-shot budget
+  const int64_t budget = limits.max_conflicts;
   int64_t total_conflicts = 0;
   SolveResult result = SolveResult::kUnknown;
   for (uint64_t restart = 0; result == SolveResult::kUnknown; ++restart) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,16 @@ namespace aqed::sat {
 // Reference to a clause in the arena (word offset). kCRefUndef = none.
 using CRef = uint32_t;
 inline constexpr CRef kCRefUndef = ~CRef{0};
+
+// Per-call resource limits for Solver::Solve. Passed explicitly with every
+// call so concurrent workers sharing one retry policy never race on hidden
+// solver state (the predecessor, SetConflictBudget, applied to whichever
+// Solve happened to run next).
+struct SolveLimits {
+  // Conflict cap for this call; Solve returns kUnknown with
+  // UnknownReason::kConflictBudget when exceeded. Negative: unlimited.
+  int64_t max_conflicts = -1;
+};
 
 class Solver {
  public:
@@ -72,13 +83,41 @@ class Solver {
     return AddClause(std::span<const Lit>(lits.begin(), lits.size()));
   }
 
-  // Solves under the given assumptions. All assumption literals must be over
-  // existing variables.
-  SolveResult Solve(std::span<const Lit> assumptions = {});
+  // Solves under the given assumptions and per-call limits. All assumption
+  // literals must be over existing variables.
+  SolveResult Solve(std::span<const Lit> assumptions,
+                    const SolveLimits& limits);
 
-  // Sets a conflict budget for the next Solve call; the call returns
-  // kUnknown when exceeded. Negative: unlimited.
+  // Solves without an explicit limit. For one release this overload still
+  // consumes a budget armed through the deprecated SetConflictBudget shim;
+  // new code should pass SolveLimits explicitly.
+  SolveResult Solve(std::span<const Lit> assumptions = {}) {
+    SolveLimits limits;
+    limits.max_conflicts = conflict_budget_;
+    conflict_budget_ = -1;  // one-shot, as the legacy API behaved
+    return Solve(assumptions, limits);
+  }
+
+  // Deprecated shim: sets the conflict budget consumed by the next
+  // limit-less Solve call (and only that call). Stateful and unusable from
+  // concurrent cube workers — pass SolveLimits to Solve instead. Kept for
+  // one release.
+  [[deprecated("pass SolveLimits to Solve(assumptions, limits) instead")]]
   void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+  // Deep-copies the full solver state — problem and learnt clauses, level-0
+  // trail, VSIDS activities, saved phases — into a fresh solver running
+  // under `options`. Must be called outside Solve (decision level 0); the
+  // clone shares no state with the original. Cube-and-conquer workers use
+  // this so every cube starts from an identical incremental solver and
+  // diverges only in its assumption cube.
+  std::unique_ptr<Solver> Clone(const Options& options) const;
+
+  // The `n` unassigned variables with the highest VSIDS activity, ordered
+  // activity-descending with index-ascending tie-break (deterministic for a
+  // deterministic solve history). The cube splitter branches on these: they
+  // are the variables the search itself judged most decision-worthy.
+  std::vector<Var> TopActivityVars(uint32_t n) const;
 
   // Model access after kSat.
   const std::vector<LBool>& model() const { return model_; }
@@ -206,6 +245,8 @@ class Solver {
   double var_inc_ = 1.0;
   double cla_inc_ = 1.0;
   double max_learnts_ = 0;
+  // Backs only the deprecated SetConflictBudget shim; the real limit is the
+  // SolveLimits argument.
   int64_t conflict_budget_ = -1;
   bool ok_ = true;
 };

@@ -37,6 +37,7 @@ enum class CancelReason : uint8_t {
   kExternal = 1,     // VerificationSession::Cancel() / user abort
   kFirstBugWins = 2, // a sibling job found a bug
   kDeadline = 3,     // the job's wall-clock watchdog expired
+  kCubeSolved = 4,   // a sibling cube of the same query found a model
 };
 
 inline const char* CancelReasonName(CancelReason reason) {
@@ -49,6 +50,8 @@ inline const char* CancelReasonName(CancelReason reason) {
       return "first-bug-wins";
     case CancelReason::kDeadline:
       return "deadline";
+    case CancelReason::kCubeSolved:
+      return "cube-solved";
   }
   return "?";
 }
@@ -89,10 +92,16 @@ class CancellationToken {
   // True when the token actually observes some source.
   bool armed() const { return flags_[0] != nullptr; }
 
+  // Two tokens are equal when they observe the same flags in the same
+  // order — i.e. they were built from the same sources the same way. This
+  // is identity of observation, not of current state; it is what the BMC
+  // layer's conflicting-token debug check compares.
+  bool operator==(const CancellationToken& other) const = default;
+
   // A token cancelled when either input token is. The combined token keeps
-  // up to kMaxFlags distinct flags (the scheduler never combines more:
-  // session + entry + per-job deadline); further flags of the second
-  // operand are dropped.
+  // up to kMaxFlags distinct flags (the deepest stack is the cube layer:
+  // session + entry + per-job deadline + first-SAT-wins cube winner);
+  // further flags of the second operand are dropped.
   static CancellationToken Any(const CancellationToken& x,
                                const CancellationToken& y) {
     CancellationToken token;
@@ -109,7 +118,7 @@ class CancellationToken {
  private:
   friend class CancellationSource;
   using Flag = std::shared_ptr<const std::atomic<uint8_t>>;
-  static constexpr size_t kMaxFlags = 3;
+  static constexpr size_t kMaxFlags = 4;
 
   explicit CancellationToken(Flag flag) { flags_[0] = std::move(flag); }
 

@@ -22,9 +22,9 @@ VerificationSession::VerificationSession(core::SessionOptions options)
   }
 }
 
-size_t VerificationSession::Enqueue(core::AcceleratorBuilder build,
-                                    core::AqedOptions options,
-                                    std::string label) {
+core::JobHandle VerificationSession::Enqueue(core::AcceleratorBuilder build,
+                                             core::AqedOptions options,
+                                             std::string label) {
   const Status valid = options.Validate();
   AQED_CHECK(valid.ok(), "Enqueue with invalid options: " + valid.message());
 
@@ -62,7 +62,7 @@ size_t VerificationSession::Enqueue(core::AcceleratorBuilder build,
     fc_only.sac_spec.reset();
     add(std::move(fc_only), options.fc_bound, "FC");
   }
-  return entry;
+  return core::JobHandle(entry, std::move(label));
 }
 
 CancellationToken VerificationSession::TokenFor(size_t entry) const {
@@ -127,6 +127,13 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
   options.bmc.max_bound = job.bound;
   options.bmc.conflict_budget = job.conflict_budget;
   options.bmc.cancel = token;
+  if (options.bmc.cube.enabled && options.bmc.cube.jobs == 0) {
+    // Cube workers inherit the session's parallelism rather than hardware
+    // concurrency: a --jobs 4 session escalating inside a job should not
+    // suddenly fan out to 64 threads.
+    options.bmc.cube.jobs =
+        options_.jobs == 0 ? ThreadPool::HardwareJobs() : options_.jobs;
+  }
   out.result = core::RunAqed(*ts, acc, options);
   deadline_guard.Disarm();
   out.wall_seconds = watch.ElapsedSeconds();

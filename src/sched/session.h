@@ -51,14 +51,16 @@ class VerificationSession {
   // Expands the enabled property groups of `options` (cheapest first: RB,
   // SAC, FC — small monitors refute easily, FC carries the symbolic
   // orig/dup choice) into one pending job each, all under one entry.
-  // Returns the entry index used by SessionResult's accessors. `label`
-  // prefixes the job labels ("<label>/<property>").
+  // Returns a typed handle that SessionResult's accessors take — it carries
+  // the entry index plus the entry label, so result lookups can't be fed a
+  // stray loop counter. `label` prefixes the job labels
+  // ("<label>/<property>").
   //
   // `build` is invoked once per job, each time on a fresh transition
   // system, possibly from several worker threads at once — it must not
   // mutate shared state.
-  size_t Enqueue(core::AcceleratorBuilder build, core::AqedOptions options,
-                 std::string label = {});
+  core::JobHandle Enqueue(core::AcceleratorBuilder build,
+                          core::AqedOptions options, std::string label = {});
 
   // Requests cancellation of every outstanding job (e.g. an external
   // timeout). Running jobs stop at their next poll point.

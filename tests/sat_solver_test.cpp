@@ -150,12 +150,25 @@ TEST(SolverTest, FailedAssumptionCore) {
   }
 }
 
-TEST(SolverTest, ConflictBudgetReturnsUnknown) {
+TEST(SolverTest, ConflictLimitReturnsUnknown) {
   Solver solver;
   AddPigeonhole(solver, 8);  // hard enough to exceed a tiny budget
+  EXPECT_EQ(solver.Solve({}, SolveLimits{.max_conflicts = 10}),
+            SolveResult::kUnknown);
+  // The limit applies to one call only; an unlimited solve finishes.
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+}
+
+TEST(SolverTest, DeprecatedConflictBudgetShimIsOneShot) {
+  // The legacy stateful API must keep behaving until the shim is removed:
+  // the budget applies to the next Solve() and is consumed by it.
+  Solver solver;
+  AddPigeonhole(solver, 8);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   solver.SetConflictBudget(10);
+#pragma GCC diagnostic pop
   EXPECT_EQ(solver.Solve(), SolveResult::kUnknown);
-  // Budget is one-shot; a fresh unlimited solve finishes.
   EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
 }
 
