@@ -108,6 +108,10 @@ class FlagParser {
 //   --cancel-session
 //                    first bug cancels the whole session, not just its entry
 //   --deadline-ms N  per-job wall-clock deadline (0 = none)
+//   --memory-budget-mb N
+//                    process-RSS budget with staged degradation: learnt-
+//                    clause shedding, cube-escalation throttling, then
+//                    cancelling the heaviest job (0 = ungoverned)
 //   --retries N      escalating-budget retries for inconclusive jobs
 //   --trace-out P    write a Chrome trace-event JSON of the run's spans to P
 //                    (load in Perfetto or chrome://tracing)
@@ -129,6 +133,8 @@ inline core::SessionOptions ParseSessionOptions(const FlagParser& flags) {
     options.cancel = core::SessionOptions::CancelPolicy::kSession;
   }
   options.deadline_ms = flags.Uint32("--deadline-ms", options.deadline_ms);
+  options.memory_budget_mb =
+      flags.Uint32("--memory-budget-mb", options.memory_budget_mb);
   options.retry.max_retries =
       flags.Uint32("--retries", options.retry.max_retries);
   options.trace_path = flags.String("--trace-out");

@@ -11,10 +11,14 @@
 //
 // Flags: --mutants N  total mutants across all designs (default 60)
 //        --seed S     campaign seed (default 0xA9EDFA17)
-//        --jobs N --deadline-ms N --retries N
+//        --jobs N --deadline-ms N --memory-budget-mb N --retries N
 //        --trace-out P --metrics-out P          (see bench_common.h)
 //        --no-baseline  skip the conventional-flow baseline
 //        --no-aes       drop the (most expensive) AES design
+//        --journal P    durable campaign: append each classified mutant to
+//                       the CRC-guarded JSONL journal P as it lands
+//        --resume       replay --journal first and verify only the mutants
+//                       it does not already classify
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -86,6 +90,8 @@ int main(int argc, char** argv) {
   options.num_mutants = flags.Uint32("--mutants", 60);
   options.seed = flags.Uint64("--seed", options.seed);
   options.conventional_baseline = !flags.Switch("--no-baseline");
+  options.journal_path = flags.String("--journal");
+  options.resume = flags.Switch("--resume");
   const bool with_aes = !flags.Switch("--no-aes");
   // Deadline-tripped jobs are rescued by escalation (2 s -> 4 s -> 8 s ->
   // 16 s -> 32 s), so default to four retries; an explicit --retries wins.
@@ -204,6 +210,17 @@ int main(int argc, char** argv) {
     bench::PrintRule('=');
   }
 
+  if (!options.journal_path.empty()) {
+    printf("journal: %s — resumed %zu, re-verified %zu",
+           options.journal_path.c_str(), result.resumed,
+           result.mutants.size() - result.resumed);
+    if (result.journal_skipped > 0) {
+      printf(", skipped %zu corrupt record%s", result.journal_skipped,
+             result.journal_skipped == 1 ? "" : "s");
+    }
+    if (result.journal_torn_tail) printf(", dropped a torn tail");
+    printf("\n");
+  }
   const size_t silent = result.num_silent_survivors();
   printf("classified: %zu/%zu (%.1f%%), retries: %zu, "
          "unknown[budget]: %zu, unknown[deadline]: %zu\n",

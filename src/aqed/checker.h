@@ -168,6 +168,15 @@ struct SessionOptions {
   // keeps one hard SAT instance from stalling a whole session.
   uint32_t deadline_ms = 0;
 
+  // Process-RSS budget in MiB (0 = ungoverned). A governor thread
+  // (sched/memory_governor.h) polls the resource probes against this
+  // budget while Wait() runs and degrades in stages: at 75% solvers shed
+  // learnt clauses and compact their arenas, at 90% the BMC engine stops
+  // escalating into cube fan-outs, and at 100% the heaviest job is
+  // cancelled with UnknownReason::kMemoryBudget (never retried) — a
+  // governed verdict instead of the OOM killer's.
+  uint32_t memory_budget_mb = 0;
+
   // Telemetry sinks (src/telemetry). Setting either path flips the
   // process-wide telemetry switch on; at the end of every Wait() the
   // session drains the span log into its own event log and (re)writes:

@@ -6,6 +6,7 @@
 
 #include "sat/cube.h"
 #include "sat/preprocessor.h"
+#include "sched/memory_governor.h"
 #include "sched/thread_pool.h"
 #include "support/stats.h"
 #include "support/status.h"
@@ -197,6 +198,15 @@ DepthQuery SolveWithEscalation(sat::Solver& main_solver, sat::Lit target,
   DepthQuery query = SolveIncremental(main_solver, target, first_attempt);
   if (query.result != sat::SolveResult::kUnknown || !can_escalate ||
       options.cancel.cancelled()) {
+    return query;
+  }
+
+  // Governor stage 2: a cube fan-out clones the incremental solver once
+  // per worker — the worst possible move near the memory budget. Keep the
+  // stalled monolithic verdict instead; the depth reports kUnknown with
+  // the budget reason and the session's retry policy takes it from there.
+  if (sched::CurrentMemoryPressure() >= sched::MemoryPressure::kThrottle) {
+    telemetry::AddCounter("bmc.cube_throttled", 1);
     return query;
   }
 

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
+#include <unordered_map>
 
+#include "fault/journal.h"
 #include "sched/session.h"
+#include "sched/thread_pool.h"
+#include "support/status.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -37,6 +42,64 @@ void Fnv1a(uint64_t& hash, std::string_view text) {
   }
 }
 
+// Classifies one entry's jobs out of a session round into `report` (which
+// already carries design/key). FC < RB < SAC priority via ClassifyKind.
+void ClassifyEntry(const core::SessionResult& session_result,
+                   size_t entry_index, MutantReport& report) {
+  const core::JobResult* best = nullptr;
+  Classification best_class = Classification::kUnknown;
+  bool inconclusive = false;
+  UnknownReason reason = UnknownReason::kNone;
+  for (const core::JobResult& job : session_result.jobs) {
+    if (job.entry != entry_index) continue;
+    report.attempts = std::max(report.attempts, job.attempt + 1);
+    report.wall_seconds += job.wall_seconds;
+    if (job.result.bug_found) {
+      const Classification c = ClassifyKind(job.result.kind);
+      if (best == nullptr ||
+          static_cast<uint8_t>(c) < static_cast<uint8_t>(best_class)) {
+        best = &job;
+        best_class = c;
+      }
+    } else if (job.unknown_reason != UnknownReason::kNone) {
+      inconclusive = true;
+      if (reason == UnknownReason::kNone) reason = job.unknown_reason;
+    }
+  }
+  if (best != nullptr) {
+    report.classification = best_class;
+    report.kind = best->result.kind;
+    report.cex_cycles = best->result.cex_cycles();
+  } else if (inconclusive) {
+    report.classification = Classification::kUnknown;
+    report.unknown_reason = reason;
+  } else {
+    report.classification = Classification::kSurvived;
+  }
+  telemetry::AddCounter(std::string("fault.classified.") +
+                            ClassificationName(report.classification),
+                        1);
+}
+
+// Runs the conventional random-simulation baseline on one mutant and
+// records it in the report.
+void RunBaseline(const DesignUnderTest& dut, const MutantKey& key,
+                 MutantReport& report) {
+  TELEMETRY_SPAN("fault.baseline:" + dut.name + "/" + key.ToString());
+  const harness::CampaignResult conventional =
+      harness::RunCampaign(MutantBuilder(dut.build, key), dut.golden,
+                           dut.conventional);
+  report.golden_ran = true;
+  report.golden_detected = conventional.bug_detected;
+  report.golden_cycles = conventional.detection_cycle;
+  report.golden_seconds = conventional.seconds;
+}
+
+// The replay map key: mutant keys are unique within a design, not across.
+std::string ReplayKey(std::string_view design, const MutantKey& key) {
+  return std::string(design) + "|" + key.ToString();
+}
+
 }  // namespace
 
 const char* ClassificationName(Classification classification) {
@@ -60,12 +123,14 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
   session_options.cancel = core::SessionOptions::CancelPolicy::kNone;
   sched::VerificationSession session(session_options);
 
-  struct EntryInfo {
+  // Deterministic sampling first: the full mutant plan exists before any
+  // verification runs, so a resumed campaign lines its journal records up
+  // against the exact same plan the interrupted run had.
+  struct Planned {
     size_t design;
     MutantKey key;
-    core::JobHandle handle;
   };
-  std::vector<EntryInfo> entries;
+  std::vector<Planned> plan;
   const size_t num_designs = designs.size();
   for (size_t d = 0; d < num_designs; ++d) {
     const uint32_t share = options.num_mutants / num_designs +
@@ -77,74 +142,141 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     const core::AcceleratorInterface acc = designs[d].build(scratch);
     for (const MutantKey& key :
          SampleMutants(scratch, acc, options.seed, share)) {
-      core::JobHandle handle = session.Enqueue(
-          MutantBuilder(designs[d].build, key), designs[d].options,
-          designs[d].name + "/" + key.ToString());
-      entries.push_back({d, key, std::move(handle)});
+      plan.push_back({d, key});
     }
   }
 
-  core::SessionResult session_result = session.Wait();
-
-  result.mutants.resize(entries.size());
-  for (size_t e = 0; e < entries.size(); ++e) {
-    MutantReport& report = result.mutants[e];
-    report.design = designs[entries[e].design].name;
-    report.key = entries[e].key;
-    const core::JobResult* best = nullptr;
-    Classification best_class = Classification::kUnknown;
-    bool inconclusive = false;
-    UnknownReason reason = UnknownReason::kNone;
-    for (const core::JobResult& job : session_result.jobs) {
-      if (job.entry != entries[e].handle.index()) continue;
-      report.attempts = std::max(report.attempts, job.attempt + 1);
-      report.wall_seconds += job.wall_seconds;
-      if (job.result.bug_found) {
-        const Classification c = ClassifyKind(job.result.kind);
-        if (best == nullptr ||
-            static_cast<uint8_t>(c) < static_cast<uint8_t>(best_class)) {
-          best = &job;
-          best_class = c;
-        }
-      } else if (job.unknown_reason != UnknownReason::kNone) {
-        inconclusive = true;
-        if (reason == UnknownReason::kNone) reason = job.unknown_reason;
+  // Resume: replay the journal and index its records by (design, key).
+  std::unordered_map<std::string, MutantReport> replayed;
+  uint64_t keep_bytes = 0;
+  if (options.resume && !options.journal_path.empty()) {
+    StatusOr<JournalReplay> replay = ReplayJournal(options.journal_path);
+    if (!replay.ok()) {
+      std::fprintf(stderr, "[campaign] resume: %s; starting fresh\n",
+                   replay.status().message().c_str());
+    } else {
+      JournalReplay r = std::move(replay).value();
+      result.journal_skipped = r.skipped_records;
+      result.journal_torn_tail = r.torn_tail;
+      keep_bytes = r.valid_bytes;
+      for (MutantReport& record : r.records) {
+        replayed[ReplayKey(record.design, record.key)] = std::move(record);
+      }
+      if (r.torn_tail) {
+        std::fprintf(stderr,
+                     "[campaign] resume: dropped a torn trailing record in "
+                     "%s\n",
+                     options.journal_path.c_str());
       }
     }
-    if (best != nullptr) {
-      report.classification = best_class;
-      report.kind = best->result.kind;
-      report.cex_cycles = best->result.cex_cycles();
-    } else if (inconclusive) {
-      report.classification = Classification::kUnknown;
-      report.unknown_reason = reason;
+  }
+
+  ResultJournal journal;
+  if (!options.journal_path.empty()) {
+    // A fresh (non-resume) campaign restarts the journal from byte 0; a
+    // resumed one keeps exactly the decodable prefix.
+    const Status opened = journal.Open(options.journal_path, keep_bytes);
+    // Failing to open the journal of a campaign that was asked to be
+    // durable must be loud, not a silent downgrade to a volatile run.
+    AQED_CHECK(opened.ok(), opened.message());
+  }
+
+  // Split the plan: journaled mutants are restored, the rest re-verified.
+  result.mutants.resize(plan.size());
+  std::vector<size_t> todo;
+  todo.reserve(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    MutantReport& report = result.mutants[i];
+    report.design = designs[plan[i].design].name;
+    report.key = plan[i].key;
+    const auto it = replayed.find(ReplayKey(report.design, report.key));
+    if (it != replayed.end()) {
+      report = std::move(it->second);
+      replayed.erase(it);
+      ++result.resumed;
     } else {
-      report.classification = Classification::kSurvived;
+      todo.push_back(i);
     }
-    telemetry::AddCounter(
-        std::string("fault.classified.") +
-            ClassificationName(report.classification),
-        1);
   }
-  result.stats = std::move(session_result.stats);
 
+  // Journaled campaigns run in small batches — a few mutants per worker —
+  // so records become durable steadily and a crash loses at most one
+  // batch. Unjournaled campaigns keep the single-round hot path (one
+  // Enqueue storm, one Wait) untouched.
+  const uint32_t workers = session_options.jobs == 0
+                               ? sched::ThreadPool::HardwareJobs()
+                               : session_options.jobs;
+  const size_t batch_size =
+      journal.is_open() ? std::max<size_t>(size_t{2} * workers, 8)
+                        : std::max<size_t>(todo.size(), 1);
+  double session_wall = 0;
+  for (size_t begin = 0; begin < todo.size(); begin += batch_size) {
+    const std::span<const size_t> batch(
+        todo.data() + begin, std::min(batch_size, todo.size() - begin));
+    std::vector<core::JobHandle> handles;
+    handles.reserve(batch.size());
+    for (const size_t i : batch) {
+      const DesignUnderTest& dut = designs[plan[i].design];
+      handles.push_back(session.Enqueue(MutantBuilder(dut.build, plan[i].key),
+                                        dut.options,
+                                        dut.name + "/" + plan[i].key.ToString()));
+    }
+    const core::SessionResult session_result = session.Wait();
+    session_wall += session_result.wall_seconds;
+    for (const JobStat& stat : session_result.stats.jobs()) {
+      result.stats.AddJob(stat);
+    }
+    for (size_t b = 0; b < batch.size(); ++b) {
+      const size_t i = batch[b];
+      ClassifyEntry(session_result, handles[b].index(), result.mutants[i]);
+    }
+    // Baseline before journaling so the record a crash preserves carries
+    // the golden columns too.
+    if (options.conventional_baseline) {
+      for (const size_t i : batch) {
+        const DesignUnderTest& dut = designs[plan[i].design];
+        if (!dut.golden) continue;
+        RunBaseline(dut, plan[i].key, result.mutants[i]);
+      }
+    }
+    if (journal.is_open()) {
+      for (const size_t i : batch) {
+        const Status appended = journal.Append(result.mutants[i]);
+        if (!appended.ok()) {
+          std::fprintf(stderr, "[campaign] %s\n",
+                       appended.message().c_str());
+        }
+      }
+    }
+  }
+
+  // Backfill baselines the interrupted run never reached on its resumed
+  // mutants (their A-QED classification is journaled; golden columns may
+  // not be). The final compaction rewrites them complete.
   if (options.conventional_baseline) {
-    for (size_t e = 0; e < entries.size(); ++e) {
-      const DesignUnderTest& dut = designs[entries[e].design];
-      if (!dut.golden) continue;
-      TELEMETRY_SPAN("fault.baseline:" + dut.name + "/" +
-                     entries[e].key.ToString());
-      const harness::CampaignResult conventional = harness::RunCampaign(
-          MutantBuilder(dut.build, entries[e].key), dut.golden,
-          dut.conventional);
-      MutantReport& report = result.mutants[e];
-      report.golden_ran = true;
-      report.golden_detected = conventional.bug_detected;
-      report.golden_cycles = conventional.detection_cycle;
-      report.golden_seconds = conventional.seconds;
+    for (MutantReport& report : result.mutants) {
+      if (report.golden_ran) continue;
+      for (size_t d = 0; d < num_designs; ++d) {
+        if (designs[d].name != report.design) continue;
+        if (designs[d].golden) RunBaseline(designs[d], report.key, report);
+        break;
+      }
     }
   }
 
+  if (journal.is_open()) {
+    journal.Close();
+    // Compaction: the artifact a finished campaign leaves is complete, in
+    // plan order, free of skipped records and torn tails — and written
+    // atomically, so even a crash right here leaves a valid journal.
+    const Status rewritten =
+        WriteJournalFile(options.journal_path, result.mutants);
+    if (!rewritten.ok()) {
+      std::fprintf(stderr, "[campaign] %s\n", rewritten.message().c_str());
+    }
+  }
+
+  result.stats.set_wall_seconds(session_wall);
   result.wall_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -77,12 +77,31 @@ struct FaultCampaignOptions {
   // Also run the conventional random-simulation campaign on each mutant of
   // every golden-equipped design.
   bool conventional_baseline = false;
+  // Durable campaigns (src/fault/journal.h): when set, every classified
+  // mutant is appended — CRC-guarded, fsynced — to this JSONL journal the
+  // moment its batch is classified, and the finished campaign rewrites the
+  // journal compacted via tmp+rename. Mutants are verified in batches (a
+  // few per worker) instead of one monolithic session round, so a crash
+  // loses at most the in-flight batch.
+  std::string journal_path;
+  // Replay journal_path first and skip every mutant it already classifies
+  // (matched by design name + mutant key). A torn trailing record is
+  // truncated and re-verified; corrupt mid-file records are skipped with a
+  // counted warning. With `resume` false an existing journal is restarted
+  // from scratch.
+  bool resume = false;
 };
 
 struct FaultCampaignResult {
   std::vector<MutantReport> mutants;  // deterministic order
   SessionStats stats;                 // per-attempt accounting
   double wall_seconds = 0;
+  // Resume accounting (zero for non-journaled campaigns): mutants restored
+  // from the journal instead of re-verified, corrupt journal records
+  // skipped during replay, and whether a torn trailing record was dropped.
+  size_t resumed = 0;
+  size_t journal_skipped = 0;
+  bool journal_torn_tail = false;
 
   size_t count(Classification classification) const;
   size_t num_detected() const;

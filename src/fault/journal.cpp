@@ -1,0 +1,353 @@
+#include "fault/journal.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <initializer_list>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "aqed/checker.h"
+#include "support/failpoint.h"
+#include "support/io.h"
+#include "telemetry/json.h"
+
+namespace aqed::fault {
+
+namespace {
+
+// The fixed line skeleton: the CRC field leads, at a fixed offset, so the
+// payload bytes the CRC covers can be located without parsing JSON first.
+constexpr std::string_view kCrcPrefix = "{\"crc\":\"";   // then 8 hex chars
+constexpr std::string_view kDataInfix = "\",\"data\":";  // then the payload
+constexpr std::string_view kLineSuffix = "}";
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Reverse lookup over an enum's canonical Name() function: the journal
+// stores the human-readable names (grep-able, stable across enum reorders),
+// so decoding walks the value lists instead of trusting raw integers.
+template <typename E, typename Namer>
+std::optional<E> EnumFromName(std::string_view name,
+                              std::initializer_list<E> values, Namer namer) {
+  for (const E value : values) {
+    if (name == namer(value)) return value;
+  }
+  return std::nullopt;
+}
+
+constexpr std::initializer_list<MutationOp> kMutationOps = {
+    MutationOp::kStuckAtZero,  MutationOp::kStuckAtOne,
+    MutationOp::kOperatorSwap, MutationOp::kConstPerturb,
+    MutationOp::kCondNegate,   MutationOp::kOffByOne,
+};
+constexpr std::initializer_list<Classification> kClassifications = {
+    Classification::kDetectedFc,  Classification::kDetectedRb,
+    Classification::kDetectedSac, Classification::kSurvived,
+    Classification::kUnknown,
+};
+constexpr std::initializer_list<core::BugKind> kBugKinds = {
+    core::BugKind::kNone,
+    core::BugKind::kFunctionalConsistency,
+    core::BugKind::kEarlyOutput,
+    core::BugKind::kResponseBound,
+    core::BugKind::kInputStarvation,
+    core::BugKind::kSingleActionCorrectness,
+};
+constexpr std::initializer_list<UnknownReason> kUnknownReasons = {
+    UnknownReason::kNone,      UnknownReason::kConflictBudget,
+    UnknownReason::kDeadline,  UnknownReason::kCancelled,
+    UnknownReason::kMemoryBudget,
+};
+
+std::string EncodePayload(const MutantReport& report) {
+  std::string out;
+  // Worst case for the last piece: two %.17g doubles (~24 chars each), a
+  // 20-digit uint64, and ~90 literal chars — well under 224.
+  char buf[224];
+  out += "{\"design\":";
+  AppendJsonString(out, report.design);
+  out += ",\"op\":";
+  AppendJsonString(out, MutationOpName(report.key.op));
+  std::snprintf(buf, sizeof(buf), ",\"node\":%u,\"seed\":%" PRIu64,
+                report.key.node, report.key.seed);
+  out += buf;
+  out += ",\"classification\":";
+  AppendJsonString(out, ClassificationName(report.classification));
+  out += ",\"kind\":";
+  AppendJsonString(out, core::BugKindName(report.kind));
+  std::snprintf(buf, sizeof(buf), ",\"cex_cycles\":%u,\"attempts\":%u",
+                report.cex_cycles, report.attempts);
+  out += buf;
+  out += ",\"unknown_reason\":";
+  AppendJsonString(out, UnknownReasonName(report.unknown_reason));
+  // %.17g round-trips doubles exactly through strtod.
+  std::snprintf(buf, sizeof(buf),
+                ",\"wall_seconds\":%.17g,\"golden_ran\":%s,"
+                "\"golden_detected\":%s,\"golden_cycles\":%" PRIu64
+                ",\"golden_seconds\":%.17g}",
+                report.wall_seconds, report.golden_ran ? "true" : "false",
+                report.golden_detected ? "true" : "false",
+                report.golden_cycles, report.golden_seconds);
+  out += buf;
+  return out;
+}
+
+std::optional<MutantReport> DecodePayload(std::string_view payload) {
+  const std::optional<telemetry::Json> json = telemetry::ParseJson(payload);
+  if (!json || !json->is_object()) return std::nullopt;
+  const auto string_field =
+      [&](const char* key) -> std::optional<std::string_view> {
+    const telemetry::Json* value = json->Find(key);
+    if (value == nullptr || !value->is_string()) return std::nullopt;
+    return value->AsString();
+  };
+  const auto int_field = [&](const char* key) -> std::optional<int64_t> {
+    const telemetry::Json* value = json->Find(key);
+    if (value == nullptr || !value->is_number()) return std::nullopt;
+    return value->AsInt();
+  };
+  const auto double_field = [&](const char* key) -> std::optional<double> {
+    const telemetry::Json* value = json->Find(key);
+    if (value == nullptr || !value->is_number()) return std::nullopt;
+    return value->AsNumber();
+  };
+  const auto bool_field = [&](const char* key) -> std::optional<bool> {
+    const telemetry::Json* value = json->Find(key);
+    if (value == nullptr || value->kind() != telemetry::Json::Kind::kBool) {
+      return std::nullopt;
+    }
+    return value->AsBool();
+  };
+
+  MutantReport report;
+  const auto design = string_field("design");
+  const auto op_name = string_field("op");
+  const auto node = int_field("node");
+  const auto seed = int_field("seed");
+  const auto classification_name = string_field("classification");
+  const auto kind_name = string_field("kind");
+  const auto cex_cycles = int_field("cex_cycles");
+  const auto attempts = int_field("attempts");
+  const auto unknown_name = string_field("unknown_reason");
+  const auto wall_seconds = double_field("wall_seconds");
+  const auto golden_ran = bool_field("golden_ran");
+  const auto golden_detected = bool_field("golden_detected");
+  const auto golden_cycles = int_field("golden_cycles");
+  const auto golden_seconds = double_field("golden_seconds");
+  if (!design || !op_name || !node || !seed || !classification_name ||
+      !kind_name || !cex_cycles || !attempts || !unknown_name ||
+      !wall_seconds || !golden_ran || !golden_detected || !golden_cycles ||
+      !golden_seconds) {
+    return std::nullopt;
+  }
+  const auto op = EnumFromName(*op_name, kMutationOps, MutationOpName);
+  const auto classification =
+      EnumFromName(*classification_name, kClassifications, ClassificationName);
+  const auto kind = EnumFromName(*kind_name, kBugKinds, core::BugKindName);
+  const auto unknown =
+      EnumFromName(*unknown_name, kUnknownReasons, UnknownReasonName);
+  if (!op || !classification || !kind || !unknown) return std::nullopt;
+
+  report.design = std::string(*design);
+  report.key.op = *op;
+  report.key.node = static_cast<ir::NodeRef>(*node);
+  report.key.seed = static_cast<uint64_t>(*seed);
+  report.classification = *classification;
+  report.kind = *kind;
+  report.cex_cycles = static_cast<uint32_t>(*cex_cycles);
+  report.attempts = static_cast<uint32_t>(*attempts);
+  report.unknown_reason = *unknown;
+  report.wall_seconds = *wall_seconds;
+  report.golden_ran = *golden_ran;
+  report.golden_detected = *golden_detected;
+  report.golden_cycles = static_cast<uint64_t>(*golden_cycles);
+  report.golden_seconds = *golden_seconds;
+  return report;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  // Table-driven CRC-32 (IEEE 802.3 polynomial, reflected). In-tree so the
+  // journal needs no zlib; the table builds once.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(c)) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeJournalRecord(const MutantReport& report) {
+  const std::string payload = EncodePayload(report);
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(payload));
+  std::string line;
+  line.reserve(kCrcPrefix.size() + 8 + kDataInfix.size() + payload.size() +
+               kLineSuffix.size() + 1);
+  line += kCrcPrefix;
+  line += crc;
+  line += kDataInfix;
+  line += payload;
+  line += kLineSuffix;
+  line += '\n';
+  return line;
+}
+
+std::optional<MutantReport> DecodeJournalRecord(std::string_view line) {
+  const size_t header = kCrcPrefix.size() + 8 + kDataInfix.size();
+  if (line.size() < header + kLineSuffix.size()) return std::nullopt;
+  if (line.substr(0, kCrcPrefix.size()) != kCrcPrefix) return std::nullopt;
+  if (line.substr(kCrcPrefix.size() + 8, kDataInfix.size()) != kDataInfix) {
+    return std::nullopt;
+  }
+  if (line.substr(line.size() - kLineSuffix.size()) != kLineSuffix) {
+    return std::nullopt;
+  }
+  const std::string hex(line.substr(kCrcPrefix.size(), 8));
+  char* end = nullptr;
+  const unsigned long expected = std::strtoul(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + 8) return std::nullopt;
+  const std::string_view payload =
+      line.substr(header, line.size() - header - kLineSuffix.size());
+  if (Crc32(payload) != static_cast<uint32_t>(expected)) return std::nullopt;
+  return DecodePayload(payload);
+}
+
+StatusOr<JournalReplay> ReplayJournal(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return JournalReplay{};
+  StatusOr<std::string> contents = support::ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& text = contents.value();
+
+  JournalReplay replay;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t newline = text.find('\n', start);
+    if (newline == std::string::npos) {
+      // Unterminated tail. Appends always end in '\n', so this is a torn
+      // write — unless the bytes happen to decode (a file that lost only
+      // its final newline), in which case keep the record.
+      std::optional<MutantReport> record =
+          DecodeJournalRecord(std::string_view(text).substr(start));
+      if (record.has_value()) {
+        replay.records.push_back(std::move(*record));
+        replay.valid_bytes = text.size();
+      } else {
+        replay.torn_tail = true;
+      }
+      break;
+    }
+    const std::string_view line =
+        std::string_view(text).substr(start, newline - start);
+    start = newline + 1;
+    if (line.empty()) continue;
+    std::optional<MutantReport> record = DecodeJournalRecord(line);
+    if (record.has_value()) {
+      replay.records.push_back(std::move(*record));
+      replay.valid_bytes = start;
+    } else {
+      ++replay.skipped_records;
+      std::fprintf(stderr,
+                   "[journal] %s: skipping corrupt record at byte %zu\n",
+                   path.c_str(), start - line.size() - 1);
+    }
+  }
+  return replay;
+}
+
+Status ResultJournal::Open(const std::string& path, uint64_t keep_bytes) {
+  Close();
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec && size > keep_bytes) {
+    // Drop the torn tail (and any trailing corrupt records) before the
+    // first new append lands, so a resumed journal never interleaves a new
+    // record with half of an old one.
+    std::filesystem::resize_file(path, keep_bytes, ec);
+    if (ec) {
+      return Status::Error("journal truncate failed on '" + path +
+                           "': " + ec.message());
+    }
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Error("cannot open journal '" + path + "' for append");
+  }
+  path_ = path;
+  appended_ = 0;
+  return Status::Ok();
+}
+
+Status ResultJournal::Append(const MutantReport& report) {
+  AQED_CHECK(file_ != nullptr, "Append on a closed journal");
+  // Chaos site: simulates a crash (throw) or an I/O error (error) at the
+  // exact moment a kill -9 mid-append would hit.
+  if (AQED_FAILPOINT("fault.journal.append")) {
+    return Status::Error("journal append failed (failpoint)");
+  }
+  const std::string line = EncodeJournalRecord(report);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::Error("journal write failed on '" + path_ + "'");
+  }
+  // Record-granular durability: the whole point of a write-ahead journal is
+  // that a classification survives the very next instruction's crash.
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::Error("journal flush failed on '" + path_ + "'");
+  }
+  ++appended_;
+  return Status::Ok();
+}
+
+void ResultJournal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteJournalFile(const std::string& path,
+                        std::span<const MutantReport> reports) {
+  std::string contents;
+  for (const MutantReport& report : reports) {
+    contents += EncodeJournalRecord(report);
+  }
+  return support::WriteFileDurable(path, contents);
+}
+
+}  // namespace aqed::fault

@@ -1,0 +1,99 @@
+// Write-ahead result journal for fault campaigns.
+//
+// A campaign over thousands of mutants can run for hours; a crash, OOM
+// kill, or power loss mid-run used to throw away every classification made
+// so far. The journal makes classifications durable the moment they exist:
+// RunFaultCampaign appends one record per classified mutant — keyed by the
+// stable (op, node, seed) MutantKey — and fsyncs it before the report is
+// merged into the result, so a resumed campaign replays the journal, skips
+// every already-classified mutant, and re-verifies only the remainder. The
+// order-independent classification digest (campaign.h) then proves the
+// resumed run identical to an uninterrupted one.
+//
+// Format: JSONL, one record per line, each line CRC-guarded:
+//
+//   {"crc":"1a2b3c4d","data":{"design":"memctrl-fifo","op":"op-swap",...}}
+//
+// The CRC-32 covers exactly the bytes of the "data" value, so a torn write
+// (any strict prefix of a line) and a corrupted record are both detected.
+// Replay skips corrupt mid-file records with a counted warning and treats
+// an undecodable unterminated tail as torn: the campaign truncates it and
+// continues appending — exactly the posture a kill -9 mid-append demands.
+// A successful campaign finally rewrites the journal compacted via
+// tmp+fsync+rename (support/io.h), so the artifact a finished run leaves
+// behind is always complete and clean.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "support/status.h"
+
+namespace aqed::fault {
+
+// CRC-32 (IEEE 802.3, reflected) over `data`. Exposed for tests.
+uint32_t Crc32(std::string_view data);
+
+// One report as its CRC-guarded journal line (trailing '\n' included).
+std::string EncodeJournalRecord(const MutantReport& report);
+
+// Decodes one line (no trailing newline). nullopt on any format, parse, or
+// CRC failure.
+std::optional<MutantReport> DecodeJournalRecord(std::string_view line);
+
+struct JournalReplay {
+  std::vector<MutantReport> records;  // file order
+  // Complete-but-undecodable lines (bad CRC / bad JSON), warned and skipped.
+  size_t skipped_records = 0;
+  // The file ended in a partial record (torn write) that was dropped.
+  bool torn_tail = false;
+  // Byte length of the decodable prefix: what ResultJournal::Open keeps
+  // when re-opening the journal for append.
+  uint64_t valid_bytes = 0;
+};
+
+// Replays the journal. A missing file is not an error — it yields an empty
+// replay (resuming a campaign that never started is a fresh campaign).
+StatusOr<JournalReplay> ReplayJournal(const std::string& path);
+
+// Append half: an open journal file with record-granular durability (each
+// Append is flushed and fsynced before it returns).
+class ResultJournal {
+ public:
+  ResultJournal() = default;
+  ~ResultJournal() { Close(); }
+
+  ResultJournal(const ResultJournal&) = delete;
+  ResultJournal& operator=(const ResultJournal&) = delete;
+
+  // Opens `path` for appending, first truncating it to `keep_bytes` (the
+  // replay's valid_bytes — this is what drops a torn tail). keep_bytes == 0
+  // starts the journal fresh.
+  Status Open(const std::string& path, uint64_t keep_bytes);
+  bool is_open() const { return file_ != nullptr; }
+
+  // Appends one record, durably. Chaos site "fault.journal.append".
+  Status Append(const MutantReport& report);
+  size_t appended() const { return appended_; }
+
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  size_t appended_ = 0;
+};
+
+// Atomically replaces `path` with exactly `reports` (tmp + fsync + rename):
+// the compaction step a finishing campaign runs so skipped records, torn
+// tails, and stale baselines never outlive the run that found them.
+Status WriteJournalFile(const std::string& path,
+                        std::span<const MutantReport> reports);
+
+}  // namespace aqed::fault

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 #include "sat/dimacs.h"
+#include "sched/memory_governor.h"
+#include "support/failpoint.h"
 #include "support/status.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -15,6 +18,9 @@ namespace aqed::sat {
 // ---------------------------------------------------------------------------
 
 CRef Solver::AllocClause(std::span<const Lit> lits, bool learnt) {
+  // Chaos site: an armed trigger can throw a simulated allocation failure
+  // (or delay) out of the solver's hottest allocation path.
+  (void)AQED_FAILPOINT("sat.alloc");
   const CRef cref = static_cast<CRef>(arena_.size());
   arena_.push_back((static_cast<uint32_t>(lits.size()) << 1) |
                    (learnt ? 1u : 0u));
@@ -477,6 +483,86 @@ void Solver::ReduceDB() {
   learnts_.resize(kept);
 }
 
+void Solver::ShedLearnts() {
+  ++stats_.shed_rounds;
+  size_t kept = 0;
+  for (const CRef cref : learnts_) {
+    const bool removable =
+        ClauseSize(cref) > 2 && ClauseLbd(cref) > 2 && !Locked(cref);
+    if (removable) {
+      RemoveClause(cref);
+    } else {
+      learnts_[kept++] = cref;
+    }
+  }
+  learnts_.resize(kept);
+  // Keep the database small while pressure lasts; the next Solve call
+  // resets this to the normal growth schedule.
+  max_learnts_ =
+      std::max<double>(static_cast<double>(learnts_.size()) + 512.0, 1024.0);
+  CompactArena();
+  shed_floor_ = 2 * learnts_.size() + 1024;
+  telemetry::AddCounter("sat.shed_rounds", 1);
+}
+
+void Solver::CompactArena() {
+  std::vector<uint32_t> fresh;
+  size_t needed = 0;
+  for (const CRef cref : clauses_) needed += 3 + ClauseSize(cref);
+  for (const CRef cref : learnts_) needed += 3 + ClauseSize(cref);
+  fresh.reserve(needed);
+  std::unordered_map<CRef, CRef> remap;
+  remap.reserve(clauses_.size() + learnts_.size());
+  const auto move_clause = [&](CRef old_ref) {
+    const uint32_t words = 3 + ClauseSize(old_ref);
+    const CRef fresh_ref = static_cast<CRef>(fresh.size());
+    fresh.insert(fresh.end(), arena_.begin() + old_ref,
+                 arena_.begin() + old_ref + words);
+    remap.emplace(old_ref, fresh_ref);
+    return fresh_ref;
+  };
+  for (CRef& cref : clauses_) cref = move_clause(cref);
+  for (CRef& cref : learnts_) cref = move_clause(cref);
+  arena_ = std::move(fresh);
+  // Reasons: an assigned variable's reason clause is locked, so it
+  // survived the shed and is in the map; unassigned variables may carry a
+  // stale reason from a backtracked assignment — drop those.
+  for (Var var = 0; var < num_vars(); ++var) {
+    if (Value(var) == LBool::kUndef) {
+      reason_[var] = kCRefUndef;
+      continue;
+    }
+    CRef& reason = reason_[var];
+    if (reason == kCRefUndef) continue;
+    const auto it = remap.find(reason);
+    AQED_CHECK(it != remap.end(), "reason clause lost in compaction");
+    reason = it->second;
+  }
+  for (auto& watch_list : watches_) {
+    for (Watcher& watcher : watch_list) {
+      const auto it = remap.find(watcher.cref);
+      AQED_CHECK(it != remap.end(), "watched clause lost in compaction");
+      watcher.cref = it->second;
+    }
+  }
+}
+
+uint64_t Solver::MemoryBytes() const {
+  // Constant-time: capacities of the big flat arrays plus a per-variable
+  // constant covering assigns/model/polarity/activity/reason/level/heap/
+  // seen and the two watch-list headers, plus two watchers per attached
+  // clause. An estimate — the governor ranks jobs, it doesn't bill them.
+  const uint64_t per_var = 2 * sizeof(LBool) + 1 + sizeof(double) +
+                           sizeof(CRef) + sizeof(uint32_t) + sizeof(Var) +
+                           sizeof(uint32_t) + 1 +
+                           2 * sizeof(std::vector<Watcher>);
+  return arena_.capacity() * sizeof(uint32_t) +
+         (clauses_.capacity() + learnts_.capacity()) * sizeof(CRef) +
+         trail_.capacity() * sizeof(Lit) +
+         static_cast<uint64_t>(num_vars()) * per_var +
+         (num_problem_clauses_ + learnts_.size()) * 2 * sizeof(Watcher);
+}
+
 // ---------------------------------------------------------------------------
 // Search
 // ---------------------------------------------------------------------------
@@ -543,8 +629,14 @@ SolveResult Solver::Search(int64_t conflicts_budget) {
       CancelUntil(0);
       return SolveResult::kUnknown;  // restart (or budget exhausted)
     }
-    if (options_.use_reduce_db &&
-        static_cast<double>(learnts_.size()) >= max_learnts_ + trail_.size()) {
+    if (sched::CurrentMemoryPressure() >= sched::MemoryPressure::kShed &&
+        learnts_.size() >= shed_floor_) {
+      // Governor stage 1: shed the learnt database and compact the arena
+      // regardless of use_reduce_db — memory pressure outranks ablation.
+      ShedLearnts();
+    } else if (options_.use_reduce_db &&
+               static_cast<double>(learnts_.size()) >=
+                   max_learnts_ + trail_.size()) {
       ReduceDB();
     }
 
@@ -643,6 +735,10 @@ SolveResult Solver::Solve(std::span<const Lit> assumptions,
   SolveResult result = SolveResult::kUnknown;
   for (uint64_t restart = 0; result == SolveResult::kUnknown; ++restart) {
     if (options_.cancel.cancelled()) break;
+    // Refresh the governor's view of this job's footprint once per
+    // restart: frequent enough to rank jobs honestly, far off the
+    // per-decision hot path.
+    sched::PublishSolverMemory(MemoryBytes());
     int64_t this_restart = options_.use_restarts
                                ? static_cast<int64_t>(Luby(restart)) *
                                      options_.restart_base

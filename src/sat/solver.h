@@ -27,8 +27,8 @@ inline constexpr CRef kCRefUndef = ~CRef{0};
 
 // Per-call resource limits for Solver::Solve. Passed explicitly with every
 // call so concurrent workers sharing one retry policy never race on hidden
-// solver state (the predecessor, SetConflictBudget, applied to whichever
-// Solve happened to run next).
+// solver state (the removed predecessor, a stateful SetConflictBudget,
+// applied to whichever Solve happened to run next).
 struct SolveLimits {
   // Conflict cap for this call; Solve returns kUnknown with
   // UnknownReason::kConflictBudget when exceeded. Negative: unlimited.
@@ -60,6 +60,9 @@ class Solver {
     uint64_t learnt_literals = 0;
     uint64_t minimized_literals = 0;  // removed by clause minimization
     uint64_t reduce_db_rounds = 0;
+    // Memory-pressure shed rounds (ShedLearnts + arena compaction) taken
+    // because the session's memory governor published kShed or worse.
+    uint64_t shed_rounds = 0;
     // Why the most recent Solve() returned kUnknown (kNone when it returned
     // kSat/kUnsat): conflict-budget exhaustion, a tripped deadline watchdog,
     // or cooperative cancellation.
@@ -88,22 +91,10 @@ class Solver {
   SolveResult Solve(std::span<const Lit> assumptions,
                     const SolveLimits& limits);
 
-  // Solves without an explicit limit. For one release this overload still
-  // consumes a budget armed through the deprecated SetConflictBudget shim;
-  // new code should pass SolveLimits explicitly.
+  // Solves without an explicit limit (unbounded conflicts).
   SolveResult Solve(std::span<const Lit> assumptions = {}) {
-    SolveLimits limits;
-    limits.max_conflicts = conflict_budget_;
-    conflict_budget_ = -1;  // one-shot, as the legacy API behaved
-    return Solve(assumptions, limits);
+    return Solve(assumptions, SolveLimits{});
   }
-
-  // Deprecated shim: sets the conflict budget consumed by the next
-  // limit-less Solve call (and only that call). Stateful and unusable from
-  // concurrent cube workers — pass SolveLimits to Solve instead. Kept for
-  // one release.
-  [[deprecated("pass SolveLimits to Solve(assumptions, limits) instead")]]
-  void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
 
   // Deep-copies the full solver state — problem and learnt clauses, level-0
   // trail, VSIDS activities, saved phases — into a fresh solver running
@@ -139,6 +130,13 @@ class Solver {
   uint64_t num_clauses() const { return num_problem_clauses_; }
   uint64_t num_learnts() const { return learnts_.size(); }
   bool inconsistent() const { return !ok_; }
+
+  // Constant-time estimate of the solver's heap footprint in bytes —
+  // arena, clause lists, per-variable structures, watcher storage. This is
+  // what Solve publishes to the memory governor at restart boundaries
+  // (sched::PublishSolverMemory), so the governor's heaviest-job choice
+  // tracks the solvers that actually own the memory.
+  uint64_t MemoryBytes() const;
 
  private:
   struct Watcher {
@@ -204,6 +202,16 @@ class Solver {
   void RemoveClause(CRef cref);
   bool Locked(CRef cref) const;
   void ReduceDB();
+  // Memory-pressure degradation (stage 1 of the governor's ladder): drops
+  // every expendable learnt clause — keeps binaries, glue (LBD <= 2), and
+  // locked clauses — then compacts the arena to actually return the bytes.
+  // Runs even with use_reduce_db off: under memory pressure, survival
+  // outranks the ablation setting.
+  void ShedLearnts();
+  // Rebuilds the arena with only the live clauses and remaps every CRef
+  // (clause lists, reasons, watchers). The normal path never reclaims
+  // arena space; shedding exists to.
+  void CompactArena();
 
   // --- top-level search ---------------------------------------------------
   SolveResult Search(int64_t conflicts_budget);
@@ -245,9 +253,9 @@ class Solver {
   double var_inc_ = 1.0;
   double cla_inc_ = 1.0;
   double max_learnts_ = 0;
-  // Backs only the deprecated SetConflictBudget shim; the real limit is the
-  // SolveLimits argument.
-  int64_t conflict_budget_ = -1;
+  // Learnt count below which a shed round is pointless; re-armed after
+  // each shed so sustained pressure can't thrash compaction.
+  size_t shed_floor_ = 0;
   bool ok_ = true;
 };
 

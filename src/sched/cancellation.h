@@ -38,6 +38,7 @@ enum class CancelReason : uint8_t {
   kFirstBugWins = 2, // a sibling job found a bug
   kDeadline = 3,     // the job's wall-clock watchdog expired
   kCubeSolved = 4,   // a sibling cube of the same query found a model
+  kMemoryBudget = 5, // the session's memory governor shed the job
 };
 
 inline const char* CancelReasonName(CancelReason reason) {
@@ -52,21 +53,29 @@ inline const char* CancelReasonName(CancelReason reason) {
       return "deadline";
     case CancelReason::kCubeSolved:
       return "cube-solved";
+    case CancelReason::kMemoryBudget:
+      return "memory-budget";
   }
   return "?";
 }
 
 // The UnknownReason a cancellation maps to when it stops a solve/job.
 inline UnknownReason UnknownReasonFromCancel(CancelReason reason) {
-  return reason == CancelReason::kDeadline ? UnknownReason::kDeadline
-                                           : UnknownReason::kCancelled;
+  switch (reason) {
+    case CancelReason::kDeadline:
+      return UnknownReason::kDeadline;
+    case CancelReason::kMemoryBudget:
+      return UnknownReason::kMemoryBudget;
+    default:
+      return UnknownReason::kCancelled;
+  }
 }
 
 // Observer half. A default-constructed token is never cancelled (the common
 // case for standalone RunBmc / Solver use outside a session). A token may
-// observe up to three flags (see CancellationToken::Any) so a job can honor
-// its entry-local source, a session-wide source, and its own deadline
-// watchdog at once.
+// observe up to kMaxFlags flags (see CancellationToken::Any) so a job can
+// honor its entry-local source, a session-wide source, its deadline
+// watchdog, and the memory governor at once.
 class CancellationToken {
  public:
   CancellationToken() = default;
@@ -100,8 +109,9 @@ class CancellationToken {
 
   // A token cancelled when either input token is. The combined token keeps
   // up to kMaxFlags distinct flags (the deepest stack is the cube layer:
-  // session + entry + per-job deadline + first-SAT-wins cube winner);
-  // further flags of the second operand are dropped.
+  // session + entry + per-job deadline + per-job memory governor +
+  // first-SAT-wins cube winner); further flags of the second operand are
+  // dropped.
   static CancellationToken Any(const CancellationToken& x,
                                const CancellationToken& y) {
     CancellationToken token;
@@ -118,7 +128,7 @@ class CancellationToken {
  private:
   friend class CancellationSource;
   using Flag = std::shared_ptr<const std::atomic<uint8_t>>;
-  static constexpr size_t kMaxFlags = 4;
+  static constexpr size_t kMaxFlags = 5;
 
   explicit CancellationToken(Flag flag) { flags_[0] = std::move(flag); }
 

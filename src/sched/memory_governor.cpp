@@ -1,0 +1,174 @@
+#include "sched/memory_governor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "telemetry/resource.h"
+
+namespace aqed::sched {
+
+namespace internal {
+std::atomic<uint8_t> g_pressure{0};
+}  // namespace internal
+
+namespace {
+
+// The calling thread's publish slot: set for the lifetime of the JobScope
+// registered on this thread, null otherwise. The slot itself is shared with
+// the governor's registry (shared_ptr), so a publish racing job teardown
+// writes into a still-live atomic.
+thread_local std::atomic<uint64_t>* t_solver_bytes = nullptr;
+
+}  // namespace
+
+void PublishSolverMemory(uint64_t bytes) {
+  if (t_solver_bytes != nullptr) {
+    t_solver_bytes->store(bytes, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JobScope
+// ---------------------------------------------------------------------------
+
+MemoryGovernor::JobScope::JobScope(MemoryGovernor* governor, uint64_t id,
+                                   CancellationSource source)
+    : governor_(governor), id_(id), source_(std::move(source)) {}
+
+MemoryGovernor::JobScope& MemoryGovernor::JobScope::operator=(
+    JobScope&& other) noexcept {
+  if (this != &other) {
+    Release();
+    governor_ = std::exchange(other.governor_, nullptr);
+    id_ = std::exchange(other.id_, 0);
+    source_ = std::move(other.source_);
+  }
+  return *this;
+}
+
+void MemoryGovernor::JobScope::Release() {
+  if (governor_ == nullptr) return;
+  t_solver_bytes = nullptr;
+  governor_->Unregister(id_);
+  governor_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryGovernor
+// ---------------------------------------------------------------------------
+
+MemoryGovernor::~MemoryGovernor() { Stop(); }
+
+void MemoryGovernor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MemoryGovernor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  internal::g_pressure.store(0, std::memory_order_relaxed);
+  telemetry::SetGauge("governor.pressure", 0);
+}
+
+MemoryGovernor::JobScope MemoryGovernor::Register(std::string label) {
+  CancellationSource source;
+  auto bytes = std::make_shared<std::atomic<uint64_t>>(0);
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    jobs_.push_back({id, std::move(label), source, bytes});
+  }
+  // Bind this thread's publish slot to the new job. RunJob registers on
+  // the worker thread that executes the job, so solver publishes from that
+  // thread land here; nested cube workers run on other threads and stay
+  // unbound (the process-wide RSS probe still sees their allocations).
+  t_solver_bytes = bytes.get();
+  return JobScope(this, id, std::move(source));
+}
+
+void MemoryGovernor::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it =
+      std::find_if(jobs_.begin(), jobs_.end(),
+                   [id](const Job& job) { return job.id == id; });
+  if (it != jobs_.end()) {
+    *it = std::move(jobs_.back());
+    jobs_.pop_back();
+  }
+}
+
+MemoryGovernor::Stats MemoryGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemoryGovernor::CancelHeaviestLocked() {
+  Job* heaviest = nullptr;
+  uint64_t heaviest_bytes = 0;
+  for (Job& job : jobs_) {
+    if (job.source.cancelled()) continue;
+    const uint64_t bytes = job.bytes->load(std::memory_order_relaxed);
+    // >= so that jobs publishing nothing (footprint 0) are still
+    // cancellable — the budget must win even over silent jobs.
+    if (heaviest == nullptr || bytes >= heaviest_bytes) {
+      heaviest = &job;
+      heaviest_bytes = bytes;
+    }
+  }
+  if (heaviest == nullptr) return;
+  heaviest->source.Cancel(CancelReason::kMemoryBudget);
+  ++stats_.jobs_cancelled;
+  telemetry::AddCounter("governor.jobs_cancelled", 1);
+  std::fprintf(stderr,
+               "[governor] over memory budget (%u MiB): cancelling job "
+               "'%s' (%llu KiB solver footprint published)\n",
+               options_.budget_mb, heaviest->label.c_str(),
+               static_cast<unsigned long long>(heaviest_bytes / 1024));
+}
+
+void MemoryGovernor::Loop() {
+  const uint64_t budget_kb = static_cast<uint64_t>(options_.budget_mb) * 1024;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    const telemetry::ResourceUsage usage = telemetry::SampleResourceUsage();
+    lock.lock();
+    ++stats_.polls;
+    stats_.peak_rss_kb = std::max(stats_.peak_rss_kb, usage.rss_kb);
+    uint8_t pressure = 0;
+    if (budget_kb > 0 && usage.rss_kb > 0) {
+      const uint64_t rss_kb = static_cast<uint64_t>(usage.rss_kb);
+      if (rss_kb >= budget_kb) {
+        pressure = static_cast<uint8_t>(MemoryPressure::kCancel);
+      } else if (rss_kb * 100 >= budget_kb * options_.throttle_percent) {
+        pressure = static_cast<uint8_t>(MemoryPressure::kThrottle);
+      } else if (rss_kb * 100 >= budget_kb * options_.shed_percent) {
+        pressure = static_cast<uint8_t>(MemoryPressure::kShed);
+      }
+    }
+    internal::g_pressure.store(pressure, std::memory_order_relaxed);
+    telemetry::SetGauge("governor.pressure", pressure);
+    if (pressure == static_cast<uint8_t>(MemoryPressure::kCancel)) {
+      // One job per tick: give the freed memory a poll period to show up
+      // in RSS before deciding the next-heaviest job must die too.
+      CancelHeaviestLocked();
+    }
+  }
+}
+
+}  // namespace aqed::sched

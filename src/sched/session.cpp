@@ -1,6 +1,7 @@
 #include "sched/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iterator>
 #include <numeric>
 
@@ -114,6 +115,14 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
     deadline_guard = watchdog_.Arm(deadline_source, job.deadline_ms);
     token = CancellationToken::Any(token, deadline_source.token());
   }
+  // Register with the memory governor (when the session is budgeted) so
+  // the job can be shed at stage 3 and its solver footprint is attributed
+  // to it. RAII like the deadline guard: a finished job is never shed late.
+  MemoryGovernor::JobScope governor_scope;
+  if (governor_ != nullptr) {
+    governor_scope = governor_->Register(job.label);
+    token = CancellationToken::Any(token, governor_scope.token());
+  }
   // One span per executed attempt: this is the busy-time unit of the
   // Perfetto view, so per-thread job spans account for (almost) all of a
   // worker's occupied time.
@@ -151,10 +160,12 @@ void VerificationSession::RunJob(const PendingJob& job, core::JobResult& out) {
       out.result.bmc.outcome == bmc::BmcResult::Outcome::kUnknown
           ? out.result.bmc.unknown_reason
           : UnknownReason::kNone;
-  // A deadline expiry is a per-job timeout, not a sibling stopping us —
-  // only the latter counts as "cancelled" for first-bug-wins accounting.
+  // A deadline expiry or a memory-governor shed is a per-job resource
+  // verdict, not a sibling stopping us — only the latter counts as
+  // "cancelled" for first-bug-wins accounting.
   out.cancelled = out.result.bmc.cancelled &&
-                  out.unknown_reason != UnknownReason::kDeadline;
+                  out.unknown_reason != UnknownReason::kDeadline &&
+                  out.unknown_reason != UnknownReason::kMemoryBudget;
   out.ts = std::move(ts);
   if (telemetry::Enabled()) {
     telemetry::AddCounter("sched.jobs", 1);
@@ -274,6 +285,21 @@ core::SessionResult VerificationSession::Wait() {
       if (telemetry::Enabled()) session->ExportTelemetry();
     }
   } export_guard{this};
+  // A budgeted session runs its governor thread only while Wait() executes
+  // jobs; the guard stops it on every exit (and resets the published
+  // pressure), so no pressure level outlives the session round.
+  if (options_.memory_budget_mb > 0 && governor_ == nullptr) {
+    MemoryGovernor::Options governor_options;
+    governor_options.budget_mb = options_.memory_budget_mb;
+    governor_ = std::make_unique<MemoryGovernor>(governor_options);
+  }
+  struct GovernorGuard {
+    MemoryGovernor* governor;
+    ~GovernorGuard() {
+      if (governor != nullptr) governor->Stop();
+    }
+  } governor_guard{governor_.get()};
+  if (governor_ != nullptr) governor_->Start();
   if (options_.sample_period_ms > 0 && telemetry::Enabled()) {
     if (sampler_ == nullptr) {
       telemetry::SamplerOptions sampler_options;
@@ -325,13 +351,20 @@ void VerificationSession::ExportTelemetry() {
   std::vector<telemetry::TraceEvent> events =
       telemetry::Tracer::Global().Drain();
   std::move(events.begin(), events.end(), std::back_inserter(trace_log_));
-  if (!options_.trace_path.empty()) {
-    telemetry::WriteChromeTraceFile(options_.trace_path, trace_log_);
+  // Surface export failures instead of losing them: the session keeps
+  // running (telemetry must never take the run down), but a full disk or
+  // unwritable path is printed, not swallowed.
+  if (!options_.trace_path.empty() &&
+      !telemetry::WriteChromeTraceFile(options_.trace_path, trace_log_)) {
+    std::fprintf(stderr, "[session] failed to write trace file %s\n",
+                 options_.trace_path.c_str());
   }
-  if (!options_.metrics_path.empty()) {
-    telemetry::WriteMetricsJsonlFile(
-        options_.metrics_path, telemetry::MetricsRegistry::Global().Snapshot(),
-        samples_);
+  if (!options_.metrics_path.empty() &&
+      !telemetry::WriteMetricsJsonlFile(
+          options_.metrics_path,
+          telemetry::MetricsRegistry::Global().Snapshot(), samples_)) {
+    std::fprintf(stderr, "[session] failed to write metrics file %s\n",
+                 options_.metrics_path.c_str());
   }
 }
 

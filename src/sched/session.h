@@ -38,6 +38,7 @@
 
 #include "aqed/checker.h"
 #include "sched/cancellation.h"
+#include "sched/memory_governor.h"
 #include "sched/watchdog.h"
 #include "telemetry/sampler.h"
 #include "telemetry/trace.h"
@@ -115,6 +116,10 @@ class VerificationSession {
   std::vector<PendingJob> pending_;
   size_t num_entries_ = 0;
   Watchdog watchdog_;  // lazily threaded; idle unless deadlines are set
+  // Memory governor (SessionOptions::memory_budget_mb): created on the
+  // first Wait() of a governed session; its poll thread runs only while
+  // Wait() executes jobs. Null when ungoverned.
+  std::unique_ptr<MemoryGovernor> governor_;
   // Session-owned span log: every event drained so far, accumulated across
   // Wait() calls so the exported trace covers the whole session.
   std::vector<telemetry::TraceEvent> trace_log_;

@@ -1,5 +1,6 @@
 #include "sched/thread_pool.h"
 
+#include "support/failpoint.h"
 #include "telemetry/metrics.h"
 
 namespace aqed::sched {
@@ -65,6 +66,10 @@ void ThreadPool::WorkerLoop() {
     // snapshots read 0.
     telemetry::AddGauge("sched.pool.active", 1);
     telemetry::AddCounter("sched.pool.tasks", 1);
+    // Chaos site: a delay trigger stretches the dispatch-to-start gap (the
+    // queue-wait the telemetry layer prices). Tasks must not throw, so this
+    // site supports delay only — a throw here would terminate the process.
+    (void)AQED_FAILPOINT("sched.pool.dispatch");
     task();
     telemetry::AddGauge("sched.pool.active", -1);
     {

@@ -1,0 +1,226 @@
+#include "support/failpoint.h"
+
+#if AQED_FAILPOINTS_ENABLED
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqed::support::failpoint {
+
+std::atomic<uint32_t> g_armed{0};
+
+namespace {
+
+struct Entry {
+  std::string name;
+  FailpointTrigger trigger;
+  uint64_t hits = 0;   // site evaluations while armed
+  uint64_t fires = 0;  // actions actually taken
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Entry> entries;  // small: linear scan beats a map here
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+Entry* FindLocked(Registry& registry, std::string_view name) {
+  for (Entry& entry : registry.entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const char* ActionName(FailpointAction action) {
+  switch (action) {
+    case FailpointAction::kThrow: return "throw";
+    case FailpointAction::kDelay: return "delay";
+    case FailpointAction::kReturnError: return "error";
+  }
+  return "?";
+}
+
+// Arms the AQED_FAILPOINTS environment spec once, before main. The armed
+// count starts at 0, so processes without the variable never take the slow
+// path.
+const bool g_env_armed = [] {
+  const char* spec = std::getenv("AQED_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  const Status status = ArmFromSpec(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "[failpoint] bad AQED_FAILPOINTS spec: %s\n",
+                 status.message().c_str());
+  }
+  return true;
+}();
+
+}  // namespace
+
+bool EvaluateSlow(const char* name) {
+  FailpointAction action;
+  uint32_t delay_ms = 0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    Entry* entry = FindLocked(registry, name);
+    if (entry == nullptr) return false;
+    ++entry->hits;
+    if (entry->hits <= entry->trigger.skip) return false;
+    if (entry->trigger.limit != 0 && entry->fires >= entry->trigger.limit) {
+      return false;
+    }
+    ++entry->fires;
+    action = entry->trigger.action;
+    delay_ms = entry->trigger.delay_ms;
+  }
+  // Log every firing: a chaos run's value is knowing exactly which injected
+  // failure produced the behavior under test.
+  std::fprintf(stderr, "[failpoint] %s fired (action=%s)\n", name,
+               ActionName(action));
+  switch (action) {
+    case FailpointAction::kThrow:
+      throw FailpointError(name);
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+    case FailpointAction::kReturnError:
+      return true;
+  }
+  return false;
+}
+
+void Arm(const std::string& name, const FailpointTrigger& trigger) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Entry* entry = FindLocked(registry, name);
+  if (entry == nullptr) {
+    registry.entries.push_back({name, trigger});
+    g_armed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    *entry = {name, trigger};
+  }
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Entry* entry = FindLocked(registry, name);
+  if (entry == nullptr) return;
+  *entry = std::move(registry.entries.back());
+  registry.entries.pop_back();
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed.fetch_sub(static_cast<uint32_t>(registry.entries.size()),
+                    std::memory_order_relaxed);
+  registry.entries.clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const Entry* entry = FindLocked(registry, name);
+  return entry == nullptr ? 0 : entry->hits;
+}
+
+uint64_t FireCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const Entry* entry = FindLocked(registry, name);
+  return entry == nullptr ? 0 : entry->fires;
+}
+
+Status ArmFromSpec(std::string_view spec) {
+  // Grammar per comma-separated item: name=action[:delay_ms][@nth[xCOUNT]]
+  while (!spec.empty()) {
+    const size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (item.empty()) continue;
+
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::Error("failpoint spec item without name=action: '" +
+                           std::string(item) + "'");
+    }
+    const std::string name(item.substr(0, eq));
+    std::string_view rest = item.substr(eq + 1);
+
+    FailpointTrigger trigger;
+    // Optional "@nth[xCOUNT]" suffix first, so the action parse sees only
+    // "action[:delay]".
+    const size_t at = rest.find('@');
+    if (at != std::string_view::npos) {
+      const std::string counts(rest.substr(at + 1));
+      rest = rest.substr(0, at);
+      char* end = nullptr;
+      const unsigned long nth = std::strtoul(counts.c_str(), &end, 10);
+      if (end == counts.c_str() || nth == 0) {
+        return Status::Error("failpoint spec '@nth' must be a positive "
+                             "integer in '" + std::string(item) + "'");
+      }
+      trigger.skip = static_cast<uint32_t>(nth - 1);
+      if (*end == 'x') {
+        char* end2 = nullptr;
+        trigger.limit =
+            static_cast<uint32_t>(std::strtoul(end + 1, &end2, 10));
+        end = end2;
+      }
+      if (*end != '\0') {
+        return Status::Error("trailing garbage after '@nth' in '" +
+                             std::string(item) + "'");
+      }
+    }
+    const size_t colon = rest.find(':');
+    const std::string_view action = rest.substr(0, colon);
+    if (action == "throw") {
+      trigger.action = FailpointAction::kThrow;
+    } else if (action == "delay") {
+      trigger.action = FailpointAction::kDelay;
+    } else if (action == "error") {
+      trigger.action = FailpointAction::kReturnError;
+    } else {
+      return Status::Error("unknown failpoint action '" +
+                           std::string(action) + "' in '" +
+                           std::string(item) + "'");
+    }
+    if (colon != std::string_view::npos) {
+      const std::string delay(rest.substr(colon + 1));
+      char* end = nullptr;
+      trigger.delay_ms =
+          static_cast<uint32_t>(std::strtoul(delay.c_str(), &end, 10));
+      if (end == delay.c_str() || *end != '\0') {
+        return Status::Error("bad delay_ms in '" + std::string(item) + "'");
+      }
+    }
+    Arm(name, trigger);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Armed() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.entries.size());
+  for (const Entry& entry : registry.entries) names.push_back(entry.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace aqed::support::failpoint
+
+#endif  // AQED_FAILPOINTS_ENABLED

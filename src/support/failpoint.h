@@ -1,0 +1,127 @@
+// Failure-point chaos harness.
+//
+// A failpoint is a named site in production code where a test (or an
+// operator, via the AQED_FAILPOINTS environment variable) can inject a
+// deterministic failure: throw an exception, delay the caller, or make the
+// site take its error-return path. The governance machinery this repo has
+// grown — journal recovery, export-on-failure guards, watchdogs, retries —
+// only fires under real crashes; failpoints let tests drive every one of
+// those paths on demand, reproducibly.
+//
+//   if (AQED_FAILPOINT("fault.journal.append")) {
+//     return Status::Error("journal append failed (failpoint)");
+//   }
+//
+// The macro evaluates to true when an armed kReturnError trigger fires at
+// this site (the caller then takes its error path); a kThrow trigger throws
+// FailpointError out of the macro instead, and kDelay sleeps and returns
+// false. Sites whose callers have no error path use the macro as a bare
+// statement and support only throw/delay.
+//
+// Unarmed cost is one relaxed atomic load (a process-wide armed count), so
+// sites can sit on warm paths such as the solver's clause allocator. The
+// whole harness compiles out to `(false)` under -DAQED_FAILPOINTS=OFF; the
+// registry functions remain as inert stubs so callers need no #ifdefs.
+//
+// Triggers are (skip, limit) counted: fire on the skip+1'th hit of the
+// site, then keep firing for `limit` hits (0 = forever). Arming is
+// programmatic (Arm/Disarm below) or via the environment:
+//
+//   AQED_FAILPOINTS="fault.journal.append=throw@6,telemetry.export=error"
+//
+// with spec grammar  name=action[:delay_ms][@nth[xCOUNT]]  and actions
+// throw | delay | error. "@6" fires on the 6th hit; "x0" fires forever.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+#ifndef AQED_FAILPOINTS_ENABLED
+#define AQED_FAILPOINTS_ENABLED 1
+#endif
+
+namespace aqed::support {
+
+enum class FailpointAction : uint8_t {
+  kThrow,        // throw FailpointError out of the site
+  kDelay,        // sleep delay_ms, then continue normally
+  kReturnError,  // make AQED_FAILPOINT() evaluate to true
+};
+
+struct FailpointTrigger {
+  FailpointAction action = FailpointAction::kThrow;
+  uint32_t skip = 0;      // pass through this many hits before firing
+  uint32_t limit = 1;     // fire at most this many times (0 = forever)
+  uint32_t delay_ms = 10; // kDelay sleep per firing
+};
+
+// What a kThrow trigger throws. Carries the site name so a catch site (or a
+// test) can tell which failpoint killed the run.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(std::string name)
+      : std::runtime_error("failpoint '" + name + "' fired"),
+        name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+namespace failpoint {
+
+#if AQED_FAILPOINTS_ENABLED
+
+// Process-wide count of armed failpoints: the macro's fast path. Internal.
+extern std::atomic<uint32_t> g_armed;
+
+// Slow path: trigger lookup, hit counting, and the action itself. Returns
+// true when a kReturnError trigger fired at this site.
+bool EvaluateSlow(const char* name);
+
+inline bool Evaluate(const char* name) {
+  return g_armed.load(std::memory_order_relaxed) != 0 && EvaluateSlow(name);
+}
+
+// Installs (or replaces) the trigger of `name`, resetting its counters.
+void Arm(const std::string& name, const FailpointTrigger& trigger);
+// Removes the trigger of `name` (hit/fire counters are discarded).
+void Disarm(const std::string& name);
+void DisarmAll();
+// Hits observed / actions fired while the site was armed (0 when unarmed).
+uint64_t HitCount(const std::string& name);
+uint64_t FireCount(const std::string& name);
+// Parses and arms a comma-separated spec list (the AQED_FAILPOINTS
+// environment grammar above). Partial specs before a bad entry stay armed.
+Status ArmFromSpec(std::string_view spec);
+// Names currently armed, sorted — for logs and diagnostics.
+std::vector<std::string> Armed();
+
+#else  // AQED_FAILPOINTS_ENABLED
+
+inline bool Evaluate(const char*) { return false; }
+inline void Arm(const std::string&, const FailpointTrigger&) {}
+inline void Disarm(const std::string&) {}
+inline void DisarmAll() {}
+inline uint64_t HitCount(const std::string&) { return 0; }
+inline uint64_t FireCount(const std::string&) { return 0; }
+inline Status ArmFromSpec(std::string_view) {
+  return Status::Error("failpoints compiled out (-DAQED_FAILPOINTS=OFF)");
+}
+inline std::vector<std::string> Armed() { return {}; }
+
+#endif  // AQED_FAILPOINTS_ENABLED
+
+}  // namespace failpoint
+}  // namespace aqed::support
+
+#if AQED_FAILPOINTS_ENABLED
+#define AQED_FAILPOINT(name) (::aqed::support::failpoint::Evaluate(name))
+#else
+#define AQED_FAILPOINT(name) (false)
+#endif

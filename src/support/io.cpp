@@ -1,0 +1,73 @@
+#include "support/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace aqed::support {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return ErrnoStatus("cannot open", path);
+  std::string contents;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return ErrnoStatus("read failed on", path);
+  return contents;
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("cannot create", tmp);
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = ErrnoStatus("write failed on", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before rename: otherwise the rename can land on disk before the
+  // data and a crash exposes an empty (or partial) renamed file.
+  if (::fsync(fd) != 0) {
+    const Status status = ErrnoStatus("fsync failed on", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    const Status status = ErrnoStatus("close failed on", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = ErrnoStatus("rename failed onto", path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace aqed::support

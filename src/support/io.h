@@ -1,0 +1,26 @@
+// Durable file I/O primitives.
+//
+// The durability layers (the fault-campaign result journal, the telemetry
+// exporters) share two requirements: a reader must never observe a
+// half-written file, and a crash between "written" and "visible" must leave
+// either the old contents or the new — never a prefix. WriteFileDurable
+// implements the standard recipe: write everything to `<path>.tmp`, fsync
+// the file, then rename() it over `path` (atomic on POSIX filesystems).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace aqed::support {
+
+// Reads the whole file. Missing file or read error -> Status with errno
+// detail; an empty file is OK and yields an empty string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Atomically replaces `path` with `contents` via tmp + fsync + rename. On
+// failure the temp file is removed and `path` is untouched.
+Status WriteFileDurable(const std::string& path, std::string_view contents);
+
+}  // namespace aqed::support

@@ -18,6 +18,7 @@ enum class UnknownReason : uint8_t {
   kConflictBudget,   // the per-depth SAT conflict budget ran out
   kDeadline,         // the job's wall-clock deadline expired (watchdog)
   kCancelled,        // stopped cooperatively (first-bug-wins / external)
+  kMemoryBudget,     // the session's memory governor cancelled the job
 };
 
 inline const char* UnknownReasonName(UnknownReason reason) {
@@ -30,6 +31,8 @@ inline const char* UnknownReasonName(UnknownReason reason) {
       return "deadline";
     case UnknownReason::kCancelled:
       return "cancelled";
+    case UnknownReason::kMemoryBudget:
+      return "memory-budget";
   }
   return "?";
 }

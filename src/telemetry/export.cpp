@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 #include <set>
+#include <sstream>
 #include <vector>
 
+#include "support/failpoint.h"
+#include "support/io.h"
 #include "telemetry/json.h"
 
 namespace aqed::telemetry {
@@ -265,19 +267,25 @@ std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text) {
 
 bool WriteChromeTraceFile(const std::string& path,
                           std::span<const TraceEvent> events) {
-  std::ofstream out(path);
-  if (!out) return false;
+  // Chaos site: simulated export failure, so callers' error surfacing is
+  // testable without a read-only filesystem.
+  if (AQED_FAILPOINT("telemetry.export")) return false;
+  // Serialize in memory, then tmp+fsync+rename: a crash (or full disk)
+  // mid-export leaves the previous trace intact, never a truncated JSON.
+  std::ostringstream out;
   WriteChromeTrace(out, events);
-  return static_cast<bool>(out);
+  if (!out) return false;
+  return support::WriteFileDurable(path, out.view()).ok();
 }
 
 bool WriteMetricsJsonlFile(const std::string& path,
                            const MetricsSnapshot& snapshot,
                            std::span<const TimeSeriesSample> samples) {
-  std::ofstream out(path);
-  if (!out) return false;
+  if (AQED_FAILPOINT("telemetry.export")) return false;
+  std::ostringstream out;
   WriteMetricsJsonl(out, snapshot, samples);
-  return static_cast<bool>(out);
+  if (!out) return false;
+  return support::WriteFileDurable(path, out.view()).ok();
 }
 
 }  // namespace aqed::telemetry

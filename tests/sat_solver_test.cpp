@@ -159,19 +159,6 @@ TEST(SolverTest, ConflictLimitReturnsUnknown) {
   EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
 }
 
-TEST(SolverTest, DeprecatedConflictBudgetShimIsOneShot) {
-  // The legacy stateful API must keep behaving until the shim is removed:
-  // the budget applies to the next Solve() and is consumed by it.
-  Solver solver;
-  AddPigeonhole(solver, 8);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  solver.SetConflictBudget(10);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(solver.Solve(), SolveResult::kUnknown);
-  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
-}
-
 TEST(SolverTest, IncrementalClauseAddition) {
   Solver solver;
   const Var x = solver.NewVar(), y = solver.NewVar();
