@@ -29,7 +29,7 @@ core::AqedOptions Options() {
 
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
-  const core::SessionOptions session = bench::ParseSessionOptions(flags);
+  const core::SessionOptions session = bench::AddSessionFlags(flags);
   flags.RejectUnknown(argv[0]);
   printf("Ablation B: AES batch-size sweep (common key across batch)\n");
   bench::PrintRule('=');

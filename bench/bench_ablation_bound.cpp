@@ -13,7 +13,7 @@ using namespace aqed;
 
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
-  const core::SessionOptions session = bench::ParseSessionOptions(flags);
+  const core::SessionOptions session = bench::AddSessionFlags(flags);
   flags.RejectUnknown(argv[0]);
   printf("Ablation A: BMC bound sweep (memory-controller bugs)\n");
   bench::PrintRule('=');

@@ -11,6 +11,7 @@
 #include "accel/memctrl.h"
 #include "aqed/checker.h"
 #include "harness/conventional_flow.h"
+#include "service/registry.h"
 
 namespace aqed::bench {
 
@@ -102,7 +103,8 @@ class FlagParser {
   mutable std::vector<char> used_;  // parallel to args_: matched by a probe
 };
 
-// Parses the scheduling and telemetry flags shared by the bench binaries:
+// Registers + parses the scheduling and telemetry flags shared by every
+// bench binary and tool:
 //   --jobs N         worker threads for the verification session (default 1,
 //                    0 = hardware concurrency)
 //   --cancel-session
@@ -126,57 +128,38 @@ class FlagParser {
 //
 // Callers construct the FlagParser themselves (so they can layer their own
 // flags on top) and should finish with flags.RejectUnknown(argv[0]).
-inline core::SessionOptions ParseSessionOptions(const FlagParser& flags) {
-  core::SessionOptions options;
-  options.jobs = flags.Uint32("--jobs", options.jobs);
+//
+// The options are assembled through SessionOptions::Builder, so every bench
+// gets the same coherence screening as API callers: `--jobs 0` maps to
+// WithHardwareJobs() (the documented "all cores" spelling), and a flag
+// combination the builder rejects (e.g. --sample-period-ms without
+// --metrics-out) aborts with the builder's message instead of silently
+// recording nothing.
+inline core::SessionOptions AddSessionFlags(const FlagParser& flags) {
+  core::SessionOptions::Builder builder;
+  const uint32_t jobs = flags.Uint32("--jobs", 1);
+  if (jobs == 0) {
+    builder.WithHardwareJobs();
+  } else {
+    builder.WithJobs(jobs);
+  }
   if (flags.Switch("--cancel-session")) {
-    options.cancel = core::SessionOptions::CancelPolicy::kSession;
+    builder.WithCancelPolicy(core::SessionOptions::CancelPolicy::kSession);
   }
-  options.deadline_ms = flags.Uint32("--deadline-ms", options.deadline_ms);
-  options.memory_budget_mb =
-      flags.Uint32("--memory-budget-mb", options.memory_budget_mb);
-  options.retry.max_retries =
-      flags.Uint32("--retries", options.retry.max_retries);
-  options.trace_path = flags.String("--trace-out");
-  options.metrics_path = flags.String("--metrics-out");
-  options.sample_period_ms =
-      flags.Uint32("--sample-period-ms", options.sample_period_ms);
-  return options;
+  builder.WithDeadlineMs(flags.Uint32("--deadline-ms", 0))
+      .WithMemoryBudgetMb(flags.Uint32("--memory-budget-mb", 0))
+      .WithRetries(flags.Uint32("--retries", 0))
+      .WithTracePath(flags.String("--trace-out"))
+      .WithMetricsPath(flags.String("--metrics-out"))
+      .WithSamplePeriodMs(flags.Uint32("--sample-period-ms", 0));
+  return builder.Build();
 }
 
-// A-QED options used for the memory-controller study (Sec. V.A): FC plus RB
-// with the per-configuration response bound, per-property bounds, and a
-// bounded per-depth refutation effort.
-inline core::AqedOptions MemCtrlStudyOptions(accel::MemCtrlConfig config) {
-  core::RbOptions rb;
-  rb.tau = accel::MemCtrlResponseBound(config);
-  rb.in_min = config == accel::MemCtrlConfig::kDoubleBuffer ? 2 : 1;
-  return core::AqedOptions::Builder()
-      .WithRb(rb)
-      .WithFcBound(14)
-      .WithRbBound(20)
-      .WithConflictBudget(400000)
-      .Build();
-}
-
-// The conventional flow's per-configuration testbench assumptions (see
-// tests/memctrl_test.cpp for the rationale).
-inline harness::CampaignOptions MemCtrlConventionalOptions(
-    accel::MemCtrlConfig config) {
-  harness::CampaignOptions options;
-  options.num_seeds = 20;
-  options.testbench.max_cycles = 300;   // one directed-test run
-  options.testbench.data_pool = 6;
-  options.testbench.hang_timeout = 200;
-  // Results are compared when the test completes, as application-level
-  // testbenches do — a failing conventional trace is the whole test.
-  options.testbench.end_of_test_checking = true;
-  options.testbench.pinned_inputs = {{"clk_en", 1}};
-  if (config == accel::MemCtrlConfig::kLineBuffer) {
-    options.testbench.host_ready_prob = 256;
-  }
-  return options;
-}
+// The memory-controller study/testbench options moved to the service design
+// catalog (src/service/registry.h) so aqed-server assembles the exact same
+// configurations; re-exported here for the table/figure binaries.
+using service::MemCtrlConventionalOptions;
+using service::MemCtrlStudyOptions;
 
 inline void PrintRule(char c = '-', int n = 78) {
   for (int i = 0; i < n; ++i) std::putchar(c);

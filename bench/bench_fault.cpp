@@ -19,80 +19,37 @@
 //                       the CRC-guarded JSONL journal P as it lands
 //        --resume       replay --journal first and verify only the mutants
 //                       it does not already classify
+//        --cache P      content-addressed solve cache: load P before the
+//                       campaign, consult it per mutant, persist it after
+//                       (CRC-guarded JSONL; poisoned lines are dropped and
+//                       the mutants re-solved)
+//        --designs A,B  restrict the campaign to the named catalog designs
+//                       (same names aqed-client --designs accepts)
+#include <algorithm>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "accel/aes.h"
-#include "accel/dataflow.h"
-#include "accel/memctrl.h"
-#include "accel/multi_action.h"
-#include "accel/optflow.h"
 #include "bench_common.h"
 #include "fault/campaign.h"
+#include "service/cache.h"
+#include "service/registry.h"
 
 using namespace aqed;
-
-namespace {
-
-fault::DesignUnderTest MemCtrlDut(accel::MemCtrlConfig config) {
-  fault::DesignUnderTest dut;
-  dut.name = std::string("memctrl-") + accel::MemCtrlConfigName(config);
-  dut.build = [config](ir::TransitionSystem& ts) {
-    return accel::BuildMemCtrl(ts, config).acc;
-  };
-  // Campaign bounds are tighter than the Table 1 study's: mutant
-  // counterexamples are shallow (they corrupt the first transaction — every
-  // FC detection in the campaign lands at depth <= 7), and refutation cost
-  // grows steeply with depth. Bound 7 keeps even the hardest surviving
-  // mutant's FC refutation several times under the escalated deadline
-  // ladder, so no final verdict ever rides on a wall-clock race and
-  // classifications stay identical across --jobs counts.
-  dut.options =
-      core::AqedOptions::Builder(bench::MemCtrlStudyOptions(config))
-          .WithFcBound(7)
-          .WithSacSpec(accel::MemCtrlSpec(config))
-          .WithSacBound(8)
-          .Build();
-  dut.golden = accel::MemCtrlGolden(config);
-  dut.conventional = bench::MemCtrlConventionalOptions(config);
-  return dut;
-}
-
-core::AqedOptions HlsOptions(uint32_t tau, uint32_t rdin_bound,
-                             core::SpecFn spec, uint32_t sac_bound) {
-  core::RbOptions rb;
-  rb.tau = tau;
-  rb.rdin_bound = rdin_bound;
-  auto builder = core::AqedOptions::Builder()
-                     .WithRb(rb)
-                     .WithFcBound(10)
-                     .WithRbBound(tau + 8)
-                     .WithConflictBudget(400000);
-  if (spec) builder.WithSacSpec(std::move(spec)).WithSacBound(sac_bound);
-  return builder.Build();
-}
-
-harness::CampaignOptions HlsConventional() {
-  harness::CampaignOptions options;
-  options.num_seeds = 10;
-  options.testbench.max_cycles = 300;
-  options.testbench.hang_timeout = 150;
-  return options;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
   fault::FaultCampaignOptions options;
-  options.session = bench::ParseSessionOptions(flags);
+  options.session = bench::AddSessionFlags(flags);
   options.num_mutants = flags.Uint32("--mutants", 60);
   options.seed = flags.Uint64("--seed", options.seed);
   options.conventional_baseline = !flags.Switch("--no-baseline");
   options.journal_path = flags.String("--journal");
   options.resume = flags.Switch("--resume");
+  const std::string cache_path = flags.String("--cache");
   const bool with_aes = !flags.Switch("--no-aes");
+  const std::string design_filter = flags.String("--designs");
   // Deadline-tripped jobs are rescued by escalation (2 s -> 4 s -> 8 s ->
   // 16 s -> 32 s), so default to four retries; an explicit --retries wins.
   // The last rung is pure headroom: the hardest surviving refutation takes
@@ -101,52 +58,35 @@ int main(int argc, char** argv) {
   if (!flags.Seen("--retries")) options.session.retry.max_retries = 4;
   flags.RejectUnknown(argv[0]);
 
-  std::vector<fault::DesignUnderTest> designs;
-  designs.push_back(MemCtrlDut(accel::MemCtrlConfig::kFifo));
-  designs.push_back(MemCtrlDut(accel::MemCtrlConfig::kDoubleBuffer));
-  designs.push_back(MemCtrlDut(accel::MemCtrlConfig::kLineBuffer));
-  designs.push_back(
-      {"alu",
-       [](ir::TransitionSystem& ts) { return accel::BuildAlu(ts, {}).acc; },
-       HlsOptions(accel::AluResponseBound(), 0, accel::AluSpec(), 8),
-       accel::AluGolden(), HlsConventional()});
-  designs.push_back({"dataflow",
-                     [](ir::TransitionSystem& ts) {
-                       return accel::BuildDataflow(ts, {}).acc;
-                     },
-                     HlsOptions(accel::DataflowResponseBound(),
-                                accel::DataflowRdinBound(),
-                                accel::DataflowSpec(), 8),
-                     accel::DataflowGolden(), HlsConventional()});
-  designs.push_back({"optflow",
-                     [](ir::TransitionSystem& ts) {
-                       return accel::BuildOptFlow(ts, {}).acc;
-                     },
-                     HlsOptions(accel::OptFlowResponseBound(), 0,
-                                accel::OptFlowSpec(), 8),
-                     accel::OptFlowGolden(), HlsConventional()});
-  if (with_aes) {
-    // Mini-AES with one round: the heaviest design here — a single round
-    // keeps FC refutations inside the per-job deadline while preserving the
-    // key schedule, queue, and batch logic mutants land in.
-    accel::AesConfig aes;
-    aes.rounds = 1;
-    // The duplicated (orig + dup) S-box datapath makes AES FC refutations
-    // several times costlier per depth than the other designs', so FC gets
-    // a shallow bound covering queue/handshake mutants; the (single-copy,
-    // far cheaper) SAC spec carries detection of the round-datapath and
-    // key-schedule mutants FC cannot reach at that depth.
-    const auto aes_options =
-        core::AqedOptions::Builder(
-            HlsOptions(accel::AesResponseBound(aes), 0, accel::AesSpec(aes),
-                       8))
-            .WithFcBound(7)
-            .Build();
-    designs.push_back({"aes",
-                       [aes](ir::TransitionSystem& ts) {
-                         return accel::BuildAes(ts, aes).acc;
-                       },
-                       aes_options, accel::AesGolden(aes), HlsConventional()});
+  // The design list lives in the service catalog (src/service/registry.h)
+  // so aqed-server campaigns are built from the exact same configurations —
+  // that is what makes server and CLI classification digests comparable.
+  std::vector<fault::DesignUnderTest> designs =
+      service::BuiltinDesigns({.with_aes = with_aes});
+  if (!design_filter.empty()) {
+    std::vector<fault::DesignUnderTest> selected;
+    std::stringstream names(design_filter);
+    for (std::string name; std::getline(names, name, ',');) {
+      const fault::DesignUnderTest* design =
+          service::FindDesign(designs, name);
+      if (design == nullptr) {
+        fprintf(stderr, "unknown design '%s' (catalog: ", name.c_str());
+        for (size_t i = 0; i < designs.size(); ++i) {
+          fprintf(stderr, "%s%s", i ? ", " : "", designs[i].name.c_str());
+        }
+        fprintf(stderr, ")\n");
+        return 2;
+      }
+      selected.push_back(*design);
+    }
+    designs = std::move(selected);
+  }
+
+  service::SolveCache cache;
+  service::CampaignCacheAdapter cache_adapter(cache);
+  if (!cache_path.empty()) {
+    cache.Load(cache_path);
+    options.cache = &cache_adapter;
   }
 
   printf("Fault-injection campaign: %u mutants, seed 0x%llx, --jobs %u, "
@@ -220,6 +160,21 @@ int main(int argc, char** argv) {
     }
     if (result.journal_torn_tail) printf(", dropped a torn tail");
     printf("\n");
+  }
+  if (!cache_path.empty()) {
+    const Status saved = cache.Save(cache_path);
+    printf("cache: %s — %zu hits, %zu misses, %zu entries",
+           cache_path.c_str(), result.cache_hits, result.cache_misses,
+           cache.size());
+    if (cache.poisoned() > 0) {
+      printf(", dropped %llu poisoned line%s",
+             static_cast<unsigned long long>(cache.poisoned()),
+             cache.poisoned() == 1 ? "" : "s");
+    }
+    printf("\n");
+    if (!saved.ok()) {
+      fprintf(stderr, "cache save failed: %s\n", saved.message().c_str());
+    }
   }
   const size_t silent = result.num_silent_survivors();
   printf("classified: %zu/%zu (%.1f%%), retries: %zu, "

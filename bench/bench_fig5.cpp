@@ -13,7 +13,7 @@ using namespace aqed;
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
   const core::SessionOptions session_options =
-      bench::ParseSessionOptions(flags);
+      bench::AddSessionFlags(flags);
   flags.RejectUnknown(argv[0]);
   printf("Fig. 5: memory-controller unit bugs detected (--jobs %u)\n",
          session_options.jobs);

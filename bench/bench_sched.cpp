@@ -98,7 +98,7 @@ void PrintVerdicts(const HuntRun& run) {
 
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
-  const core::SessionOptions parsed = bench::ParseSessionOptions(flags);
+  const core::SessionOptions parsed = bench::AddSessionFlags(flags);
   flags.RejectUnknown(argv[0]);
   const uint32_t jobs = parsed.jobs > 1 ? parsed.jobs : 4;
 

@@ -19,7 +19,7 @@ using namespace aqed;
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
   const core::SessionOptions session_options =
-      bench::ParseSessionOptions(flags);
+      bench::AddSessionFlags(flags);
   flags.RejectUnknown(argv[0]);
   printf("Table 1: A-QED vs conventional flow on the memory-controller "
          "unit (--jobs %u)\n", session_options.jobs);

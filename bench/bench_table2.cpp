@@ -42,7 +42,7 @@ core::AqedOptions HlsOptions(uint32_t tau, uint32_t rdin_bound = 0) {
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
   const core::SessionOptions session_options =
-      bench::ParseSessionOptions(flags);
+      bench::AddSessionFlags(flags);
   flags.RejectUnknown(argv[0]);
   printf("Table 2: A-QED results for (abstracted) HLS designs "
          "(--jobs %u)\n", session_options.jobs);

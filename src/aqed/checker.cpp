@@ -159,6 +159,123 @@ AqedOptions AqedOptions::Builder::Build() const {
 }
 
 // ---------------------------------------------------------------------------
+// SessionOptions: validation + fluent builder
+// ---------------------------------------------------------------------------
+
+Status SessionOptions::Validate() const {
+  // The flight recorder's samples are exported exclusively through the
+  // metrics JSONL; arming it with nowhere to land them is a silent no-op
+  // the caller certainly did not intend.
+  if (sample_period_ms > 0 && metrics_path.empty()) {
+    return Status::Error(
+        "sample_period_ms set without a metrics_path to export the samples");
+  }
+  // A retry cap below the starting budget makes the escalation ladder
+  // degenerate: the first doubling would immediately clamp back under the
+  // value the first attempt already failed with.
+  if (retry.max_deadline_ms > 0 && deadline_ms > retry.max_deadline_ms) {
+    return Status::Error("retry.max_deadline_ms is below deadline_ms");
+  }
+  // Retry caps without retries are dead configuration — either a forgotten
+  // WithRetries or a typo'd field.
+  if (retry.max_retries == 0 &&
+      (retry.max_deadline_ms > 0 || retry.max_conflict_budget > 0)) {
+    return Status::Error("retry caps set with max_retries == 0");
+  }
+  return Status::Ok();
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithJobs(uint32_t jobs) {
+  options_.jobs = jobs;
+  explicit_zero_jobs_ = jobs == 0;
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithHardwareJobs() {
+  options_.jobs = 0;
+  explicit_zero_jobs_ = false;
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithCancelPolicy(
+    SessionOptions::CancelPolicy policy) {
+  options_.cancel = policy;
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithDeadlineMs(
+    int64_t deadline_ms) {
+  if (deadline_ms < 0 || deadline_ms > UINT32_MAX) {
+    negative_argument_ = true;
+    return *this;
+  }
+  options_.deadline_ms = static_cast<uint32_t>(deadline_ms);
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithMemoryBudgetMb(
+    int64_t budget_mb) {
+  if (budget_mb < 0 || budget_mb > UINT32_MAX) {
+    negative_argument_ = true;
+    return *this;
+  }
+  options_.memory_budget_mb = static_cast<uint32_t>(budget_mb);
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithTracePath(
+    std::string path) {
+  options_.trace_path = std::move(path);
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithMetricsPath(
+    std::string path) {
+  options_.metrics_path = std::move(path);
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithSamplePeriodMs(
+    int64_t period_ms) {
+  if (period_ms < 0 || period_ms > UINT32_MAX) {
+    negative_argument_ = true;
+    return *this;
+  }
+  options_.sample_period_ms = static_cast<uint32_t>(period_ms);
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithRetries(
+    uint32_t max_retries) {
+  options_.retry.max_retries = max_retries;
+  return *this;
+}
+
+SessionOptions::Builder& SessionOptions::Builder::WithRetryPolicy(
+    SessionOptions::RetryPolicy retry) {
+  options_.retry = retry;
+  return *this;
+}
+
+Status SessionOptions::Builder::Validate() const {
+  if (negative_argument_) {
+    return Status::Error(
+        "a negative (or overflowing) deadline/budget/period was given");
+  }
+  if (explicit_zero_jobs_) {
+    return Status::Error(
+        "WithJobs(0): say WithHardwareJobs() for hardware concurrency");
+  }
+  return options_.Validate();
+}
+
+SessionOptions SessionOptions::Builder::Build() const {
+  const Status valid = Validate();
+  AQED_CHECK(valid.ok(), "SessionOptions::Builder: " + valid.message());
+  return options_;
+}
+
+// ---------------------------------------------------------------------------
 // RunAqed: one combined model over every requested property
 // ---------------------------------------------------------------------------
 

@@ -208,6 +208,65 @@ struct SessionOptions {
     uint32_t max_deadline_ms = 0;      // doubling cap (0 = uncapped)
   };
   RetryPolicy retry;
+
+  class Builder;
+
+  // The coherence rules Builder::Build() enforces, in non-fatal form:
+  // a flight-recorder sampling period without a metrics file to land the
+  // samples in, retry caps below the budgets they are supposed to cap, and
+  // so on. VerificationSession's constructor checks this, so struct-poked
+  // legacy options get the same screening as Builder-made ones.
+  Status Validate() const;
+};
+
+// Fluent construction with Build()-time validation, mirroring
+// AqedOptions::Builder: the built product is the plain SessionOptions
+// struct, so anything accepting SessionOptions accepts a Builder-made one.
+//
+//   const auto session = core::SessionOptions::Builder()
+//                            .WithJobs(8)
+//                            .WithDeadlineMs(2000)
+//                            .WithRetries(4)
+//                            .Build();
+//
+// Build() aborts (AQED_CHECK) on incoherent requests: WithJobs(0) (say
+// WithHardwareJobs() when you mean "all cores" — a literal zero is almost
+// always a forgotten flag value), a sample period without a metrics path,
+// negative deadlines or budgets fed through the int64 parameters, and retry
+// caps that undercut the starting deadline. Use Validate() for the
+// non-fatal form of the same checks.
+class SessionOptions::Builder {
+ public:
+  Builder() = default;
+  // Seeds the builder from an existing options struct (incremental
+  // migration: tweak a legacy configuration fluently, re-validated).
+  explicit Builder(SessionOptions seed) : options_(std::move(seed)) {}
+
+  Builder& WithJobs(uint32_t jobs);        // rejects 0 at Build() time
+  Builder& WithHardwareJobs();             // one worker per hardware thread
+  Builder& WithCancelPolicy(SessionOptions::CancelPolicy policy);
+  Builder& WithDeadlineMs(int64_t deadline_ms);         // rejects negatives
+  Builder& WithMemoryBudgetMb(int64_t budget_mb);       // rejects negatives
+  Builder& WithTracePath(std::string path);
+  Builder& WithMetricsPath(std::string path);
+  Builder& WithSamplePeriodMs(int64_t period_ms);       // rejects negatives
+  Builder& WithRetries(uint32_t max_retries);
+  Builder& WithRetryPolicy(SessionOptions::RetryPolicy retry);
+
+  // Non-fatal validation of the current state (see SessionOptions::Validate).
+  Status Validate() const;
+
+  // Validates and returns the built options; aborts on violations.
+  SessionOptions Build() const;
+
+ private:
+  SessionOptions options_;
+  // Builder-only screens: the struct keeps jobs == 0 as the documented
+  // "hardware concurrency" sentinel (benches pass --jobs 0 on purpose), but
+  // a *constructed* configuration asking for zero workers is a bug unless
+  // it went through WithHardwareJobs().
+  bool explicit_zero_jobs_ = false;
+  bool negative_argument_ = false;
 };
 
 // Typed handle to one VerificationSession entry — the unit an Enqueue()

@@ -194,7 +194,15 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
       report = std::move(it->second);
       replayed.erase(it);
       ++result.resumed;
+    } else if (options.cache != nullptr &&
+               options.cache->Lookup(designs[plan[i].design], report.key,
+                                     report)) {
+      ++result.cache_hits;
+      telemetry::AddCounter(std::string("fault.classified.") +
+                                ClassificationName(report.classification),
+                            1);
     } else {
+      if (options.cache != nullptr) ++result.cache_misses;
       todo.push_back(i);
     }
   }
@@ -229,6 +237,10 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     for (size_t b = 0; b < batch.size(); ++b) {
       const size_t i = batch[b];
       ClassifyEntry(session_result, handles[b].index(), result.mutants[i]);
+      if (options.cache != nullptr) {
+        options.cache->Store(designs[plan[i].design], plan[i].key,
+                             result.mutants[i]);
+      }
     }
     // Baseline before journaling so the record a crash preserves carries
     // the golden columns too.

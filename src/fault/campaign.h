@@ -38,6 +38,30 @@ struct DesignUnderTest {
   harness::CampaignOptions conventional;   // testbench shape for the baseline
 };
 
+struct MutantReport;
+
+// Optional solve-result cache consulted by RunFaultCampaign before a mutant
+// is verified. Implementations (src/service/cache.h) key entries by *what
+// would be solved* — design digest, instrument configuration, mutant key,
+// bound — so a hit is exactly "the same solve already ran somewhere". The
+// fault layer only sees this interface; it never depends on service/.
+class CampaignCache {
+ public:
+  virtual ~CampaignCache() = default;
+
+  // Fills the A-QED verdict columns of `report` (classification, kind,
+  // cex_cycles, attempts) when a decided entry exists. report.design and
+  // report.key are already set by the caller. false = miss, verify normally.
+  virtual bool Lookup(const DesignUnderTest& dut, const MutantKey& key,
+                      MutantReport& report) = 0;
+
+  // Offers a freshly classified mutant for caching. Implementations ignore
+  // undecided (kUnknown) reports: an unknown is a budget artifact of this
+  // run, not a property of the design.
+  virtual void Store(const DesignUnderTest& dut, const MutantKey& key,
+                     const MutantReport& report) = 0;
+};
+
 enum class Classification : uint8_t {
   kDetectedFc,   // functional consistency (or early-output) caught it
   kDetectedRb,   // response bound (or input starvation) caught it
@@ -90,6 +114,12 @@ struct FaultCampaignOptions {
   // counted warning. With `resume` false an existing journal is restarted
   // from scratch.
   bool resume = false;
+  // Content-addressed solve cache (src/service/cache.h): consulted per
+  // planned mutant before verification, offered every fresh classification.
+  // Borrowed, not owned; null = no caching. Cache hits skip the solve
+  // entirely but still count in the classification digest, so a fully
+  // cached campaign digests identical to a cold one.
+  CampaignCache* cache = nullptr;
 };
 
 struct FaultCampaignResult {
@@ -102,6 +132,10 @@ struct FaultCampaignResult {
   size_t resumed = 0;
   size_t journal_skipped = 0;
   bool journal_torn_tail = false;
+  // Solve-cache accounting (zero when options.cache was null): mutants
+  // restored from the cache vs. verified fresh this run.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
 
   size_t count(Classification classification) const;
   size_t num_detected() const;

@@ -77,12 +77,6 @@ constexpr std::initializer_list<core::BugKind> kBugKinds = {
     core::BugKind::kInputStarvation,
     core::BugKind::kSingleActionCorrectness,
 };
-constexpr std::initializer_list<UnknownReason> kUnknownReasons = {
-    UnknownReason::kNone,      UnknownReason::kConflictBudget,
-    UnknownReason::kDeadline,  UnknownReason::kCancelled,
-    UnknownReason::kMemoryBudget,
-};
-
 std::string EncodePayload(const MutantReport& report) {
   std::string out;
   // Worst case for the last piece: two %.17g doubles (~24 chars each), a
@@ -103,7 +97,7 @@ std::string EncodePayload(const MutantReport& report) {
                 report.cex_cycles, report.attempts);
   out += buf;
   out += ",\"unknown_reason\":";
-  AppendJsonString(out, UnknownReasonName(report.unknown_reason));
+  AppendJsonString(out, ToString(report.unknown_reason));
   // %.17g round-trips doubles exactly through strtod.
   std::snprintf(buf, sizeof(buf),
                 ",\"wall_seconds\":%.17g,\"golden_ran\":%s,"
@@ -164,12 +158,12 @@ std::optional<MutantReport> DecodePayload(std::string_view payload) {
       !golden_seconds) {
     return std::nullopt;
   }
-  const auto op = EnumFromName(*op_name, kMutationOps, MutationOpName);
-  const auto classification =
-      EnumFromName(*classification_name, kClassifications, ClassificationName);
-  const auto kind = EnumFromName(*kind_name, kBugKinds, core::BugKindName);
-  const auto unknown =
-      EnumFromName(*unknown_name, kUnknownReasons, UnknownReasonName);
+  const auto op = MutationOpFromName(*op_name);
+  const auto classification = ClassificationFromName(*classification_name);
+  const auto kind = BugKindFromName(*kind_name);
+  // The wire-stable mapping in support/verdict.h is the single source of
+  // truth for the outcome enums; only the fault-local enums keep lists here.
+  const auto unknown = UnknownReasonFromString(*unknown_name);
   if (!op || !classification || !kind || !unknown) return std::nullopt;
 
   report.design = std::string(*design);
@@ -190,6 +184,18 @@ std::optional<MutantReport> DecodePayload(std::string_view payload) {
 }
 
 }  // namespace
+
+std::optional<MutationOp> MutationOpFromName(std::string_view name) {
+  return EnumFromName(name, kMutationOps, MutationOpName);
+}
+
+std::optional<Classification> ClassificationFromName(std::string_view name) {
+  return EnumFromName(name, kClassifications, ClassificationName);
+}
+
+std::optional<core::BugKind> BugKindFromName(std::string_view name) {
+  return EnumFromName(name, kBugKinds, core::BugKindName);
+}
 
 uint32_t Crc32(std::string_view data) {
   // Table-driven CRC-32 (IEEE 802.3 polynomial, reflected). In-tree so the

@@ -40,6 +40,14 @@ namespace aqed::fault {
 // CRC-32 (IEEE 802.3, reflected) over `data`. Exposed for tests.
 uint32_t Crc32(std::string_view data);
 
+// Reverse lookups for the fault-local enums the journal stores by name
+// (MutationOpName / ClassificationName / BugKindName are the forward maps).
+// Shared with the service solve cache so the wire spelling of a
+// classification exists in exactly one place. nullopt on unknown names.
+std::optional<MutationOp> MutationOpFromName(std::string_view name);
+std::optional<Classification> ClassificationFromName(std::string_view name);
+std::optional<core::BugKind> BugKindFromName(std::string_view name);
+
 // One report as its CRC-guarded journal line (trailing '\n' included).
 std::string EncodeJournalRecord(const MutantReport& report);
 

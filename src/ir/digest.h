@@ -1,0 +1,49 @@
+// Order-independent structural digest of a transition system.
+//
+// The solve cache (src/service/cache.h) keys results by *what was solved*,
+// not by which process solved it: two designs that denote the same circuit
+// must hash equal even when their builders created the nodes in a different
+// order (hash-consing assigns NodeRefs in build order, so node numbering is
+// an artifact of the builder's statement order, not of the design).
+//
+// The digest therefore hashes pure *structure*: an operation node hashes
+// over (op, sort, aux, operand digests); inputs and states are leaves
+// identified by (kind, name, sort) — their NodeRef never enters a hash.
+// At the system level every category (states with their next functions and
+// init values, inputs, constraints, bads, outputs) folds in as a salted
+// commutative sum, so registration order is immaterial too. The result: a
+// digest that is invariant under node renumbering and declaration reorder,
+// and that changes whenever any reachable logic, width, constant, init
+// value, constraint, bad predicate, or port name changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/transition_system.h"
+
+namespace aqed::ir {
+
+// Memoized per-node structural hasher over one context. States and inputs
+// hash as named leaves; their next functions / init values are folded in by
+// StructuralDigest (hashing them here would make the node hash cyclic).
+class StructuralHasher {
+ public:
+  explicit StructuralHasher(const Context& ctx);
+
+  // Structural digest of one node (never 0 for a real node, so callers can
+  // use 0 as "absent"). kNullNode digests to a fixed nonzero sentinel.
+  uint64_t Digest(NodeRef ref);
+
+ private:
+  const Context& ctx_;
+  std::vector<uint64_t> memo_;  // 0 = not yet computed
+};
+
+// Whole-system digest: states (name, sort, init, next), inputs, constraints,
+// bads (with labels), and outputs (with names), combined order-independently
+// per category. Designs built twice in different node orders digest equal;
+// any semantic change digests different (modulo 64-bit collisions).
+uint64_t StructuralDigest(const TransitionSystem& ts);
+
+}  // namespace aqed::ir

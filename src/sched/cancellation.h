@@ -29,35 +29,11 @@
 
 namespace aqed::sched {
 
-// Why a cancellation source fired. Stored inside the shared flag itself
-// (0 = not cancelled), so reading the reason is the same relaxed load as
-// polling.
-enum class CancelReason : uint8_t {
-  kNone = 0,         // not cancelled
-  kExternal = 1,     // VerificationSession::Cancel() / user abort
-  kFirstBugWins = 2, // a sibling job found a bug
-  kDeadline = 3,     // the job's wall-clock watchdog expired
-  kCubeSolved = 4,   // a sibling cube of the same query found a model
-  kMemoryBudget = 5, // the session's memory governor shed the job
-};
-
-inline const char* CancelReasonName(CancelReason reason) {
-  switch (reason) {
-    case CancelReason::kNone:
-      return "none";
-    case CancelReason::kExternal:
-      return "external";
-    case CancelReason::kFirstBugWins:
-      return "first-bug-wins";
-    case CancelReason::kDeadline:
-      return "deadline";
-    case CancelReason::kCubeSolved:
-      return "cube-solved";
-    case CancelReason::kMemoryBudget:
-      return "memory-budget";
-  }
-  return "?";
-}
+// Why a cancellation source fired (support/verdict.h — the enum lives with
+// the other outcome enums so the wire-stable string mapping is defined
+// once). Stored inside the shared flag itself (0 = not cancelled), so
+// reading the reason is the same relaxed load as polling.
+using aqed::CancelReason;
 
 // The UnknownReason a cancellation maps to when it stops a solve/job.
 inline UnknownReason UnknownReasonFromCancel(CancelReason reason) {

@@ -16,6 +16,11 @@ namespace aqed::sched {
 
 VerificationSession::VerificationSession(core::SessionOptions options)
     : options_(options) {
+  // Same screening whether the options were struct-poked or Builder-made:
+  // an incoherent scheduling configuration (see SessionOptions::Validate)
+  // fails at construction, not as a silent no-op mid-campaign.
+  const Status valid = options_.Validate();
+  AQED_CHECK(valid.ok(), "VerificationSession: " + valid.message());
   // Asking for a trace or metrics file is the opt-in that arms the
   // process-wide telemetry switch; everything else keys off it.
   if (!options_.trace_path.empty() || !options_.metrics_path.empty()) {

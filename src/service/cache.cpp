@@ -1,0 +1,356 @@
+#include "service/cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+
+#include "fault/journal.h"
+#include "ir/digest.h"
+#include "support/failpoint.h"
+#include "support/io.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace aqed::service {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixInt(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t MixText(uint64_t hash, std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return MixInt(hash, text.size());
+}
+
+// Persistence reuses the journal's line skeleton so the CRC covers exactly
+// the "data" payload bytes and torn tails are detected the same way:
+//   {"crc":"1a2b3c4d","data":{...}}
+constexpr std::string_view kCrcPrefix = "{\"crc\":\"";
+constexpr std::string_view kDataInfix = "\",\"data\":";
+constexpr std::string_view kLineSuffix = "}";
+
+std::string EncodeEntry(const CacheKey& key, const CachedVerdict& verdict) {
+  std::map<std::string, telemetry::Json> data;
+  char hex[20];
+  std::snprintf(hex, sizeof(hex), "%016" PRIx64, key.design_digest);
+  data.emplace("design", telemetry::Json(std::string(hex)));
+  std::snprintf(hex, sizeof(hex), "%016" PRIx64, key.config_digest);
+  data.emplace("config", telemetry::Json(std::string(hex)));
+  data.emplace("mutant", telemetry::Json(key.mutant_key));
+  data.emplace("depth", telemetry::Json(static_cast<int64_t>(key.depth)));
+  data.emplace("classification",
+               telemetry::Json(std::string(
+                   fault::ClassificationName(verdict.classification))));
+  data.emplace("kind", telemetry::Json(std::string(
+                           core::BugKindName(verdict.kind))));
+  data.emplace("cex_cycles",
+               telemetry::Json(static_cast<int64_t>(verdict.cex_cycles)));
+  data.emplace("attempts",
+               telemetry::Json(static_cast<int64_t>(verdict.attempts)));
+  const std::string payload =
+      telemetry::Dump(telemetry::Json::Object(std::move(data)));
+
+  std::string line(kCrcPrefix);
+  std::snprintf(hex, sizeof(hex), "%08x", fault::Crc32(payload));
+  line += hex;
+  line += kDataInfix;
+  line += payload;
+  line += kLineSuffix;
+  line += '\n';
+  return line;
+}
+
+std::optional<uint64_t> HexField(const telemetry::Json& json,
+                                 const char* name) {
+  const telemetry::Json* value = json.Find(name);
+  if (value == nullptr || !value->is_string()) return std::nullopt;
+  const std::string& text = value->AsString();
+  if (text.size() != 16) return std::nullopt;
+  uint64_t out = 0;
+  for (const char c : text) {
+    out <<= 4;
+    if (c >= '0' && c <= '9') out |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') out |= static_cast<uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<std::pair<CacheKey, CachedVerdict>> DecodeEntry(
+    std::string_view line) {
+  // Same validation ladder as DecodeJournalRecord: skeleton, CRC over the
+  // payload bytes, then JSON + enum decode. Any failure poisons the line.
+  if (line.size() < kCrcPrefix.size() + 8 + kDataInfix.size() +
+                        kLineSuffix.size() ||
+      line.substr(0, kCrcPrefix.size()) != kCrcPrefix) {
+    return std::nullopt;
+  }
+  const std::string_view crc_hex = line.substr(kCrcPrefix.size(), 8);
+  if (line.substr(kCrcPrefix.size() + 8, kDataInfix.size()) != kDataInfix) {
+    return std::nullopt;
+  }
+  if (line.substr(line.size() - kLineSuffix.size()) != kLineSuffix) {
+    return std::nullopt;
+  }
+  const std::string_view payload =
+      line.substr(kCrcPrefix.size() + 8 + kDataInfix.size(),
+                  line.size() - kCrcPrefix.size() - 8 - kDataInfix.size() -
+                      kLineSuffix.size());
+  uint32_t expected = 0;
+  for (const char c : crc_hex) {
+    expected <<= 4;
+    if (c >= '0' && c <= '9') expected |= static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') expected |= static_cast<uint32_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  if (fault::Crc32(payload) != expected) return std::nullopt;
+
+  const std::optional<telemetry::Json> json = telemetry::ParseJson(payload);
+  if (!json || !json->is_object()) return std::nullopt;
+  const auto design = HexField(*json, "design");
+  const auto config = HexField(*json, "config");
+  const telemetry::Json* mutant = json->Find("mutant");
+  const telemetry::Json* depth = json->Find("depth");
+  const telemetry::Json* classification = json->Find("classification");
+  const telemetry::Json* kind = json->Find("kind");
+  const telemetry::Json* cex = json->Find("cex_cycles");
+  const telemetry::Json* attempts = json->Find("attempts");
+  if (!design || !config || mutant == nullptr || !mutant->is_string() ||
+      depth == nullptr || !depth->is_number() || classification == nullptr ||
+      !classification->is_string() || kind == nullptr || !kind->is_string() ||
+      cex == nullptr || !cex->is_number() || attempts == nullptr ||
+      !attempts->is_number()) {
+    return std::nullopt;
+  }
+  const auto decoded_class =
+      fault::ClassificationFromName(classification->AsString());
+  const auto decoded_kind = fault::BugKindFromName(kind->AsString());
+  if (!decoded_class || !decoded_kind) return std::nullopt;
+  // A persisted kUnknown can only come from corruption or hand-editing:
+  // Store refuses them, so Load does too.
+  if (*decoded_class == fault::Classification::kUnknown) return std::nullopt;
+
+  CacheKey key;
+  key.design_digest = *design;
+  key.config_digest = *config;
+  key.mutant_key = mutant->AsString();
+  key.depth = static_cast<uint32_t>(depth->AsInt());
+  CachedVerdict verdict;
+  verdict.classification = *decoded_class;
+  verdict.kind = *decoded_kind;
+  verdict.cex_cycles = static_cast<uint32_t>(cex->AsInt());
+  verdict.attempts = static_cast<uint32_t>(attempts->AsInt());
+  return std::make_pair(std::move(key), verdict);
+}
+
+}  // namespace
+
+std::string CacheKey::ToString() const {
+  char buf[64];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "d=%016" PRIx64 " c=%016" PRIx64 " m=",
+                design_digest, config_digest);
+  out += buf;
+  out += mutant_key;
+  std::snprintf(buf, sizeof(buf), " b=%u", depth);
+  out += buf;
+  return out;
+}
+
+size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  uint64_t hash = kFnvOffset;
+  hash = MixInt(hash, key.design_digest);
+  hash = MixInt(hash, key.config_digest);
+  hash = MixText(hash, key.mutant_key);
+  hash = MixInt(hash, key.depth);
+  return static_cast<size_t>(hash);
+}
+
+uint64_t ConfigDigest(const core::AqedOptions& options) {
+  uint64_t hash = MixInt(kFnvOffset, 0xC0F1D16Eu);  // format version salt
+  hash = MixInt(hash, options.check_fc ? 1 : 0);
+  hash = MixText(hash, options.fc.label);
+  hash = MixInt(hash, options.fc.check_early_output ? 1 : 0);
+  hash = MixInt(hash, options.rb.has_value() ? 1 : 0);
+  if (options.rb.has_value()) {
+    hash = MixInt(hash, options.rb->tau);
+    hash = MixInt(hash, options.rb->in_min);
+    hash = MixInt(hash, options.rb->rdin_bound);
+    hash = MixInt(hash, options.rb->progress_qualifier);
+    hash = MixText(hash, options.rb->label);
+  }
+  hash = MixInt(hash, options.sac_spec != nullptr ? 1 : 0);
+  hash = MixText(hash, options.sac.label);
+  hash = MixInt(hash, options.fc_bound);
+  hash = MixInt(hash, options.rb_bound);
+  hash = MixInt(hash, options.sac_bound);
+  // Budgets are conservative inclusions: a decided verdict does not depend
+  // on them, but keying them avoids ever having to argue the point.
+  hash = MixInt(hash, static_cast<uint64_t>(options.bmc.conflict_budget));
+  hash = MixInt(hash, options.bmc.validate_counterexamples ? 1 : 0);
+  hash = MixInt(hash, options.bmc.bad_filter.size());
+  for (const uint32_t bad : options.bmc.bad_filter) {
+    hash = MixInt(hash, bad);
+  }
+  return hash;
+}
+
+std::optional<CachedVerdict> SolveCache::Lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    telemetry::AddCounter("service.cache.misses", 1);
+    return std::nullopt;
+  }
+  ++hits_;
+  telemetry::AddCounter("service.cache.hits", 1);
+  return it->second;
+}
+
+void SolveCache::Store(const CacheKey& key, const CachedVerdict& verdict) {
+  if (verdict.classification == fault::Classification::kUnknown) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = verdict;
+  telemetry::AddCounter("service.cache.store", 1);
+  telemetry::SetGauge("service.cache.entries",
+                      static_cast<int64_t>(entries_.size()));
+}
+
+Status SolveCache::Load(const std::string& path) {
+  StatusOr<std::string> contents = support::ReadFileToString(path);
+  if (!contents.ok()) return Status::Ok();  // missing cache = empty cache
+  const std::string& text = contents.value();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();  // torn tail: poisoned
+    const std::string_view line(text.data() + begin, end - begin);
+    if (!line.empty()) {
+      if (auto entry = DecodeEntry(line)) {
+        entries_[std::move(entry->first)] = entry->second;
+      } else {
+        ++poisoned_;
+        telemetry::AddCounter("service.cache.dropped", 1);
+      }
+    }
+    begin = end + 1;
+  }
+  telemetry::SetGauge("service.cache.entries",
+                      static_cast<int64_t>(entries_.size()));
+  return Status::Ok();
+}
+
+Status SolveCache::Save(const std::string& path) const {
+  // Chaos site: the moment a crash would tear the persisted cache — which
+  // the CRC line format plus atomic replace must make survivable.
+  if (AQED_FAILPOINT("service.cache.store")) {
+    return Status::Error("cache store failed (failpoint)");
+  }
+  // Concurrent saves share one temporary file name; without this two
+  // campaigns finishing together race the rename and one fails with ENOENT.
+  std::lock_guard<std::mutex> save_lock(save_mutex_);
+  std::string contents;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, verdict] : entries_) {
+      contents += EncodeEntry(key, verdict);
+    }
+  }
+  return support::WriteFileDurable(path, contents);
+}
+
+size_t SolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+uint64_t SolveCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t SolveCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+uint64_t SolveCache::poisoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return poisoned_;
+}
+
+double SolveCache::hit_ratio() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 1.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+CacheKey CampaignCacheAdapter::KeyFor(const fault::DesignUnderTest& dut,
+                                      const fault::MutantKey& key) {
+  CacheKey out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = design_digests_.find(dut.name);
+    if (it != design_digests_.end()) {
+      out.design_digest = it->second;
+    }
+  }
+  if (out.design_digest == 0) {
+    // One pristine build per design, outside the lock: builders are pure
+    // and the digest deterministic, so a racing double-compute is benign.
+    ir::TransitionSystem scratch;
+    dut.build(scratch);
+    const uint64_t digest = ir::StructuralDigest(scratch);
+    std::lock_guard<std::mutex> lock(mutex_);
+    design_digests_[dut.name] = digest;
+    out.design_digest = digest;
+  }
+  out.config_digest = ConfigDigest(dut.options);
+  out.mutant_key = key.ToString();
+  out.depth = dut.options.bmc.max_bound;
+  return out;
+}
+
+bool CampaignCacheAdapter::Lookup(const fault::DesignUnderTest& dut,
+                                  const fault::MutantKey& key,
+                                  fault::MutantReport& report) {
+  const std::optional<CachedVerdict> verdict = cache_.Lookup(KeyFor(dut, key));
+  if (!verdict) return false;
+  report.classification = verdict->classification;
+  report.kind = verdict->kind;
+  report.cex_cycles = verdict->cex_cycles;
+  report.attempts = verdict->attempts;
+  return true;
+}
+
+void CampaignCacheAdapter::Store(const fault::DesignUnderTest& dut,
+                                 const fault::MutantKey& key,
+                                 const fault::MutantReport& report) {
+  if (report.classification == fault::Classification::kUnknown) return;
+  CachedVerdict verdict;
+  verdict.classification = report.classification;
+  verdict.kind = report.kind;
+  verdict.cex_cycles = report.cex_cycles;
+  verdict.attempts = report.attempts;
+  cache_.Store(KeyFor(dut, key), verdict);
+}
+
+}  // namespace aqed::service

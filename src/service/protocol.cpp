@@ -1,0 +1,322 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include <unistd.h>
+
+namespace aqed::service {
+
+namespace {
+
+using telemetry::Json;
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(std::string("socket write: ") +
+                           std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Reads exactly `n` bytes; an error mentions `what` for context.
+StatusOr<std::string> ReadExact(int fd, size_t n, const char* what) {
+  std::string out(n, '\0');
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out.data() + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(std::string("socket read: ") +
+                           std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::Error(std::string("connection closed mid-") + what);
+    }
+    got += static_cast<size_t>(r);
+  }
+  return out;
+}
+
+uint64_t UintField(const Json& json, const char* name, uint64_t fallback) {
+  const Json* value = json.Find(name);
+  if (value == nullptr || !value->is_number()) return fallback;
+  const int64_t raw = value->AsInt();
+  return raw < 0 ? fallback : static_cast<uint64_t>(raw);
+}
+
+bool BoolField(const Json& json, const char* name, bool fallback) {
+  const Json* value = json.Find(name);
+  if (value == nullptr || value->kind() != Json::Kind::kBool) return fallback;
+  return value->AsBool();
+}
+
+std::string StringField(const Json& json, const char* name,
+                        std::string fallback = {}) {
+  const Json* value = json.Find(name);
+  if (value == nullptr || !value->is_string()) return fallback;
+  return value->AsString();
+}
+
+// uint64 values cross the wire as 16-hex-digit strings: JSON numbers are
+// doubles in most readers and lose integers above 2^53, which both digests
+// and seeds can exceed.
+std::string HexString(uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+  return std::string(buf);
+}
+
+std::optional<uint64_t> HexValue(const Json& json, const char* name) {
+  const Json* value = json.Find(name);
+  if (value == nullptr || !value->is_string() ||
+      value->AsString().size() != 16) {
+    return std::nullopt;
+  }
+  uint64_t out = 0;
+  for (const char c : value->AsString()) {
+    out <<= 4;
+    if (c >= '0' && c <= '9') out |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') out |= static_cast<uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return out;
+}
+
+StatusOr<Json> ParseResponse(std::string_view payload) {
+  std::optional<Json> json = telemetry::ParseJson(payload);
+  if (!json || !json->is_object()) {
+    return Status::Error("malformed response payload");
+  }
+  return std::move(*json);
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  char header[32];
+  std::snprintf(header, sizeof(header), "%zu\n", payload.size());
+  std::string frame(header);
+  frame += payload;
+  frame += '\n';
+  return WriteAll(fd, frame);
+}
+
+StatusOr<std::string> ReadFrame(int fd) {
+  // The length line, byte by byte: frames are few and small next to the
+  // solves they request, so simplicity beats a read buffer here.
+  std::string header;
+  for (;;) {
+    char c = 0;
+    const ssize_t r = ::read(fd, &c, 1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(std::string("socket read: ") +
+                           std::strerror(errno));
+    }
+    if (r == 0) {
+      if (header.empty()) return Status::Error("connection closed");
+      return Status::Error("connection closed mid-header");
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || header.size() > 8) {
+      return Status::Error("malformed frame length");
+    }
+    header += c;
+  }
+  if (header.empty()) return Status::Error("malformed frame length");
+  const size_t length = std::strtoull(header.c_str(), nullptr, 10);
+  if (length > kMaxFramePayload) {
+    return Status::Error("frame payload over limit (" + header + " bytes)");
+  }
+  StatusOr<std::string> payload = ReadExact(fd, length + 1, "payload");
+  if (!payload.ok()) return payload.status();
+  std::string text = std::move(payload).value();
+  if (text.back() != '\n') {
+    return Status::Error("frame payload missing trailing newline");
+  }
+  text.pop_back();
+  return text;
+}
+
+std::string EncodePing() {
+  return telemetry::Dump(
+      Json::Object({{"type", Json(std::string("ping"))}}));
+}
+
+std::string EncodeStatsRequest() {
+  return telemetry::Dump(
+      Json::Object({{"type", Json(std::string("stats"))}}));
+}
+
+std::string EncodeCampaignRequest(const CampaignRequest& request) {
+  std::map<std::string, Json> fields;
+  fields.emplace("type", Json(std::string("campaign")));
+  fields.emplace("tenant", Json(request.tenant));
+  std::vector<Json> designs;
+  for (const std::string& design : request.designs) {
+    designs.emplace_back(design);
+  }
+  fields.emplace("designs", Json::Array(std::move(designs)));
+  fields.emplace("mutants", Json(static_cast<int64_t>(request.num_mutants)));
+  fields.emplace("seed", Json(HexString(request.seed)));
+  fields.emplace("with_aes", Json(request.with_aes));
+  fields.emplace("baseline", Json(request.baseline));
+  fields.emplace("jobs", Json(static_cast<int64_t>(request.jobs)));
+  fields.emplace("deadline_ms",
+                 Json(static_cast<int64_t>(request.deadline_ms)));
+  fields.emplace("memory_budget_mb",
+                 Json(static_cast<int64_t>(request.memory_budget_mb)));
+  fields.emplace("retries", Json(static_cast<int64_t>(request.retries)));
+  return telemetry::Dump(Json::Object(std::move(fields)));
+}
+
+std::optional<std::string> RequestType(const Json& payload) {
+  if (!payload.is_object()) return std::nullopt;
+  const Json* type = payload.Find("type");
+  if (type == nullptr || !type->is_string()) return std::nullopt;
+  return type->AsString();
+}
+
+StatusOr<CampaignRequest> DecodeCampaignRequest(const Json& payload) {
+  CampaignRequest request;
+  request.tenant = StringField(payload, "tenant", request.tenant);
+  if (request.tenant.empty()) {
+    return Status::Error("campaign request with an empty tenant");
+  }
+  const Json* designs = payload.Find("designs");
+  if (designs != nullptr) {
+    if (!designs->is_array()) {
+      return Status::Error("campaign 'designs' must be an array of names");
+    }
+    for (const Json& design : designs->AsArray()) {
+      if (!design.is_string()) {
+        return Status::Error("campaign 'designs' must be an array of names");
+      }
+      request.designs.push_back(design.AsString());
+    }
+  }
+  request.num_mutants = static_cast<uint32_t>(
+      UintField(payload, "mutants", request.num_mutants));
+  if (request.num_mutants == 0) {
+    return Status::Error("campaign request with zero mutants");
+  }
+  if (const auto seed = HexValue(payload, "seed")) request.seed = *seed;
+  request.with_aes = BoolField(payload, "with_aes", request.with_aes);
+  request.baseline = BoolField(payload, "baseline", request.baseline);
+  request.jobs =
+      static_cast<uint32_t>(UintField(payload, "jobs", request.jobs));
+  request.deadline_ms = static_cast<uint32_t>(
+      UintField(payload, "deadline_ms", request.deadline_ms));
+  request.memory_budget_mb = static_cast<uint32_t>(
+      UintField(payload, "memory_budget_mb", request.memory_budget_mb));
+  request.retries =
+      static_cast<uint32_t>(UintField(payload, "retries", request.retries));
+  return request;
+}
+
+std::string EncodeError(std::string_view message) {
+  return telemetry::Dump(Json::Object({
+      {"ok", Json(false)},
+      {"error", Json(std::string(message))},
+  }));
+}
+
+std::string EncodePong() {
+  return telemetry::Dump(Json::Object({
+      {"ok", Json(true)},
+      {"type", Json(std::string("pong"))},
+  }));
+}
+
+std::string EncodeCampaignResponse(const CampaignResponse& response) {
+  if (!response.ok) return EncodeError(response.error);
+  std::map<std::string, Json> fields;
+  fields.emplace("ok", Json(true));
+  fields.emplace("digest", Json(HexString(response.digest)));
+  fields.emplace("mutants", Json(static_cast<int64_t>(response.mutants)));
+  fields.emplace("classified",
+                 Json(static_cast<int64_t>(response.classified)));
+  fields.emplace("cache_hits",
+                 Json(static_cast<int64_t>(response.cache_hits)));
+  fields.emplace("cache_misses",
+                 Json(static_cast<int64_t>(response.cache_misses)));
+  fields.emplace("wall_seconds", Json(response.wall_seconds));
+  fields.emplace("table", Json(response.table));
+  return telemetry::Dump(Json::Object(std::move(fields)));
+}
+
+std::string EncodeStatsResponse(const StatsResponse& response) {
+  if (!response.ok) return EncodeError(response.error);
+  std::map<std::string, Json> fields;
+  fields.emplace("ok", Json(true));
+  fields.emplace("live_requests",
+                 Json(static_cast<int64_t>(response.live_requests)));
+  fields.emplace("accepted", Json(static_cast<int64_t>(response.accepted)));
+  fields.emplace("rejected", Json(static_cast<int64_t>(response.rejected)));
+  fields.emplace("cache_entries",
+                 Json(static_cast<int64_t>(response.cache_entries)));
+  fields.emplace("cache_hits",
+                 Json(static_cast<int64_t>(response.cache_hits)));
+  fields.emplace("cache_misses",
+                 Json(static_cast<int64_t>(response.cache_misses)));
+  return telemetry::Dump(Json::Object(std::move(fields)));
+}
+
+StatusOr<CampaignResponse> DecodeCampaignResponse(std::string_view payload) {
+  StatusOr<Json> json = ParseResponse(payload);
+  if (!json.ok()) return json.status();
+  CampaignResponse response;
+  response.ok = BoolField(json.value(), "ok", false);
+  if (!response.ok) {
+    response.error = StringField(json.value(), "error", "unspecified error");
+    return response;
+  }
+  const auto digest = HexValue(json.value(), "digest");
+  if (!digest) return Status::Error("campaign response without a digest");
+  response.digest = *digest;
+  response.mutants = UintField(json.value(), "mutants", 0);
+  response.classified = UintField(json.value(), "classified", 0);
+  response.cache_hits = UintField(json.value(), "cache_hits", 0);
+  response.cache_misses = UintField(json.value(), "cache_misses", 0);
+  const Json* wall = json.value().Find("wall_seconds");
+  if (wall != nullptr && wall->is_number()) {
+    response.wall_seconds = wall->AsNumber();
+  }
+  response.table = StringField(json.value(), "table");
+  return response;
+}
+
+StatusOr<StatsResponse> DecodeStatsResponse(std::string_view payload) {
+  StatusOr<Json> json = ParseResponse(payload);
+  if (!json.ok()) return json.status();
+  StatsResponse response;
+  response.ok = BoolField(json.value(), "ok", false);
+  if (!response.ok) {
+    response.error = StringField(json.value(), "error", "unspecified error");
+    return response;
+  }
+  response.live_requests = UintField(json.value(), "live_requests", 0);
+  response.accepted = UintField(json.value(), "accepted", 0);
+  response.rejected = UintField(json.value(), "rejected", 0);
+  response.cache_entries = UintField(json.value(), "cache_entries", 0);
+  response.cache_hits = UintField(json.value(), "cache_hits", 0);
+  response.cache_misses = UintField(json.value(), "cache_misses", 0);
+  return response;
+}
+
+bool IsOkResponse(std::string_view payload) {
+  const std::optional<Json> json = telemetry::ParseJson(payload);
+  return json && json->is_object() && BoolField(*json, "ok", false);
+}
+
+}  // namespace aqed::service

@@ -1,0 +1,114 @@
+// aqed-server wire protocol: length-prefixed JSONL over a Unix-domain
+// stream socket.
+//
+// Framing is deliberately trivial to parse from any language:
+//
+//   <decimal payload byte length>\n<payload JSON, one line>\n
+//
+// The length line bounds the read (no JSON scanning to find message ends),
+// the trailing newline keeps a captured socket stream valid JSONL — `nc -U`
+// piped through `jq` works. Payloads are single JSON objects built and
+// parsed with the in-tree telemetry JSON model (telemetry/json.h), carrying
+// a "type" discriminator:
+//
+//   request:  {"type":"ping"}
+//             {"type":"stats"}
+//             {"type":"campaign","tenant":"ci","mutants":12,"seed":...,
+//              "designs":["memctrl-fifo"],"with_aes":false,"baseline":false,
+//              "jobs":2,"deadline_ms":0,"memory_budget_mb":0,"retries":4}
+//   response: {"ok":true,...} | {"ok":false,"error":"..."}
+//
+// Campaign responses carry the order-independent classification digest as a
+// 16-hex-digit string (JSON numbers are doubles in many readers; a uint64
+// digest must not round-trip through one).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+#include "telemetry/json.h"
+
+namespace aqed::service {
+
+// Upper bound on one frame's payload: a campaign response carries a
+// coverage table, never megabytes. A length line beyond this is a protocol
+// error, not an allocation request.
+inline constexpr size_t kMaxFramePayload = 4u << 20;
+
+// Blocking framed I/O over a connected stream socket. Both retry EINTR;
+// short writes are completed. ReadFrame errors on EOF, a malformed or
+// oversized length line, or a truncated payload.
+Status WriteFrame(int fd, std::string_view payload);
+StatusOr<std::string> ReadFrame(int fd);
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+struct CampaignRequest {
+  std::string tenant = "default";
+  // Designs to enroll, by catalog name (service/registry.h); empty = every
+  // built-in design (subject to with_aes).
+  std::vector<std::string> designs;
+  uint32_t num_mutants = 30;
+  uint64_t seed = 0xA9EDFA17;
+  bool with_aes = false;
+  // Run the conventional random-simulation baseline too.
+  bool baseline = false;
+  // Session governance for this campaign's verification jobs. The server
+  // clamps jobs to its own worker budget.
+  uint32_t jobs = 1;
+  uint32_t deadline_ms = 0;
+  uint32_t memory_budget_mb = 0;
+  uint32_t retries = 4;
+};
+
+struct CampaignResponse {
+  bool ok = false;
+  std::string error;             // set when !ok
+  uint64_t digest = 0;           // order-independent classification digest
+  uint64_t mutants = 0;
+  uint64_t classified = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double wall_seconds = 0;
+  std::string table;             // per-design coverage table (human-facing)
+};
+
+struct StatsResponse {
+  bool ok = false;
+  std::string error;
+  uint64_t live_requests = 0;    // admitted and not yet answered
+  uint64_t accepted = 0;         // connections accepted since start
+  uint64_t rejected = 0;         // admission-control rejections since start
+  uint64_t cache_entries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+// Request encoding/decoding. Decode validates the "type" field and every
+// typed member; unknown designs are the server's to reject (it owns the
+// catalog), unknown fields are ignored (forward compatibility).
+std::string EncodePing();
+std::string EncodeStatsRequest();
+std::string EncodeCampaignRequest(const CampaignRequest& request);
+
+// The "type" of a decoded request payload; nullopt on parse failure.
+std::optional<std::string> RequestType(const telemetry::Json& payload);
+StatusOr<CampaignRequest> DecodeCampaignRequest(const telemetry::Json& payload);
+
+// Response encoding/decoding.
+std::string EncodeError(std::string_view message);
+std::string EncodePong();
+std::string EncodeCampaignResponse(const CampaignResponse& response);
+std::string EncodeStatsResponse(const StatsResponse& response);
+StatusOr<CampaignResponse> DecodeCampaignResponse(std::string_view payload);
+StatusOr<StatsResponse> DecodeStatsResponse(std::string_view payload);
+// True iff the payload decodes to {"ok":true,...} (pong or any success).
+bool IsOkResponse(std::string_view payload);
+
+}  // namespace aqed::service

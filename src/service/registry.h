@@ -1,0 +1,49 @@
+// Built-in design catalog.
+//
+// bench_fault used to assemble its campaign design list — the seed
+// accelerators with their campaign-tuned A-QED options — inline in main().
+// aqed-server verifies the same designs for remote clients, and the cache
+// digest-equality contract ("a campaign through the server classifies
+// bit-identically to the CLI") only holds if both sides construct *exactly*
+// the same DesignUnderTest list. So the list lives here, once, and both the
+// bench and the server resolve designs from it by name.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "accel/memctrl.h"
+#include "fault/campaign.h"
+#include "harness/conventional_flow.h"
+
+namespace aqed::service {
+
+// A-QED options used for the memory-controller study (Sec. V.A): FC plus RB
+// with the per-configuration response bound, per-property bounds, and a
+// bounded per-depth refutation effort. (Moved from bench_common.h; the
+// bench namespace re-exports it for its table/figure binaries.)
+core::AqedOptions MemCtrlStudyOptions(accel::MemCtrlConfig config);
+
+// The conventional flow's per-configuration testbench assumptions (see
+// tests/memctrl_test.cpp for the rationale).
+harness::CampaignOptions MemCtrlConventionalOptions(accel::MemCtrlConfig config);
+
+struct CatalogOptions {
+  // Include the mini-AES design (the most expensive entry: its duplicated
+  // S-box datapath dominates campaign wall time; bench_fault's --no-aes).
+  bool with_aes = true;
+};
+
+// The campaign design list: memctrl (fifo / double-buffer / line-buffer),
+// alu, dataflow, optflow, and (optionally) mini-AES — each with the
+// campaign-tuned bounds, SAC spec, golden model, and conventional-flow
+// testbench shape. Deterministic: every call builds an identical list.
+std::vector<fault::DesignUnderTest> BuiltinDesigns(
+    const CatalogOptions& options = {});
+
+// Looks a design up by name; nullptr when absent.
+const fault::DesignUnderTest* FindDesign(
+    std::span<const fault::DesignUnderTest> designs, std::string_view name);
+
+}  // namespace aqed::service

@@ -1,0 +1,304 @@
+#include "service/server.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fault/campaign.h"
+#include "service/registry.h"
+#include "support/failpoint.h"
+#include "telemetry/metrics.h"
+
+namespace aqed::service {
+
+namespace {
+
+// Binds a Unix-domain stream socket at `path`, replacing a stale file.
+StatusOr<int> BindSocket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::Error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // a stale socket file from a dead server
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Error("bind '" + path + "': " + error);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::Error("listen '" + path + "': " + error);
+  }
+  return fd;
+}
+
+}  // namespace
+
+AqedServer::AqedServer(ServerOptions options)
+    : options_(std::move(options)), adapter_(cache_) {}
+
+AqedServer::~AqedServer() { Stop(); }
+
+Status AqedServer::Start() {
+  AQED_CHECK(!started_, "AqedServer::Start called twice");
+  if (!options_.cache_path.empty()) {
+    const Status loaded = cache_.Load(options_.cache_path);
+    if (!loaded.ok()) return loaded;
+  }
+  StatusOr<int> fd = BindSocket(options_.socket_path);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
+  executors_ = std::make_unique<sched::ThreadPool>(options_.executors);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void AqedServer::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Unblock every connection handler parked in read(): shutdown() makes
+    // the read return 0 without racing the handler's own close().
+    for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Unblock the accept loop: shutdown() wakes a blocked accept() on Linux;
+  // the throwaway connect covers platforms where it does not.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  const int dummy = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (dummy >= 0) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() < sizeof(addr.sun_path)) {
+      std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                  options_.socket_path.size() + 1);
+      ::connect(dummy, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr));
+    }
+    ::close(dummy);
+  }
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  executors_.reset();  // Wait()s for in-flight handlers, joins workers
+  ::unlink(options_.socket_path.c_str());
+  if (!options_.cache_path.empty()) {
+    const Status saved = cache_.Save(options_.cache_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[aqed-server] cache save: %s\n",
+                   saved.message().c_str());
+    }
+  }
+  started_ = false;
+}
+
+uint64_t AqedServer::accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+uint64_t AqedServer::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+uint64_t AqedServer::live_requests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+void AqedServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop) or hard error
+    }
+    // Chaos site: a connection the server fails to service — clients must
+    // treat an immediately-closed connection as a retryable error.
+    if (AQED_FAILPOINT("service.accept")) {
+      ::close(fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      ++accepted_;
+      connections_.insert(fd);
+      telemetry::SetGauge("service.queue_depth",
+                          static_cast<int64_t>(connections_.size()));
+    }
+    executors_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void AqedServer::HandleConnection(int fd) {
+  // Requests on one connection are served in order; concurrency comes from
+  // concurrent connections (each on its own executor slot).
+  for (;;) {
+    StatusOr<std::string> frame = ReadFrame(fd);
+    if (!frame.ok()) break;  // client done (EOF) or protocol error
+    std::string response;
+    const std::optional<telemetry::Json> payload =
+        telemetry::ParseJson(frame.value());
+    if (!payload) {
+      response = EncodeError("request is not valid JSON");
+    } else {
+      response = HandleRequest(*payload);
+    }
+    if (!WriteFrame(fd, response).ok()) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.erase(fd);
+  telemetry::SetGauge("service.queue_depth",
+                      static_cast<int64_t>(connections_.size()));
+}
+
+std::string AqedServer::HandleRequest(const telemetry::Json& payload) {
+  const std::optional<std::string> type = RequestType(payload);
+  if (!type) return EncodeError("request without a 'type' field");
+  if (*type == "ping") return EncodePong();
+  if (*type == "stats") {
+    StatsResponse stats;
+    stats.ok = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats.live_requests = live_;
+      stats.accepted = accepted_;
+      stats.rejected = rejected_;
+    }
+    stats.cache_entries = cache_.size();
+    stats.cache_hits = cache_.hits();
+    stats.cache_misses = cache_.misses();
+    return EncodeStatsResponse(stats);
+  }
+  if (*type == "campaign") {
+    StatusOr<CampaignRequest> request = DecodeCampaignRequest(payload);
+    if (!request.ok()) return EncodeError(request.status().message());
+    std::string reason;
+    if (!Admit(request.value().tenant, &reason)) return EncodeError(reason);
+    const std::string response = RunCampaign(request.value());
+    Release(request.value().tenant);
+    return response;
+  }
+  return EncodeError("unknown request type '" + *type + "'");
+}
+
+bool AqedServer::Admit(const std::string& tenant, std::string* reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    *reason = "server is shutting down";
+  } else if (live_ >= options_.max_live) {
+    *reason = "server saturated (" + std::to_string(live_) +
+              " campaigns in flight); retry later";
+  } else if (tenant_live_[tenant] >= options_.max_tenant_live) {
+    *reason = "tenant '" + tenant + "' over quota (" +
+              std::to_string(options_.max_tenant_live) +
+              " campaigns in flight)";
+  } else {
+    ++live_;
+    const uint32_t tenant_live = ++tenant_live_[tenant];
+    telemetry::SetGauge("service.sessions.live",
+                        static_cast<int64_t>(live_));
+    telemetry::SetGauge("service.tenant." + tenant + ".live",
+                        static_cast<int64_t>(tenant_live));
+    return true;
+  }
+  ++rejected_;
+  telemetry::AddCounter("service.admission.rejected", 1);
+  return false;
+}
+
+void AqedServer::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --live_;
+  const uint32_t tenant_live = --tenant_live_[tenant];
+  telemetry::SetGauge("service.sessions.live", static_cast<int64_t>(live_));
+  telemetry::SetGauge("service.tenant." + tenant + ".live",
+                      static_cast<int64_t>(tenant_live));
+}
+
+std::string AqedServer::RunCampaign(const CampaignRequest& request) {
+  // The catalog is the CLI's (bench_fault) — identical DesignUnderTest
+  // construction is what makes server and CLI digests comparable.
+  const std::vector<fault::DesignUnderTest> catalog =
+      BuiltinDesigns({.with_aes = request.with_aes});
+  std::vector<fault::DesignUnderTest> designs;
+  if (request.designs.empty()) {
+    designs = catalog;
+  } else {
+    for (const std::string& name : request.designs) {
+      const fault::DesignUnderTest* design = FindDesign(catalog, name);
+      if (design == nullptr) {
+        return EncodeError("unknown design '" + name + "'");
+      }
+      designs.push_back(*design);
+    }
+  }
+
+  uint32_t jobs = request.jobs;
+  if (options_.max_session_jobs > 0 &&
+      (jobs == 0 || jobs > options_.max_session_jobs)) {
+    jobs = options_.max_session_jobs;
+  }
+  core::SessionOptions::Builder session;
+  if (jobs == 0) {
+    session.WithHardwareJobs();
+  } else {
+    session.WithJobs(jobs);
+  }
+  session.WithDeadlineMs(request.deadline_ms)
+      .WithMemoryBudgetMb(request.memory_budget_mb)
+      .WithRetries(request.retries);
+
+  fault::FaultCampaignOptions campaign;
+  campaign.seed = request.seed;
+  campaign.num_mutants = request.num_mutants;
+  campaign.session = session.Build();
+  campaign.conventional_baseline = request.baseline;
+  campaign.cache = &adapter_;
+
+  const fault::FaultCampaignResult result =
+      fault::RunFaultCampaign(designs, campaign);
+
+  // Persist eagerly: the cache's value is surviving the server, and the
+  // write is atomic, so a crash between campaigns costs nothing.
+  if (!options_.cache_path.empty()) {
+    const Status saved = cache_.Save(options_.cache_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[aqed-server] cache save: %s\n",
+                   saved.message().c_str());
+    }
+  }
+
+  CampaignResponse response;
+  response.ok = true;
+  response.digest = result.ClassificationDigest();
+  response.mutants = result.mutants.size();
+  response.classified = result.num_classified();
+  response.cache_hits = result.cache_hits;
+  response.cache_misses = result.cache_misses;
+  response.wall_seconds = result.wall_seconds;
+  response.table = result.ToTable();
+  return EncodeCampaignResponse(response);
+}
+
+}  // namespace aqed::service

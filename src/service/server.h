@@ -1,0 +1,116 @@
+// aqed-server: resident verification service.
+//
+// A campaign costs minutes of SAT solving; starting a fresh process per run
+// throws away everything the previous run learned. The server stays
+// resident, listens on a Unix-domain socket, and multiplexes campaign
+// requests from any number of clients over one shared executor pool —
+// every request passes the same governance ladder before it may spend a
+// core:
+//
+//   1. protocol: an undecodable request costs a one-line error, nothing else
+//   2. global admission: at most `max_live` campaigns in flight; beyond
+//      that the server answers "saturated" immediately instead of queueing
+//      unbounded work behind an opaque socket
+//   3. per-tenant admission: one tenant may not occupy the whole server;
+//      requests beyond `max_tenant_live` are rejected with the quota
+//   4. per-request governance: the campaign runs under the session's
+//      deadline / retry / memory-budget machinery, configured per request
+//
+// Admitted campaigns share the process-wide content-addressed solve cache
+// (service/cache.h): the second client to ask for a solve gets the first
+// client's answer. Per-tenant telemetry gauges (service.sessions.live,
+// service.queue_depth, service.tenant.<t>.live) and counters
+// (service.admission.rejected) make the ladder observable.
+//
+// Threading: an accept thread hands each connection to the executor pool
+// (sched::ThreadPool); a connection's requests run sequentially on its
+// executor, so `executors` bounds concurrently-running campaigns from the
+// top while admission control bounds them from the front. Stop() shuts
+// down every open connection, drains the pool, and persists the cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "sched/thread_pool.h"
+#include "service/cache.h"
+#include "service/protocol.h"
+#include "support/status.h"
+
+namespace aqed::service {
+
+struct ServerOptions {
+  std::string socket_path;
+  // Executor threads servicing connections — the shared pool every
+  // client's campaigns multiplex onto (0 = hardware concurrency).
+  uint32_t executors = 2;
+  // Global admission bound: campaign requests while this many are already
+  // in flight are rejected, not queued.
+  uint32_t max_live = 4;
+  // Per-tenant bound on in-flight campaigns.
+  uint32_t max_tenant_live = 2;
+  // Cap on any one request's session worker count (0 = uncapped): a client
+  // asking for --jobs 64 gets the cap, not the machine.
+  uint32_t max_session_jobs = 0;
+  // Solve-cache persistence: loaded at Start(), rewritten atomically after
+  // every campaign and at Stop(). Empty = in-memory cache only.
+  std::string cache_path;
+};
+
+class AqedServer {
+ public:
+  explicit AqedServer(ServerOptions options);
+  ~AqedServer();  // Stop()s.
+
+  AqedServer(const AqedServer&) = delete;
+  AqedServer& operator=(const AqedServer&) = delete;
+
+  // Binds the socket (replacing a stale file), loads the cache, and starts
+  // accepting. Chaos site "service.accept" drops incoming connections.
+  Status Start();
+
+  // Idempotent: closes the listener and every live connection, drains the
+  // executor pool, persists the cache.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  SolveCache& cache() { return cache_; }
+
+  uint64_t accepted() const;
+  uint64_t rejected() const;
+  uint64_t live_requests() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  // One request in, one response payload out.
+  std::string HandleRequest(const telemetry::Json& payload);
+  std::string RunCampaign(const CampaignRequest& request);
+  // The admission ladder; on success the caller owns one Release(tenant).
+  bool Admit(const std::string& tenant, std::string* reason);
+  void Release(const std::string& tenant);
+
+  ServerOptions options_;
+  SolveCache cache_;
+  CampaignCacheAdapter adapter_;
+
+  int listen_fd_ = -1;
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::unique_ptr<sched::ThreadPool> executors_;
+
+  mutable std::mutex mutex_;  // admission + connection + counter state
+  bool stopping_ = false;
+  uint64_t live_ = 0;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  std::map<std::string, uint32_t> tenant_live_;
+  std::set<int> connections_;  // open fds, shutdown() on Stop()
+};
+
+}  // namespace aqed::service

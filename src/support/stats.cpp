@@ -111,7 +111,7 @@ std::string SessionStats::ToTable() const {
                              ? "cancelled"
                              : job.unknown_reason != UnknownReason::kNone
                                  ? std::string("unknown(") +
-                                       UnknownReasonName(job.unknown_reason) +
+                                       ToString(job.unknown_reason) +
                                        ")"
                                  : "clean";
     if (job.attempt > 0) {

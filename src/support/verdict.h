@@ -1,17 +1,36 @@
-// Termination-reason code for inconclusive verdicts.
+// Wire-stable verdict vocabulary shared by every layer.
 //
-// A SAT solve, a BMC run, or a whole verification job that comes back
-// "unknown" is useless for triage unless it says *why* it stopped: a
-// conflict-budget exhaustion can be retried with a bigger budget, a deadline
-// expiry wants a longer deadline (or a smaller problem), and a cancellation
-// means some sibling already decided the outcome. The same enum is threaded
-// through sat::Solver::Statistics, bmc::BmcResult, core::JobResult and the
-// per-session stats tables so logs agree at every layer.
+// Three small enums describe how verification work ends: a Verdict (what a
+// job concluded), an UnknownReason (why an inconclusive job stopped), and a
+// CancelReason (why a cancellation source fired). They cross every boundary
+// this repo has — stats tables, the fault-campaign journal, telemetry
+// exports, and the aqed-server wire protocol — so each one gets exactly ONE
+// string mapping, defined here, with a FromString inverse. The strings are
+// wire-stable: persisted journals and recorded client batches parse them
+// back, so renaming one is a protocol break, not a refactor.
+//
+// ToString is total (AQED-internal enums never hold stray values for long;
+// the "?" fallback keeps logs printable if one ever does). FromString is the
+// exact inverse over the enumerated values and rejects everything else —
+// round-tripped exhaustively in tests/support_test.cpp.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 namespace aqed {
+
+// How a verification job (one property group on one design) concluded. The
+// scheduler's JobResult carries the same information spread over flags
+// (bug_found / checker_error / unknown_reason); Verdict is the closed-form
+// summary the wire protocol and the solve cache store.
+enum class Verdict : uint8_t {
+  kBug = 0,      // a validated counterexample was found
+  kClean,        // every property refuted up to its bound
+  kUnknown,      // inconclusive (see UnknownReason)
+  kCheckerError, // counterexample failed simulator replay: toolchain bug
+};
 
 enum class UnknownReason : uint8_t {
   kNone = 0,         // the verdict is not unknown
@@ -21,7 +40,46 @@ enum class UnknownReason : uint8_t {
   kMemoryBudget,     // the session's memory governor cancelled the job
 };
 
-inline const char* UnknownReasonName(UnknownReason reason) {
+// Why a cancellation source fired (sched/cancellation.h stores this inside
+// the shared flag itself; 0 = not cancelled). Defined here, next to the
+// other outcome enums, so the string mapping lives in one header.
+enum class CancelReason : uint8_t {
+  kNone = 0,         // not cancelled
+  kExternal = 1,     // VerificationSession::Cancel() / user abort
+  kFirstBugWins = 2, // a sibling job found a bug
+  kDeadline = 3,     // the job's wall-clock watchdog expired
+  kCubeSolved = 4,   // a sibling cube of the same query found a model
+  kMemoryBudget = 5, // the session's memory governor shed the job
+};
+
+// Every value of each enum, for exhaustive round-trip tests and reverse
+// lookups. Keep in sync with the enums above (the round-trip test counts).
+inline constexpr Verdict kAllVerdicts[] = {
+    Verdict::kBug, Verdict::kClean, Verdict::kUnknown, Verdict::kCheckerError};
+inline constexpr UnknownReason kAllUnknownReasons[] = {
+    UnknownReason::kNone, UnknownReason::kConflictBudget,
+    UnknownReason::kDeadline, UnknownReason::kCancelled,
+    UnknownReason::kMemoryBudget};
+inline constexpr CancelReason kAllCancelReasons[] = {
+    CancelReason::kNone,       CancelReason::kExternal,
+    CancelReason::kFirstBugWins, CancelReason::kDeadline,
+    CancelReason::kCubeSolved, CancelReason::kMemoryBudget};
+
+inline const char* ToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kBug:
+      return "bug";
+    case Verdict::kClean:
+      return "clean";
+    case Verdict::kUnknown:
+      return "unknown";
+    case Verdict::kCheckerError:
+      return "checker-error";
+  }
+  return "?";
+}
+
+inline const char* ToString(UnknownReason reason) {
   switch (reason) {
     case UnknownReason::kNone:
       return "none";
@@ -35,6 +93,49 @@ inline const char* UnknownReasonName(UnknownReason reason) {
       return "memory-budget";
   }
   return "?";
+}
+
+inline const char* ToString(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kExternal:
+      return "external";
+    case CancelReason::kFirstBugWins:
+      return "first-bug-wins";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kCubeSolved:
+      return "cube-solved";
+    case CancelReason::kMemoryBudget:
+      return "memory-budget";
+  }
+  return "?";
+}
+
+namespace detail {
+// Shared reverse lookup: walk the canonical value list and compare against
+// the one ToString. Journals and protocol decoders store the names (greppable
+// and stable across enum reorders), never the raw integers.
+template <typename E, size_t N>
+std::optional<E> FromStringImpl(std::string_view name, const E (&values)[N]) {
+  for (const E value : values) {
+    if (name == ToString(value)) return value;
+  }
+  return std::nullopt;
+}
+}  // namespace detail
+
+inline std::optional<Verdict> VerdictFromString(std::string_view name) {
+  return detail::FromStringImpl(name, kAllVerdicts);
+}
+inline std::optional<UnknownReason> UnknownReasonFromString(
+    std::string_view name) {
+  return detail::FromStringImpl(name, kAllUnknownReasons);
+}
+inline std::optional<CancelReason> CancelReasonFromString(
+    std::string_view name) {
+  return detail::FromStringImpl(name, kAllCancelReasons);
 }
 
 }  // namespace aqed

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace aqed::telemetry {
@@ -249,6 +250,87 @@ class Parser {
 
 std::optional<Json> ParseJson(std::string_view text) {
   return Parser(text).Parse();
+}
+
+namespace {
+
+void DumpString(const std::string& text, std::string& out) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+void DumpValue(const Json& value, std::string& out) {
+  switch (value.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      break;
+    case Json::Kind::kBool:
+      out += value.AsBool() ? "true" : "false";
+      break;
+    case Json::Kind::kNumber:
+      if (value.is_integer()) {
+        out += std::to_string(value.AsInt());
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", value.AsNumber());
+        out += buf;
+      }
+      break;
+    case Json::Kind::kString:
+      DumpString(value.AsString(), out);
+      break;
+    case Json::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : value.AsArray()) {
+        if (!first) out += ',';
+        first = false;
+        DumpValue(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.AsObject()) {
+        if (!first) out += ',';
+        first = false;
+        DumpString(key, out);
+        out += ':';
+        DumpValue(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Dump(const Json& value) {
+  std::string out;
+  DumpValue(value, out);
+  return out;
 }
 
 }  // namespace aqed::telemetry

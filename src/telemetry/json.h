@@ -76,4 +76,11 @@ class Json {
 // whitespace allowed); nullopt on any syntax error or trailing garbage.
 std::optional<Json> ParseJson(std::string_view text);
 
+// Serializes a value on one line (no insignificant whitespace), suitable for
+// JSONL records. Strings escape control characters, quotes, and backslashes;
+// integer-tagged numbers print exactly (full int64 range), other numbers
+// with enough digits to round-trip through strtod. Dump ∘ ParseJson is the
+// identity on everything this repo writes.
+std::string Dump(const Json& value);
+
 }  // namespace aqed::telemetry

@@ -325,7 +325,7 @@ TEST(BmcCubeTest, CubeSolvedReasonIsDistinguishable) {
   sched::CancellationSource source;
   source.Cancel(sched::CancelReason::kCubeSolved);
   EXPECT_EQ(source.reason(), sched::CancelReason::kCubeSolved);
-  EXPECT_STREQ(sched::CancelReasonName(source.reason()), "cube-solved");
+  EXPECT_STREQ(ToString(source.reason()), "cube-solved");
   EXPECT_EQ(sched::UnknownReasonFromCancel(source.reason()),
             UnknownReason::kCancelled);
 }

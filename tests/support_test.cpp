@@ -2,10 +2,14 @@
 // accumulators, status types.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "support/bits.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/status.h"
+#include "support/verdict.h"
 
 namespace aqed {
 namespace {
@@ -117,6 +121,53 @@ TEST(StatusTest, StatusOr) {
   StatusOr<int> error(Status::Error("nope"));
   EXPECT_FALSE(error.ok());
   EXPECT_EQ(error.status().message(), "nope");
+}
+
+// The verdict vocabulary is wire-stable: journals, solve-cache lines, and
+// aqed-server frames persist these names, so every value must round-trip
+// through its one string mapping, and no two values may share a name.
+TEST(VerdictTest, EveryVerdictRoundTripsExactly) {
+  std::set<std::string> names;
+  for (const Verdict verdict : kAllVerdicts) {
+    const std::string name = ToString(verdict);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << name << " is duplicated";
+    const auto parsed = VerdictFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, verdict) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllVerdicts));
+  EXPECT_FALSE(VerdictFromString("no-such-verdict").has_value());
+  EXPECT_FALSE(VerdictFromString("").has_value());
+  EXPECT_FALSE(VerdictFromString("?").has_value());
+}
+
+TEST(VerdictTest, EveryUnknownReasonRoundTripsExactly) {
+  std::set<std::string> names;
+  for (const UnknownReason reason : kAllUnknownReasons) {
+    const std::string name = ToString(reason);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << name << " is duplicated";
+    const auto parsed = UnknownReasonFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, reason) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllUnknownReasons));
+  EXPECT_FALSE(UnknownReasonFromString("Deadline").has_value());  // exact case
+}
+
+TEST(VerdictTest, EveryCancelReasonRoundTripsExactly) {
+  std::set<std::string> names;
+  for (const CancelReason reason : kAllCancelReasons) {
+    const std::string name = ToString(reason);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << name << " is duplicated";
+    const auto parsed = CancelReasonFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, reason) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllCancelReasons));
+  EXPECT_FALSE(CancelReasonFromString("first bug wins").has_value());
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// aqed-server: resident verification service over a Unix-domain socket.
+//
+// Stays up across campaigns so the content-addressed solve cache keeps
+// earning: the first client pays for a solve, every later client (or the
+// same CI job re-run) gets it for free. See src/service/server.h for the
+// admission ladder and DESIGN.md §12 for the architecture.
+//
+// Flags: --socket P            socket path (default /tmp/aqed-server.sock)
+//        --executors N         shared executor pool size (default 2,
+//                              0 = hardware concurrency)
+//        --max-live N          global in-flight campaign bound (default 4)
+//        --max-tenant-live N   per-tenant in-flight bound (default 2)
+//        --max-session-jobs N  cap on one campaign's --jobs (0 = uncapped)
+//        --cache P             persist the solve cache to P (CRC-JSONL,
+//                              loaded at start, rewritten atomically)
+//        --metrics-out P       arm telemetry and write a metrics JSONL
+//                              snapshot on shutdown
+#include <csignal>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "service/server.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+
+using namespace aqed;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::FlagParser flags(argc, argv);
+  service::ServerOptions options;
+  options.socket_path = flags.String("--socket", "/tmp/aqed-server.sock");
+  options.executors = flags.Uint32("--executors", options.executors);
+  options.max_live = flags.Uint32("--max-live", options.max_live);
+  options.max_tenant_live =
+      flags.Uint32("--max-tenant-live", options.max_tenant_live);
+  options.max_session_jobs =
+      flags.Uint32("--max-session-jobs", options.max_session_jobs);
+  options.cache_path = flags.String("--cache");
+  const std::string metrics_path = flags.String("--metrics-out");
+  flags.RejectUnknown(argv[0]);
+
+  if (!metrics_path.empty()) telemetry::SetEnabled(true);
+
+  service::AqedServer server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "aqed-server: %s\n", started.message().c_str());
+    return 1;
+  }
+  // The readiness line clients and CI wait for; flushed before any work.
+  std::printf("aqed-server: listening on %s\n", options.socket_path.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    ::usleep(100 * 1000);
+  }
+
+  std::printf("aqed-server: shutting down (%llu accepted, %llu rejected, "
+              "cache %zu entries, hit ratio %.2f)\n",
+              static_cast<unsigned long long>(server.accepted()),
+              static_cast<unsigned long long>(server.rejected()),
+              server.cache().size(), server.cache().hit_ratio());
+  server.Stop();
+  if (!metrics_path.empty() &&
+      !telemetry::WriteMetricsJsonlFile(
+          metrics_path, telemetry::MetricsRegistry::Global().Snapshot())) {
+    std::fprintf(stderr, "aqed-server: cannot write metrics to %s\n",
+                 metrics_path.c_str());
+  }
+  return 0;
+}
