@@ -50,7 +50,9 @@
 
 #include "accel/dataflow.h"
 #include "accel/multi_action.h"
+#include "accel/widepipe.h"
 #include "bench_common.h"
+#include "decomp/session.h"
 #include "fault/campaign.h"
 #include "sched/session.h"
 #include "telemetry/json.h"
@@ -174,11 +176,48 @@ void RunCubeScenario(uint32_t cube_jobs) {
   (void)session.Wait();
 }
 
+// A-QED² decomposition: the widepipe bench configuration is deliberately
+// too big for monolithic BMC — the first leg gives the whole pipe a 2 s
+// deadline and burns it (UNKNOWN), the second verifies the same design
+// decomposed per stage, where the clean stages are isomorphic and dedup
+// collapses them to a single one-stage solve. The scenario's wall time is
+// therefore "deadline + one fragment solve": the committed baseline is the
+// repo's evidence that decomposition turns a hopeless check into a cheap
+// one (tests/decomp_test.cpp gates the verdicts themselves).
+void RunDecompScenario() {
+  const accel::WidePipeConfig config = accel::WidePipeBenchConfig();
+  const auto options = core::AqedOptions::Builder()
+                           .WithBound(accel::WidePipeMonolithicBound(config))
+                           .Build();
+  {
+    core::SessionOptions session_options;
+    session_options.jobs = 1;
+    session_options.deadline_ms = 2000;
+    session_options.retry.max_retries = 0;
+    sched::VerificationSession session(session_options);
+    (void)session.Enqueue(
+        [config](ir::TransitionSystem& ts) {
+          return accel::BuildWidePipe(ts, config).acc;
+        },
+        options, "widepipe/monolithic");
+    (void)session.Wait();
+  }
+  {
+    decomp::DecompOptions decomp_options;
+    decomp_options.aqed = options;
+    decomp_options.session.jobs = 2;
+    decomp::DecomposedSession session(accel::WidePipeDecomposition(config),
+                                      decomp_options);
+    (void)session.Run();
+  }
+}
+
 std::vector<ScenarioResult> RunSchedSuite(uint32_t cube_jobs) {
   return {
       RunScenario("hunt_seq", [] { RunHuntScenario(1); }),
       RunScenario("hunt_par2", [] { RunHuntScenario(2); }),
       RunScenario("hunt_cube", [&] { RunCubeScenario(cube_jobs); }),
+      RunScenario("bench_decomp", [] { RunDecompScenario(); }),
   };
 }
 

@@ -23,11 +23,13 @@
 //                       campaign, consult it per mutant, persist it after
 //                       (CRC-guarded JSONL; poisoned lines are dropped and
 //                       the mutants re-solved)
+//        --cache-max-entries N  bound the cache: at save time the
+//                       least-recently-used entries beyond N are trimmed
+//                       (0 = unbounded, the default)
 //        --designs A,B  restrict the campaign to the named catalog designs
 //                       (same names aqed-client --designs accepts)
 #include <algorithm>
 #include <cstdio>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   options.journal_path = flags.String("--journal");
   options.resume = flags.Switch("--resume");
   const std::string cache_path = flags.String("--cache");
+  const uint32_t cache_max_entries = flags.Uint32("--cache-max-entries", 0);
   const bool with_aes = !flags.Switch("--no-aes");
   const std::string design_filter = flags.String("--designs");
   // Deadline-tripped jobs are rescued by escalation (2 s -> 4 s -> 8 s ->
@@ -61,31 +64,20 @@ int main(int argc, char** argv) {
   // The design list lives in the service catalog (src/service/registry.h)
   // so aqed-server campaigns are built from the exact same configurations —
   // that is what makes server and CLI classification digests comparable.
-  std::vector<fault::DesignUnderTest> designs =
-      service::BuiltinDesigns({.with_aes = with_aes});
-  if (!design_filter.empty()) {
-    std::vector<fault::DesignUnderTest> selected;
-    std::stringstream names(design_filter);
-    for (std::string name; std::getline(names, name, ',');) {
-      const fault::DesignUnderTest* design =
-          service::FindDesign(designs, name);
-      if (design == nullptr) {
-        fprintf(stderr, "unknown design '%s' (catalog: ", name.c_str());
-        for (size_t i = 0; i < designs.size(); ++i) {
-          fprintf(stderr, "%s%s", i ? ", " : "", designs[i].name.c_str());
-        }
-        fprintf(stderr, ")\n");
-        return 2;
-      }
-      selected.push_back(*design);
-    }
-    designs = std::move(selected);
+  StatusOr<std::vector<fault::DesignUnderTest>> selection =
+      service::SelectDesigns(service::BuiltinDesigns({.with_aes = with_aes}),
+                             std::string_view(design_filter));
+  if (!selection.ok()) {
+    fprintf(stderr, "%s\n", selection.status().message().c_str());
+    return 2;
   }
+  std::vector<fault::DesignUnderTest> designs = std::move(selection).value();
 
   service::SolveCache cache;
   service::CampaignCacheAdapter cache_adapter(cache);
   if (!cache_path.empty()) {
     cache.Load(cache_path);
+    cache.SetMaxEntries(cache_max_entries);
     options.cache = &cache_adapter;
   }
 
@@ -170,6 +162,11 @@ int main(int argc, char** argv) {
       printf(", dropped %llu poisoned line%s",
              static_cast<unsigned long long>(cache.poisoned()),
              cache.poisoned() == 1 ? "" : "s");
+    }
+    if (cache.evicted() > 0) {
+      printf(", evicted %llu LRU entr%s",
+             static_cast<unsigned long long>(cache.evicted()),
+             cache.evicted() == 1 ? "y" : "ies");
     }
     printf("\n");
     if (!saved.ok()) {

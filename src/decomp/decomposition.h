@@ -1,0 +1,173 @@
+// A-QED² functional decomposition (the sequel paper's scaling lever).
+//
+// Monolithic BMC blows up with design size: the FC refutation of a deep
+// pipeline carries every stage's datapath at every frame. Functional
+// decomposition cuts the accelerator into *sub-accelerators* along declared
+// boundary signals, replaces each sub-accelerator's upstream cut signals
+// with free inputs (an over-approximation of the real environment), and
+// checks functional consistency per fragment. Soundness direction: a clean
+// decomposed verdict implies no FC bug is reachable in the composed design
+// within the fragments' bounds — the free cut inputs can drive every value
+// the real upstream logic can (and more), so no behavior is lost. The price
+// is the converse: a fragment counterexample may be *spurious*, driven
+// through a cut valuation the real design never produces. User-supplied
+// assumptions at the cut (Assume) narrow the environment when that happens.
+//
+// A Decomposition names a parent design (by its AcceleratorBuilder) and a
+// set of SubAccelerators, each declared purely in terms of *signal names*
+// on the parent: cut signals to free, and the per-fragment host interface
+// (in_valid / in_ready / host_ready / out_valid / data / out element
+// names). Internal wires become nameable via TransitionSystem::AddOutput in
+// the parent builder — including constants (a named const-true output makes
+// "always ready" declarable). Validate()/Analyze() build the parent once,
+// resolve every name, and check the cuts *partition* the design: every
+// parent state must be claimed by exactly one sub-accelerator's cone
+// (traversal from its interface signals through next-state functions,
+// stopping at cuts). BuilderFor(i) then yields a pure AcceleratorBuilder
+// for fragment i — directly enqueueable on a sched::VerificationSession —
+// that rebuilds the parent into a scratch system and extracts the
+// fragment: cut signals become fresh free inputs, claimed states keep
+// their init/next (rebuilt over the fragment's cone), and parent
+// constraints whose support lies inside the fragment carry over.
+//
+// Fragments are rebuilt in ascending parent-node order, which makes
+// isomorphic fragments (e.g. the stages of a uniform pipeline) byte-equal
+// under ir::AnonymousStructuralDigest — the identity the decomp session
+// uses to dedupe and cache per-fragment solves (src/decomp/session.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aqed/checker.h"
+#include "ir/transition_system.h"
+#include "support/status.h"
+
+namespace aqed::decomp {
+
+// Environment assumption at a cut, evaluated inside the fragment while it
+// is being extracted. `signal` resolves a parent signal name (a cut, an
+// input, a claimed state, or a named output whose cone lies in the
+// fragment) to the fragment's node for it; the returned 1-bit node is
+// asserted as an invariant constraint. Resolution failures are programming
+// errors and abort (AQED_CHECK) — declare assumptions only over signals the
+// fragment contains.
+using AssumeFn = std::function<ir::NodeRef(
+    ir::Context& ctx,
+    const std::function<ir::NodeRef(const std::string&)>& signal)>;
+
+// Declaration of one sub-accelerator, purely by parent signal names. A
+// fluent value type: build one, hand it to Decomposition::Add.
+class SubAccelerator {
+ public:
+  explicit SubAccelerator(std::string name) : name_(std::move(name)) {}
+
+  // Declares a boundary signal: inside this fragment, `signal` is replaced
+  // by a fresh free input of the same sort and the logic driving it is left
+  // to the sub-accelerator that claims it.
+  SubAccelerator& Cut(const std::string& signal);
+  SubAccelerator& Cut(const std::vector<std::string>& signals);
+
+  // The fragment's host interface, by parent signal name (all resolvable
+  // against the parent's inputs, states, or named outputs).
+  SubAccelerator& WithInValid(std::string signal);
+  SubAccelerator& WithInReady(std::string signal);
+  SubAccelerator& WithHostReady(std::string signal);
+  SubAccelerator& WithOutValid(std::string signal);
+  // Appends one input (resp. output) batch element of named words.
+  SubAccelerator& WithDataElem(std::vector<std::string> words);
+  SubAccelerator& WithOutElem(std::vector<std::string> words);
+  SubAccelerator& WithShared(std::vector<std::string> signals);
+
+  // Environment assumption at the cut (may be called repeatedly).
+  SubAccelerator& Assume(AssumeFn assume);
+
+  // Per-fragment FC/BMC bound override (0 = inherit the session's).
+  SubAccelerator& WithBound(uint32_t bound);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& cuts() const { return cuts_; }
+  const std::string& in_valid() const { return in_valid_; }
+  const std::string& in_ready() const { return in_ready_; }
+  const std::string& host_ready() const { return host_ready_; }
+  const std::string& out_valid() const { return out_valid_; }
+  const std::vector<std::vector<std::string>>& data_elems() const {
+    return data_elems_;
+  }
+  const std::vector<std::vector<std::string>>& out_elems() const {
+    return out_elems_;
+  }
+  const std::vector<std::string>& shared() const { return shared_; }
+  const std::vector<AssumeFn>& assumes() const { return assumes_; }
+  uint32_t bound() const { return bound_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> cuts_;
+  std::string in_valid_, in_ready_, host_ready_, out_valid_;
+  std::vector<std::vector<std::string>> data_elems_;
+  std::vector<std::vector<std::string>> out_elems_;
+  std::vector<std::string> shared_;
+  std::vector<AssumeFn> assumes_;
+  uint32_t bound_ = 0;
+};
+
+// The cut-coverage report: how the declared cuts carve the parent design,
+// one row per sub-accelerator plus partition totals. Produced by Analyze()
+// after validation, and carried into the DecompositionResult.
+struct CutCoverage {
+  struct Sub {
+    std::string name;
+    uint32_t states_claimed = 0;   // parent states owned by this fragment
+    uint32_t state_bits = 0;       // their summed widths
+    uint32_t cut_signals = 0;      // boundary signals freed at this fragment
+    uint32_t cut_bits = 0;         // their summed widths (env freedom added)
+    uint32_t assumptions = 0;      // user constraints narrowing that freedom
+    uint32_t constraints_carried = 0;  // parent constraints inside the cone
+  };
+  std::vector<Sub> subs;
+  uint32_t total_states = 0;  // parent states (== sum of states_claimed)
+  uint32_t total_state_bits = 0;
+
+  std::string ToTable() const;
+};
+
+// A named parent design plus its sub-accelerator declarations.
+class Decomposition {
+ public:
+  Decomposition(std::string name, core::AcceleratorBuilder parent)
+      : name_(std::move(name)), parent_(std::move(parent)) {}
+
+  Decomposition& Add(SubAccelerator sub);
+
+  const std::string& name() const { return name_; }
+  const core::AcceleratorBuilder& parent() const { return parent_; }
+  const std::vector<SubAccelerator>& subs() const { return subs_; }
+
+  // Builds the parent once and checks the declaration is coherent: every
+  // referenced name resolves, every fragment's interface validates, and the
+  // claimed-state cones of the subs partition the parent's states (each
+  // state claimed by exactly one fragment). Also rebuilds every fragment
+  // and validates it structurally.
+  Status Validate() const;
+
+  // Validate() plus the cut-coverage report.
+  StatusOr<CutCoverage> Analyze() const;
+
+  // Pure job builder for fragment `index`: rebuilds the parent into a
+  // scratch system and extracts the fragment into the given transition
+  // system. Self-contained (copies the declaration), safe to run on
+  // session worker threads, and independent of this object's lifetime.
+  // Declaration errors abort (AQED_CHECK) — run Validate() first to get
+  // them as a Status.
+  core::AcceleratorBuilder BuilderFor(size_t index) const;
+
+ private:
+  std::string name_;
+  core::AcceleratorBuilder parent_;
+  std::vector<SubAccelerator> subs_;
+};
+
+}  // namespace aqed::decomp

@@ -1,0 +1,251 @@
+#include "decomp/session.h"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "ir/digest.h"
+#include "sched/session.h"
+#include "support/stats.h"
+#include "telemetry/metrics.h"
+
+namespace aqed::decomp {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixInt(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t MixText(uint64_t hash, const std::string& text) {
+  for (const char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return MixInt(hash, text.size());
+}
+
+fault::Classification Classify(core::BugKind kind) {
+  switch (kind) {
+    case core::BugKind::kFunctionalConsistency:
+    case core::BugKind::kEarlyOutput:
+      return fault::Classification::kDetectedFc;
+    case core::BugKind::kResponseBound:
+    case core::BugKind::kInputStarvation:
+      return fault::Classification::kDetectedRb;
+    case core::BugKind::kSingleActionCorrectness:
+      return fault::Classification::kDetectedSac;
+    case core::BugKind::kNone:
+      break;
+  }
+  return fault::Classification::kSurvived;
+}
+
+// The fragment's per-sub options: a bound override replaces the global BMC
+// bound and clears the per-property overrides (they were tuned against the
+// parent bound and may exceed the fragment's).
+core::AqedOptions OptionsFor(const core::AqedOptions& base,
+                             const SubAccelerator& sub) {
+  core::AqedOptions options = base;
+  if (sub.bound() != 0) {
+    options.bmc.max_bound = sub.bound();
+    options.fc_bound = 0;
+    options.rb_bound = 0;
+    options.sac_bound = 0;
+  }
+  return options;
+}
+
+}  // namespace
+
+const SubVerdict* DecompositionResult::FirstBug() const {
+  for (const SubVerdict& sub : subs) {
+    if (sub.classification == fault::Classification::kDetectedFc ||
+        sub.classification == fault::Classification::kDetectedRb ||
+        sub.classification == fault::Classification::kDetectedSac) {
+      return &sub;
+    }
+  }
+  return nullptr;
+}
+
+size_t DecompositionResult::num_unknown() const {
+  size_t count = 0;
+  for (const SubVerdict& sub : subs) {
+    if (sub.classification == fault::Classification::kUnknown) count++;
+  }
+  return count;
+}
+
+uint64_t DecompositionResult::VerdictDigest() const {
+  // Commutative sum of per-sub hashes: identical across scheduling orders
+  // and worker counts, different whenever any verdict column changes.
+  uint64_t sum = 0;
+  for (const SubVerdict& sub : subs) {
+    uint64_t h = kFnvOffset;
+    h = MixText(h, sub.name);
+    h = MixInt(h, static_cast<uint64_t>(sub.classification));
+    h = MixInt(h, static_cast<uint64_t>(sub.kind));
+    h = MixInt(h, sub.cex_cycles);
+    sum += h;
+  }
+  return MixInt(MixInt(kFnvOffset, sum), subs.size());
+}
+
+std::string DecompositionResult::ToTable() const {
+  std::ostringstream out;
+  out << "decomposition '" << name << "': "
+      << (bug_found() ? "BUG" : (num_unknown() ? "UNKNOWN" : "clean")) << " ("
+      << subs.size() << " subs, " << jobs_enqueued << " solved, " << deduped
+      << " deduped, " << cache_hits << " cached)\n";
+  out << "sub-accelerator      verdict       kind                  cex  "
+         "source\n";
+  for (const SubVerdict& sub : subs) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-20s %-13s %-20s %4u  %s\n",
+                  sub.name.c_str(),
+                  fault::ClassificationName(sub.classification),
+                  core::BugKindName(sub.kind), sub.cex_cycles,
+                  sub.cached ? "cache" : (sub.deduped ? "dedup" : "solve"));
+    out << line;
+  }
+  out << coverage.ToTable();
+  return out.str();
+}
+
+DecomposedSession::DecomposedSession(Decomposition decomposition,
+                                     DecompOptions options)
+    : decomposition_(std::move(decomposition)), options_(std::move(options)) {}
+
+StatusOr<DecompositionResult> DecomposedSession::Run() {
+  Stopwatch stopwatch;
+  auto coverage = decomposition_.Analyze();
+  if (!coverage.ok()) return coverage.status();
+
+  DecompositionResult result;
+  result.name = decomposition_.name();
+  result.coverage = std::move(coverage).value();
+  result.subs.resize(decomposition_.subs().size());
+
+  sched::VerificationSession session(options_.session);
+
+  // Job bookkeeping: for each declared sub, either a cache hit (verdict
+  // already final), an alias of an earlier isomorphic fragment, or the
+  // handle of the job enqueued for it.
+  struct Pending {
+    core::JobHandle handle;
+    service::CacheKey key;
+    bool enqueued = false;
+    size_t alias_of = 0;  // index of the representative when deduped
+    bool aliased = false;
+  };
+  std::vector<Pending> pending(decomposition_.subs().size());
+  // First sub index seen per cache key — the dedup representative.
+  std::unordered_map<std::string, size_t> representative;
+
+  for (size_t i = 0; i < decomposition_.subs().size(); ++i) {
+    const SubAccelerator& sub = decomposition_.subs()[i];
+    SubVerdict& verdict = result.subs[i];
+    verdict.name = sub.name();
+
+    const core::AqedOptions sub_options = OptionsFor(options_.aqed, sub);
+    core::AcceleratorBuilder build = decomposition_.BuilderFor(i);
+
+    // Digest the pristine fragment (instrumentation happens inside the
+    // session job, on a fresh copy).
+    ir::TransitionSystem pristine;
+    build(pristine);
+    verdict.fragment_digest = ir::AnonymousStructuralDigest(pristine);
+
+    Pending& entry = pending[i];
+    entry.key = service::CacheKey{verdict.fragment_digest,
+                                  service::ConfigDigest(sub_options), "-",
+                                  sub_options.bmc.max_bound};
+
+    if (options_.cache != nullptr) {
+      if (const auto hit = options_.cache->Lookup(entry.key)) {
+        verdict.classification = hit->classification;
+        verdict.kind = hit->kind;
+        verdict.cex_cycles = hit->cex_cycles;
+        verdict.attempts = hit->attempts;
+        verdict.cached = true;
+        result.cache_hits++;
+        continue;
+      }
+      result.cache_misses++;
+    }
+
+    const std::string key_text = entry.key.ToString();
+    if (const auto rep = representative.find(key_text);
+        rep != representative.end()) {
+      entry.aliased = true;
+      entry.alias_of = rep->second;
+      verdict.deduped = true;
+      result.deduped++;
+      continue;
+    }
+    representative.emplace(key_text, i);
+    entry.handle = session.Enqueue(std::move(build), sub_options, sub.name());
+    entry.enqueued = true;
+    result.jobs_enqueued++;
+  }
+
+  const core::SessionResult session_result = session.Wait();
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (!pending[i].enqueued) continue;
+    SubVerdict& verdict = result.subs[i];
+    const core::JobHandle& handle = pending[i].handle;
+    if (session_result.bug_found(handle)) {
+      verdict.kind = session_result.kind(handle);
+      verdict.classification = Classify(verdict.kind);
+      verdict.cex_cycles = session_result.cex_cycles(handle);
+    } else if (session_result.unknown_reason(handle) != UnknownReason::kNone) {
+      verdict.classification = fault::Classification::kUnknown;
+      verdict.unknown_reason = session_result.unknown_reason(handle);
+    } else {
+      verdict.classification = fault::Classification::kSurvived;
+    }
+    const core::JobResult& reported = session_result.Reported(handle);
+    verdict.attempts = reported.attempt + 1;
+    verdict.wall_seconds = reported.wall_seconds;
+
+    if (options_.cache != nullptr &&
+        verdict.classification != fault::Classification::kUnknown) {
+      options_.cache->Store(pending[i].key,
+                            {verdict.classification, verdict.kind,
+                             verdict.cex_cycles, verdict.attempts});
+    }
+  }
+
+  // Aliases inherit their representative's verdict (which is never cached
+  // here: cache hits were peeled off before dedup, and an unknown
+  // representative propagates as unknown — dedup must not launder an
+  // undecided verdict into a decided-looking one).
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (!pending[i].aliased) continue;
+    const SubVerdict& rep = result.subs[pending[i].alias_of];
+    SubVerdict& verdict = result.subs[i];
+    verdict.classification = rep.classification;
+    verdict.kind = rep.kind;
+    verdict.cex_cycles = rep.cex_cycles;
+    verdict.unknown_reason = rep.unknown_reason;
+    verdict.attempts = rep.attempts;
+  }
+
+  result.wall_seconds = stopwatch.ElapsedSeconds();
+  telemetry::AddCounter("decomp.subs", result.subs.size());
+  telemetry::AddCounter("decomp.jobs", result.jobs_enqueued);
+  telemetry::AddCounter("decomp.deduped", result.deduped);
+  telemetry::AddCounter("decomp.cache_hits", result.cache_hits);
+  return result;
+}
+
+}  // namespace aqed::decomp

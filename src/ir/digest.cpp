@@ -35,8 +35,16 @@ uint64_t MixSort(uint64_t hash, const Sort& sort) {
 
 }  // namespace
 
-StructuralHasher::StructuralHasher(const Context& ctx)
-    : ctx_(ctx), memo_(ctx.num_nodes(), 0) {}
+StructuralHasher::StructuralHasher(const Context& ctx, bool anonymous)
+    : ctx_(ctx), anonymous_(anonymous), memo_(ctx.num_nodes(), 0) {
+  if (anonymous_) {
+    ordinal_.resize(ctx.num_nodes(), 0);
+    uint64_t i = 0;
+    for (const NodeRef input : ctx.inputs()) ordinal_[input] = ++i;
+    i = 0;
+    for (const NodeRef state : ctx.states()) ordinal_[state] = ++i;
+  }
+}
 
 uint64_t StructuralHasher::Digest(NodeRef ref) {
   if (ref == kNullNode) return kFnvOffset;  // fixed "absent" sentinel
@@ -76,7 +84,13 @@ uint64_t StructuralHasher::Digest(NodeRef ref) {
       case Op::kState:
         // Named leaves: the identity of an input/state is its name and
         // sort, never the NodeRef the builder happened to get for it.
-        hash = MixText(hash, node.name);
+        // Anonymous mode replaces the name with the leaf's registration
+        // ordinal — the identity machine-extracted fragments share.
+        if (anonymous_) {
+          hash = MixInt(hash, ordinal_[top]);
+        } else {
+          hash = MixText(hash, node.name);
+        }
         break;
       default:
         break;
@@ -148,6 +162,54 @@ uint64_t StructuralDigest(const TransitionSystem& ts) {
     h = MixText(h, name);
     h = MixInt(h, hasher.Digest(node));
     sum += salted(5, h);
+  }
+  return MixInt(digest, sum);
+}
+
+uint64_t AnonymousStructuralDigest(const TransitionSystem& ts) {
+  StructuralHasher hasher(ts.ctx(), /*anonymous=*/true);
+
+  const auto salted = [](uint64_t salt, uint64_t hash) {
+    return MixInt(MixInt(kFnvOffset, salt), hash);
+  };
+
+  // Same category structure as the named digest, but every name — state,
+  // input, bad label, output — is dropped: a leaf's Digest already carries
+  // its registration ordinal, which is what identifies it here.
+  uint64_t digest = MixInt(kFnvOffset, 0xA9EDA0DEu);  // format version salt
+  uint64_t sum = 0;
+  for (const NodeRef state : ts.states()) {
+    uint64_t h = kFnvOffset;
+    h = MixInt(h, hasher.Digest(state));
+    h = MixInt(h, ts.has_init(state) ? 1 : 0);
+    h = MixInt(h, ts.has_init(state) ? ts.init_value(state) : 0);
+    h = MixInt(h, hasher.Digest(ts.next(state)));
+    sum += salted(1, h);
+  }
+  digest = MixInt(digest, sum);
+
+  sum = 0;
+  for (const NodeRef input : ts.inputs()) {
+    sum += salted(2, hasher.Digest(input));
+  }
+  digest = MixInt(digest, sum);
+
+  sum = 0;
+  for (const NodeRef constraint : ts.constraints()) {
+    sum += salted(3, hasher.Digest(constraint));
+  }
+  digest = MixInt(digest, sum);
+
+  sum = 0;
+  for (const NodeRef bad : ts.bads()) {
+    sum += salted(4, hasher.Digest(bad));
+  }
+  digest = MixInt(digest, sum);
+
+  sum = 0;
+  for (const auto& [name, node] : ts.outputs()) {
+    (void)name;
+    sum += salted(5, hasher.Digest(node));
   }
   return MixInt(digest, sum);
 }

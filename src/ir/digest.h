@@ -27,9 +27,12 @@ namespace aqed::ir {
 // Memoized per-node structural hasher over one context. States and inputs
 // hash as named leaves; their next functions / init values are folded in by
 // StructuralDigest (hashing them here would make the node hash cyclic).
+// In anonymous mode a leaf hashes by its ordinal among the context's inputs
+// (resp. states) in registration order instead of by name — see
+// AnonymousStructuralDigest below for when that is the right identity.
 class StructuralHasher {
  public:
-  explicit StructuralHasher(const Context& ctx);
+  explicit StructuralHasher(const Context& ctx, bool anonymous = false);
 
   // Structural digest of one node (never 0 for a real node, so callers can
   // use 0 as "absent"). kNullNode digests to a fixed nonzero sentinel.
@@ -37,7 +40,9 @@ class StructuralHasher {
 
  private:
   const Context& ctx_;
-  std::vector<uint64_t> memo_;  // 0 = not yet computed
+  bool anonymous_;
+  std::vector<uint64_t> memo_;     // 0 = not yet computed
+  std::vector<uint64_t> ordinal_;  // anonymous mode: 1-based leaf ordinals
 };
 
 // Whole-system digest: states (name, sort, init, next), inputs, constraints,
@@ -45,5 +50,23 @@ class StructuralHasher {
 // per category. Designs built twice in different node orders digest equal;
 // any semantic change digests different (modulo 64-bit collisions).
 uint64_t StructuralDigest(const TransitionSystem& ts);
+
+// Name-insensitive variant for machine-generated systems. The decomposition
+// extractor (src/decomp) synthesizes one transition system per
+// sub-accelerator, and the whole point of caching those is that *isomorphic*
+// fragments — stage 3 of a uniform pipeline vs stage 7, or the same stage
+// carved out of two different parent designs — share one solve. Their
+// signal names differ by construction ("s3.r0" vs "s7.r0", a parent input
+// vs a freed cut), so the named digest above would never let them meet.
+//
+// Here a leaf's identity is its *ordinal* among the system's inputs (resp.
+// states) in registration order, plus its sort and init value; names never
+// enter, including output names. Registration order is significant where
+// the named digest was order-free: for hand-built designs that would make
+// the digest an artifact of statement order, but extractor output is
+// canonical (fragments are rebuilt in ascending parent-node order), so two
+// isomorphic fragments register their leaves identically and digest equal.
+// Use StructuralDigest for anything a human builds or names.
+uint64_t AnonymousStructuralDigest(const TransitionSystem& ts);
 
 }  // namespace aqed::ir

@@ -1,10 +1,12 @@
 #include "service/cache.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "fault/journal.h"
 #include "ir/digest.h"
@@ -218,17 +220,23 @@ std::optional<CachedVerdict> SolveCache::Lookup(const CacheKey& key) {
     return std::nullopt;
   }
   ++hits_;
+  it->second.last_use = ++tick_;
   telemetry::AddCounter("service.cache.hits", 1);
-  return it->second;
+  return it->second.verdict;
 }
 
 void SolveCache::Store(const CacheKey& key, const CachedVerdict& verdict) {
   if (verdict.classification == fault::Classification::kUnknown) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_[key] = verdict;
+  entries_[key] = Slot{verdict, ++tick_};
   telemetry::AddCounter("service.cache.store", 1);
   telemetry::SetGauge("service.cache.entries",
                       static_cast<int64_t>(entries_.size()));
+}
+
+void SolveCache::SetMaxEntries(size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = max_entries;
 }
 
 Status SolveCache::Load(const std::string& path) {
@@ -244,7 +252,10 @@ Status SolveCache::Load(const std::string& path) {
     const std::string_view line(text.data() + begin, end - begin);
     if (!line.empty()) {
       if (auto entry = DecodeEntry(line)) {
-        entries_[std::move(entry->first)] = entry->second;
+        // Load order approximates the persisted file's recency: Save wrote
+        // survivors of the previous trim, so all of them start equally warm
+        // relative to anything stored later in this run.
+        entries_[std::move(entry->first)] = Slot{entry->second, ++tick_};
       } else {
         ++poisoned_;
         telemetry::AddCounter("service.cache.dropped", 1);
@@ -257,7 +268,7 @@ Status SolveCache::Load(const std::string& path) {
   return Status::Ok();
 }
 
-Status SolveCache::Save(const std::string& path) const {
+Status SolveCache::Save(const std::string& path) {
   // Chaos site: the moment a crash would tear the persisted cache — which
   // the CRC line format plus atomic replace must make survivable.
   if (AQED_FAILPOINT("service.cache.store")) {
@@ -269,8 +280,34 @@ Status SolveCache::Save(const std::string& path) const {
   std::string contents;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, verdict] : entries_) {
-      contents += EncodeEntry(key, verdict);
+    if (max_entries_ != 0 && entries_.size() > max_entries_) {
+      // Trim the least-recently-used entries down to the bound. Save is the
+      // cold path (once per campaign), so a sort over the ticks is cheaper
+      // to reason about than keeping an intrusive LRU list hot in Lookup.
+      std::vector<uint64_t> ticks;
+      ticks.reserve(entries_.size());
+      for (const auto& [key, slot] : entries_) ticks.push_back(slot.last_use);
+      std::nth_element(ticks.begin(),
+                       ticks.begin() + (entries_.size() - max_entries_ - 1),
+                       ticks.end());
+      const uint64_t cutoff = ticks[entries_.size() - max_entries_ - 1];
+      uint64_t trimmed = 0;
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.last_use <= cutoff) {
+          it = entries_.erase(it);
+          ++trimmed;
+        } else {
+          ++it;
+        }
+      }
+      evicted_ += trimmed;
+      telemetry::AddCounter("service.cache.evicted",
+                            static_cast<int64_t>(trimmed));
+      telemetry::SetGauge("service.cache.entries",
+                          static_cast<int64_t>(entries_.size()));
+    }
+    for (const auto& [key, slot] : entries_) {
+      contents += EncodeEntry(key, slot.verdict);
     }
   }
   return support::WriteFileDurable(path, contents);
@@ -294,6 +331,11 @@ uint64_t SolveCache::misses() const {
 uint64_t SolveCache::poisoned() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return poisoned_;
+}
+
+uint64_t SolveCache::evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
 }
 
 double SolveCache::hit_ratio() const {

@@ -72,7 +72,7 @@ struct CachedVerdict {
 };
 
 // Thread-safe content-addressed map of decided verdicts with CRC-JSONL
-// persistence. Telemetry: service.cache.{hits,misses,store,dropped}
+// persistence. Telemetry: service.cache.{hits,misses,store,dropped,evicted}
 // counters and the service.cache.entries gauge.
 class SolveCache {
  public:
@@ -82,30 +82,48 @@ class SolveCache {
   // Stores a decided verdict; kUnknown classifications are ignored.
   void Store(const CacheKey& key, const CachedVerdict& verdict);
 
+  // Bounds the cache (0 = unbounded, the default). Enforced at Save time:
+  // when over budget, the least-recently-used entries (touched by neither a
+  // Lookup hit nor a Store since longest ago) are trimmed before the file
+  // is written, so neither memory nor the persisted file grows without
+  // limit while the in-memory hot path stays a plain map.
+  void SetMaxEntries(size_t max_entries);
+
   // Merges `path` into the cache. A missing file is an empty cache, not an
   // error; lines failing CRC or decode are dropped and counted (poisoned()).
   Status Load(const std::string& path);
 
-  // Atomically rewrites `path` with every entry (tmp+fsync+rename).
+  // Atomically rewrites `path` with every entry (tmp+fsync+rename), after
+  // LRU-trimming to the SetMaxEntries bound (counted in evicted()).
   // Serialized: concurrent campaigns finishing together must not race on
   // the rename's temporary file. Chaos site "service.cache.store".
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path);
 
   size_t size() const;
   uint64_t hits() const;
   uint64_t misses() const;
   // Undecodable lines dropped by Load since construction.
   uint64_t poisoned() const;
+  // Entries trimmed by the SetMaxEntries bound since construction.
+  uint64_t evicted() const;
   // hits / (hits + misses); 1.0 when no lookups happened.
   double hit_ratio() const;
 
  private:
+  struct Slot {
+    CachedVerdict verdict;
+    uint64_t last_use = 0;  // recency tick of the last hit or store
+  };
+
   mutable std::mutex mutex_;
   mutable std::mutex save_mutex_;  // taken first; never under mutex_
-  std::unordered_map<CacheKey, CachedVerdict, CacheKeyHash> entries_;
+  std::unordered_map<CacheKey, Slot, CacheKeyHash> entries_;
+  size_t max_entries_ = 0;  // 0 = unbounded
+  uint64_t tick_ = 0;       // monotonic recency clock
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t poisoned_ = 0;
+  uint64_t evicted_ = 0;
 };
 
 // fault::CampaignCache adapter: translates (DesignUnderTest, MutantKey)

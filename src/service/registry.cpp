@@ -1,9 +1,12 @@
 #include "service/registry.h"
 
+#include <sstream>
+
 #include "accel/aes.h"
 #include "accel/dataflow.h"
 #include "accel/multi_action.h"
 #include "accel/optflow.h"
+#include "accel/widepipe.h"
 
 namespace aqed::service {
 
@@ -111,6 +114,24 @@ std::vector<fault::DesignUnderTest> BuiltinDesigns(
                      HlsOptions(accel::OptFlowResponseBound(), 0,
                                 accel::OptFlowSpec(), 8),
                      accel::OptFlowGolden(), HlsConventional()});
+  {
+    // The decomposition showcase (accel/widepipe.h) in its small,
+    // monolithically tractable configuration — FC-only: the pipe has no
+    // backpressure (RB is trivial) and its point is consistency across
+    // transaction timing, which is exactly what FC checks. The bench-sized
+    // configuration is exercised by bench_decomp, not by campaigns.
+    const accel::WidePipeConfig widepipe{
+        .lanes = 2, .stages = 2, .width = 4, .bug_stage = -1};
+    designs.push_back({"widepipe",
+                       [widepipe](ir::TransitionSystem& ts) {
+                         return accel::BuildWidePipe(ts, widepipe).acc;
+                       },
+                       core::AqedOptions::Builder()
+                           .WithBound(8)
+                           .WithConflictBudget(400000)
+                           .Build(),
+                       accel::WidePipeGolden(widepipe), HlsConventional()});
+  }
   if (options.with_aes) {
     // Mini-AES with one round: the heaviest design here — a single round
     // keeps FC refutations inside the per-job deadline while preserving the
@@ -143,6 +164,38 @@ const fault::DesignUnderTest* FindDesign(
     if (design.name == name) return &design;
   }
   return nullptr;
+}
+
+StatusOr<std::vector<fault::DesignUnderTest>> SelectDesigns(
+    std::span<const fault::DesignUnderTest> catalog,
+    std::span<const std::string> names) {
+  std::vector<fault::DesignUnderTest> selected;
+  for (const std::string& name : names) {
+    const fault::DesignUnderTest* design = FindDesign(catalog, name);
+    if (design == nullptr) {
+      std::string message = "unknown design '" + name + "' (catalog: ";
+      for (size_t i = 0; i < catalog.size(); ++i) {
+        if (i > 0) message += ", ";
+        message += catalog[i].name;
+      }
+      return Status::Error(message + ")");
+    }
+    selected.push_back(*design);
+  }
+  if (selected.empty()) {
+    selected.assign(catalog.begin(), catalog.end());
+  }
+  return selected;
+}
+
+StatusOr<std::vector<fault::DesignUnderTest>> SelectDesigns(
+    std::span<const fault::DesignUnderTest> catalog, std::string_view names) {
+  std::vector<std::string> split;
+  std::stringstream stream{std::string(names)};
+  for (std::string name; std::getline(stream, name, ',');) {
+    if (!name.empty()) split.push_back(name);
+  }
+  return SelectDesigns(catalog, split);
 }
 
 }  // namespace aqed::service

@@ -10,12 +10,14 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "accel/memctrl.h"
 #include "fault/campaign.h"
 #include "harness/conventional_flow.h"
+#include "support/status.h"
 
 namespace aqed::service {
 
@@ -45,5 +47,18 @@ std::vector<fault::DesignUnderTest> BuiltinDesigns(
 // Looks a design up by name; nullptr when absent.
 const fault::DesignUnderTest* FindDesign(
     std::span<const fault::DesignUnderTest> designs, std::string_view name);
+
+// Resolves a design selection against the catalog. An empty selection is
+// the whole catalog; an unknown name is an error whose message lists every
+// valid name ("unknown design 'x' (catalog: a, b, ...)") — the one answer
+// every caller (bench_fault --designs, the server's campaign request)
+// should give instead of silently running an empty campaign.
+StatusOr<std::vector<fault::DesignUnderTest>> SelectDesigns(
+    std::span<const fault::DesignUnderTest> catalog,
+    std::span<const std::string> names);
+// Same, over a comma-separated list ("alu,dataflow"); empty segments are
+// ignored.
+StatusOr<std::vector<fault::DesignUnderTest>> SelectDesigns(
+    std::span<const fault::DesignUnderTest> catalog, std::string_view names);
 
 }  // namespace aqed::service

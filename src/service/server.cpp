@@ -58,6 +58,7 @@ Status AqedServer::Start() {
     const Status loaded = cache_.Load(options_.cache_path);
     if (!loaded.ok()) return loaded;
   }
+  cache_.SetMaxEntries(options_.cache_max_entries);
   StatusOr<int> fd = BindSocket(options_.socket_path);
   if (!fd.ok()) return fd.status();
   listen_fd_ = fd.value();
@@ -239,20 +240,15 @@ void AqedServer::Release(const std::string& tenant) {
 std::string AqedServer::RunCampaign(const CampaignRequest& request) {
   // The catalog is the CLI's (bench_fault) — identical DesignUnderTest
   // construction is what makes server and CLI digests comparable.
-  const std::vector<fault::DesignUnderTest> catalog =
-      BuiltinDesigns({.with_aes = request.with_aes});
-  std::vector<fault::DesignUnderTest> designs;
-  if (request.designs.empty()) {
-    designs = catalog;
-  } else {
-    for (const std::string& name : request.designs) {
-      const fault::DesignUnderTest* design = FindDesign(catalog, name);
-      if (design == nullptr) {
-        return EncodeError("unknown design '" + name + "'");
-      }
-      designs.push_back(*design);
-    }
+  StatusOr<std::vector<fault::DesignUnderTest>> selection = SelectDesigns(
+      BuiltinDesigns({.with_aes = request.with_aes}), request.designs);
+  if (!selection.ok()) {
+    // The error names every catalog entry — a remote client cannot grep the
+    // registry, so the rejection is its design listing.
+    return EncodeError(selection.status().message());
   }
+  const std::vector<fault::DesignUnderTest> designs =
+      std::move(selection).value();
 
   uint32_t jobs = request.jobs;
   if (options_.max_session_jobs > 0 &&

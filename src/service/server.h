@@ -60,6 +60,10 @@ struct ServerOptions {
   // Solve-cache persistence: loaded at Start(), rewritten atomically after
   // every campaign and at Stop(). Empty = in-memory cache only.
   std::string cache_path;
+  // Bound on cached verdicts: every save LRU-trims the cache to this many
+  // entries, so a long-lived server's cache file cannot grow without limit
+  // (0 = unbounded).
+  size_t cache_max_entries = 0;
 };
 
 class AqedServer {

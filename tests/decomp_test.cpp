@@ -1,0 +1,316 @@
+// A-QED² functional decomposition tests: cut-point declaration validation
+// (names resolve, cuts partition the design), fragment verdicts vs the
+// monolithic check on a small configuration where both complete, verdict
+// determinism across worker counts, isomorphic-fragment dedup, the
+// cross-run SolveCache, and the acceptance gate — the bench-sized widepipe
+// is UNKNOWN (deadline) monolithically but verifies clean decomposed, and a
+// bug injected into one stage is caught decomposed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "accel/widepipe.h"
+#include "aqed/checker.h"
+#include "decomp/decomposition.h"
+#include "decomp/session.h"
+#include "ir/digest.h"
+#include "service/cache.h"
+
+namespace aqed::decomp {
+namespace {
+
+// The small widepipe: monolithically tractable (sub-second), so composed
+// and monolithic verdicts can be compared directly.
+accel::WidePipeConfig SmallConfig(int32_t bug_stage = -1) {
+  return {.lanes = 2, .stages = 2, .width = 4, .bug_stage = bug_stage};
+}
+
+core::AqedOptions MonoOptions(const accel::WidePipeConfig& config) {
+  return core::AqedOptions::Builder()
+      .WithBound(accel::WidePipeMonolithicBound(config))
+      .Build();
+}
+
+DecompositionResult RunDecomposed(const accel::WidePipeConfig& config,
+                                  DecompOptions options = {}) {
+  options.aqed = MonoOptions(config);
+  DecomposedSession session(accel::WidePipeDecomposition(config), options);
+  StatusOr<DecompositionResult> result = session.Run();
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.status().message());
+  return std::move(result).value();
+}
+
+// --- declaration validation --------------------------------------------------
+
+TEST(DecompositionTest, AnalyzeReportsThePartition) {
+  const accel::WidePipeConfig config = SmallConfig();
+  const StatusOr<CutCoverage> coverage =
+      accel::WidePipeDecomposition(config).Analyze();
+  ASSERT_TRUE(coverage.ok()) << coverage.status().message();
+  ASSERT_EQ(coverage.value().subs.size(), config.stages);
+  uint32_t claimed = 0;
+  for (const CutCoverage::Sub& sub : coverage.value().subs) {
+    claimed += sub.states_claimed;
+  }
+  // The partition is total: every parent state claimed exactly once.
+  EXPECT_EQ(claimed, coverage.value().total_states);
+  // Stage 0 owns the real host inputs (no cuts); stage 1 cuts at stage 0's
+  // valid + lane registers.
+  EXPECT_EQ(coverage.value().subs[0].cut_signals, 0u);
+  EXPECT_EQ(coverage.value().subs[1].cut_signals, 1u + config.lanes);
+}
+
+TEST(DecompositionTest, UnknownSignalNamesAreValidationErrors) {
+  const accel::WidePipeConfig config = SmallConfig();
+  Decomposition decomposition("widepipe", [config](ir::TransitionSystem& ts) {
+    return accel::BuildWidePipe(ts, config).acc;
+  });
+  SubAccelerator sub("stage1");
+  sub.Cut("s0.valid")
+      .Cut("s0.no_such_reg")  // typo'd cut
+      .WithInValid("s0.valid")
+      .WithDataElem({"s0.r0", "s0.r1"})
+      .WithOutElem({"s1.r0", "s1.r1"})
+      .WithInReady("one")
+      .WithHostReady("one")
+      .WithOutValid("s1.valid");
+  decomposition.Add(std::move(sub));
+  const Status status = decomposition.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("s0.no_such_reg"), std::string::npos);
+}
+
+TEST(DecompositionTest, UnclaimedStatesFailThePartitionCheck) {
+  const accel::WidePipeConfig config = SmallConfig();
+  Decomposition decomposition("widepipe", [config](ir::TransitionSystem& ts) {
+    return accel::BuildWidePipe(ts, config).acc;
+  });
+  // Only stage 1 declared: stage 0's registers are nobody's.
+  SubAccelerator sub("stage1");
+  sub.Cut({"s0.valid", "s0.r0", "s0.r1"})
+      .WithInValid("s0.valid")
+      .WithDataElem({"s0.r0", "s0.r1"})
+      .WithOutElem({"s1.r0", "s1.r1"})
+      .WithInReady("one")
+      .WithHostReady("one")
+      .WithOutValid("s1.valid");
+  decomposition.Add(std::move(sub));
+  const Status status = decomposition.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unclaimed states"), std::string::npos);
+  EXPECT_NE(status.message().find("s0.r0"), std::string::npos);
+}
+
+TEST(DecompositionTest, DoublyClaimedStatesFailThePartitionCheck) {
+  const accel::WidePipeConfig config = SmallConfig();
+  // Both stages declared without the cut between them: stage 1's cone
+  // reaches through stage 0's registers, so every stage-0 state is claimed
+  // twice.
+  Decomposition decomposition("widepipe", [config](ir::TransitionSystem& ts) {
+    return accel::BuildWidePipe(ts, config).acc;
+  });
+  SubAccelerator stage0("stage0");
+  stage0.WithInValid("in_valid")
+      .WithDataElem({"in0", "in1"})
+      .WithOutElem({"s0.r0", "s0.r1"})
+      .WithInReady("one")
+      .WithHostReady("one")
+      .WithOutValid("s0.valid");
+  SubAccelerator stage1("stage1");
+  stage1.WithInValid("in_valid")
+      .WithDataElem({"in0", "in1"})
+      .WithOutElem({"s1.r0", "s1.r1"})
+      .WithInReady("one")
+      .WithHostReady("one")
+      .WithOutValid("s1.valid");
+  decomposition.Add(std::move(stage0)).Add(std::move(stage1));
+  const Status status = decomposition.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("claimed by multiple"), std::string::npos);
+}
+
+// --- composed vs monolithic verdicts ----------------------------------------
+
+TEST(DecompTest, CleanComposedVerdictMatchesTheMonolithicCheck) {
+  const accel::WidePipeConfig config = SmallConfig();
+  const core::SessionResult mono = core::CheckAccelerator(
+      [config](ir::TransitionSystem& ts) {
+        return accel::BuildWidePipe(ts, config).acc;
+      },
+      MonoOptions(config));
+  ASSERT_FALSE(mono.bug_found());
+  ASSERT_EQ(mono.unknown_reason(), UnknownReason::kNone);
+
+  const DecompositionResult decomposed = RunDecomposed(config);
+  EXPECT_TRUE(decomposed.clean());
+  EXPECT_FALSE(decomposed.bug_found());
+  EXPECT_EQ(decomposed.num_unknown(), 0u);
+  EXPECT_EQ(decomposed.subs.size(), config.stages);
+}
+
+TEST(DecompTest, BuggyDesignIsCaughtByBothFlows) {
+  const accel::WidePipeConfig config = SmallConfig(/*bug_stage=*/1);
+  const core::SessionResult mono = core::CheckAccelerator(
+      [config](ir::TransitionSystem& ts) {
+        return accel::BuildWidePipe(ts, config).acc;
+      },
+      MonoOptions(config));
+  EXPECT_TRUE(mono.bug_found());
+
+  const DecompositionResult decomposed = RunDecomposed(config);
+  ASSERT_TRUE(decomposed.bug_found());
+  // The bug is localized: decomposition names the offending fragment.
+  EXPECT_EQ(decomposed.FirstBug()->name, "stage1");
+  EXPECT_EQ(decomposed.FirstBug()->classification,
+            fault::Classification::kDetectedFc);
+  EXPECT_GT(decomposed.FirstBug()->cex_cycles, 0u);
+}
+
+TEST(DecompTest, BugInAnySingleStageIsDetected) {
+  // Three stages; the tailgate bug walks through first / middle / last.
+  for (int32_t bug_stage = 0; bug_stage < 3; ++bug_stage) {
+    accel::WidePipeConfig config = SmallConfig(bug_stage);
+    config.stages = 3;
+    const DecompositionResult result = RunDecomposed(config);
+    ASSERT_TRUE(result.bug_found()) << "bug_stage=" << bug_stage;
+    EXPECT_EQ(result.FirstBug()->name,
+              "stage" + std::to_string(bug_stage));
+  }
+}
+
+// --- determinism and dedup ---------------------------------------------------
+
+TEST(DecompTest, VerdictDigestIsIdenticalAcrossWorkerCounts) {
+  const accel::WidePipeConfig config = SmallConfig(/*bug_stage=*/1);
+  DecompOptions seq;
+  seq.session.jobs = 1;
+  DecompOptions par;
+  par.session.jobs = 8;
+  const DecompositionResult a = RunDecomposed(config, seq);
+  const DecompositionResult b = RunDecomposed(config, par);
+  EXPECT_EQ(a.VerdictDigest(), b.VerdictDigest());
+  EXPECT_NE(a.VerdictDigest(), 0u);
+}
+
+TEST(DecompTest, IsomorphicCleanStagesCollapseToOneSolve) {
+  accel::WidePipeConfig config = SmallConfig();
+  config.stages = 4;
+  const DecompositionResult result = RunDecomposed(config);
+  ASSERT_TRUE(result.clean());
+  // The stages are structurally identical under the anonymous digest, so
+  // one representative is solved and the rest alias onto it.
+  EXPECT_EQ(result.jobs_enqueued, 1u);
+  EXPECT_EQ(result.deduped, config.stages - 1);
+  for (size_t i = 1; i < result.subs.size(); ++i) {
+    EXPECT_EQ(result.subs[i].fragment_digest, result.subs[0].fragment_digest);
+    EXPECT_TRUE(result.subs[i].deduped);
+  }
+}
+
+TEST(DecompTest, BuggyStageDigestsDifferentlyAndIsSolvedSeparately) {
+  const accel::WidePipeConfig config = SmallConfig(/*bug_stage=*/1);
+  const DecompositionResult result = RunDecomposed(config);
+  ASSERT_TRUE(result.bug_found());
+  // The shadow/b2b registers make stage 1 structurally distinct: it must
+  // never inherit the clean stage's verdict.
+  EXPECT_NE(result.subs[0].fragment_digest, result.subs[1].fragment_digest);
+  EXPECT_FALSE(result.subs[1].deduped);
+  EXPECT_FALSE(result.subs[1].cached);
+}
+
+TEST(DecompTest, SecondRunIsServedFromTheSolveCache) {
+  const accel::WidePipeConfig config = SmallConfig();
+  service::SolveCache cache;
+  DecompOptions options;
+  options.cache = &cache;
+
+  const DecompositionResult cold = RunDecomposed(config, options);
+  ASSERT_TRUE(cold.clean());
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.jobs_enqueued, 1u);
+
+  const DecompositionResult warm = RunDecomposed(config, options);
+  ASSERT_TRUE(warm.clean());
+  // Every fragment answered before the scheduler: hits peel off ahead of
+  // dedup, so nothing is enqueued at all.
+  EXPECT_EQ(warm.cache_hits, config.stages);
+  EXPECT_EQ(warm.jobs_enqueued, 0u);
+  for (const SubVerdict& sub : warm.subs) {
+    EXPECT_TRUE(sub.cached);
+  }
+  EXPECT_EQ(cold.VerdictDigest(), warm.VerdictDigest());
+}
+
+TEST(DecompTest, CacheRoundTripsThroughDiskAcrossSessions) {
+  const std::string path =
+      "/tmp/aqed_decomp_cache_" + std::to_string(::getpid()) + ".jsonl";
+  const accel::WidePipeConfig config = SmallConfig();
+  {
+    service::SolveCache cache;
+    DecompOptions options;
+    options.cache = &cache;
+    ASSERT_TRUE(RunDecomposed(config, options).clean());
+    ASSERT_TRUE(cache.Save(path).ok());
+  }
+  {
+    service::SolveCache cache;
+    ASSERT_TRUE(cache.Load(path).ok());
+    DecompOptions options;
+    options.cache = &cache;
+    const DecompositionResult warm = RunDecomposed(config, options);
+    EXPECT_TRUE(warm.clean());
+    EXPECT_EQ(warm.jobs_enqueued, 0u);
+    EXPECT_EQ(warm.cache_hits, config.stages);
+  }
+  std::remove(path.c_str());
+}
+
+// --- the acceptance gate: too big monolithically, tractable decomposed ------
+
+TEST(DecompAcceptanceTest, BenchConfigBlowsTheMonolithicDeadline) {
+  const accel::WidePipeConfig config = accel::WidePipeBenchConfig();
+  core::SessionOptions session;
+  session.jobs = 1;
+  session.deadline_ms = 2000;
+  session.retry.max_retries = 0;
+  const core::SessionResult mono = core::CheckAccelerator(
+      [config](ir::TransitionSystem& ts) {
+        return accel::BuildWidePipe(ts, config).acc;
+      },
+      MonoOptions(config), session);
+  EXPECT_FALSE(mono.bug_found());
+  EXPECT_EQ(mono.unknown_reason(), UnknownReason::kDeadline);
+}
+
+TEST(DecompAcceptanceTest, BenchConfigVerifiesCleanDecomposed) {
+  const accel::WidePipeConfig config = accel::WidePipeBenchConfig();
+  DecompOptions options;
+  options.session.jobs = 2;
+  const DecompositionResult result = RunDecomposed(config, options);
+  EXPECT_TRUE(result.clean());
+  // All six stages are isomorphic: the whole design costs one solve.
+  EXPECT_EQ(result.jobs_enqueued, 1u);
+  EXPECT_EQ(result.deduped, config.stages - 1);
+}
+
+TEST(DecompAcceptanceTest, BenchConfigBugIsCaughtDecomposed) {
+  accel::WidePipeConfig config = accel::WidePipeBenchConfig();
+  config.bug_stage = 3;
+  DecompOptions options;
+  options.session.jobs = 2;
+  // First-bug-wins across the whole decomposition: the buggy fragment's
+  // (fast, SAT) refutation cancels the clean stages' solve.
+  options.session.cancel = core::SessionOptions::CancelPolicy::kSession;
+  const DecompositionResult result = RunDecomposed(config, options);
+  ASSERT_TRUE(result.bug_found());
+  EXPECT_EQ(result.FirstBug()->name, "stage3");
+  EXPECT_EQ(result.FirstBug()->classification,
+            fault::Classification::kDetectedFc);
+}
+
+}  // namespace
+}  // namespace aqed::decomp

@@ -149,6 +149,34 @@ TEST(ConfigDigestTest, DepthIsNotPartOfTheConfigDigest) {
   EXPECT_EQ(ConfigDigest(shallow), ConfigDigest(deep));
 }
 
+// --- catalog selection -------------------------------------------------------
+
+TEST(SelectDesignsTest, ResolvesNamesAndRejectsUnknownsWithTheCatalog) {
+  const std::vector<fault::DesignUnderTest> catalog = BuiltinDesigns();
+
+  // Empty selection = the whole catalog (bench_fault with no --designs).
+  StatusOr<std::vector<fault::DesignUnderTest>> all =
+      SelectDesigns(catalog, std::string_view(""));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), catalog.size());
+
+  StatusOr<std::vector<fault::DesignUnderTest>> two =
+      SelectDesigns(catalog, std::string_view("alu,widepipe"));
+  ASSERT_TRUE(two.ok());
+  ASSERT_EQ(two.value().size(), 2u);
+  EXPECT_EQ(two.value()[0].name, "alu");
+  EXPECT_EQ(two.value()[1].name, "widepipe");
+
+  StatusOr<std::vector<fault::DesignUnderTest>> bogus =
+      SelectDesigns(catalog, std::string_view("alu,frobnicator"));
+  ASSERT_FALSE(bogus.ok());
+  // The error is the user's catalog listing: every valid name appears.
+  EXPECT_NE(bogus.status().message().find("frobnicator"), std::string::npos);
+  for (const fault::DesignUnderTest& design : catalog) {
+    EXPECT_NE(bogus.status().message().find(design.name), std::string::npos);
+  }
+}
+
 // --- solve cache -------------------------------------------------------------
 
 CacheKey TestKey(uint32_t depth = 16, const std::string& mutant = "m@n1#s1") {
@@ -249,6 +277,49 @@ TEST(SolveCacheTest, PoisonedLineIsDroppedNotTrusted) {
       (restored.Lookup(TestKey(16, "m@n1#s1")).has_value() ? 1 : 0) +
       (restored.Lookup(TestKey(16, "m@n2#s1")).has_value() ? 1 : 0);
   EXPECT_EQ(live, 1);
+  std::remove(path.c_str());
+}
+
+TEST(SolveCacheTest, SaveTrimsLeastRecentlyUsedEntriesToTheBound) {
+  const std::string path =
+      "/tmp/aqed_cache_lru_" + std::to_string(::getpid()) + ".jsonl";
+  SolveCache cache;
+  cache.SetMaxEntries(2);
+  cache.Store(TestKey(16, "m@n1#s1"), DetectedVerdict());
+  cache.Store(TestKey(16, "m@n2#s1"), DetectedVerdict());
+  cache.Store(TestKey(16, "m@n3#s1"), DetectedVerdict());
+  // A hit refreshes recency: touch the oldest entry so the *middle* one is
+  // now least-recently-used and gets trimmed instead.
+  ASSERT_TRUE(cache.Lookup(TestKey(16, "m@n1#s1")).has_value());
+  EXPECT_EQ(cache.size(), 3u);  // the bound is enforced at save, not store
+  EXPECT_EQ(cache.evicted(), 0u);
+
+  ASSERT_TRUE(cache.Save(path).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evicted(), 1u);
+  EXPECT_TRUE(cache.Lookup(TestKey(16, "m@n1#s1")).has_value());
+  EXPECT_FALSE(cache.Lookup(TestKey(16, "m@n2#s1")).has_value());
+  EXPECT_TRUE(cache.Lookup(TestKey(16, "m@n3#s1")).has_value());
+
+  // The persisted file holds only the survivors.
+  SolveCache restored;
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_FALSE(restored.Lookup(TestKey(16, "m@n2#s1")).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SolveCacheTest, UnboundedCacheNeverEvicts) {
+  const std::string path =
+      "/tmp/aqed_cache_unbounded_" + std::to_string(::getpid()) + ".jsonl";
+  SolveCache cache;  // default max_entries = 0 = unbounded
+  for (int i = 0; i < 8; ++i) {
+    cache.Store(TestKey(16, "m@n" + std::to_string(i) + "#s1"),
+                DetectedVerdict());
+  }
+  ASSERT_TRUE(cache.Save(path).ok());
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.evicted(), 0u);
   std::remove(path.c_str());
 }
 
@@ -537,6 +608,10 @@ TEST(ServerTest, UnknownDesignsAndTypesAreRejectedNotFatal) {
   ASSERT_TRUE(response.ok());
   EXPECT_FALSE(response.value().ok);
   EXPECT_NE(response.value().error.find("no-such-design"), std::string::npos);
+  // The rejection is the remote client's design listing: it must name the
+  // catalog entries, not just the bad name.
+  EXPECT_NE(response.value().error.find("catalog:"), std::string::npos);
+  EXPECT_NE(response.value().error.find("alu"), std::string::npos);
 
   StatusOr<std::string> unknown =
       client.Roundtrip("{\"type\":\"frobnicate\"}");

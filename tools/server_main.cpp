@@ -13,6 +13,9 @@
 //        --max-session-jobs N  cap on one campaign's --jobs (0 = uncapped)
 //        --cache P             persist the solve cache to P (CRC-JSONL,
 //                              loaded at start, rewritten atomically)
+//        --cache-max-entries N LRU-trim the cache to N entries at each
+//                              save (0 = unbounded) — bounds a long-lived
+//                              server's memory and cache file
 //        --metrics-out P       arm telemetry and write a metrics JSONL
 //                              snapshot on shutdown
 #include <csignal>
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   options.max_session_jobs =
       flags.Uint32("--max-session-jobs", options.max_session_jobs);
   options.cache_path = flags.String("--cache");
+  options.cache_max_entries = flags.Uint32("--cache-max-entries", 0);
   const std::string metrics_path = flags.String("--metrics-out");
   flags.RejectUnknown(argv[0]);
 
