@@ -21,6 +21,11 @@ namespace aqed::bench {
 // arguments it matched, so after a main has declared its full flag set a
 // final RejectUnknown() call turns any leftover --flag (a typo, or a flag
 // from some other bench) into a hard error instead of silence.
+//
+// Probes also *register* their flag (with an optional one-line help text),
+// so by the time RejectUnknown() runs the parser knows the binary's whole
+// flag set: `--help` (or `-h`) anywhere on the command line prints it and
+// exits 0.
 class FlagParser {
  public:
   FlagParser(int argc, char** argv) {
@@ -29,7 +34,8 @@ class FlagParser {
   }
 
   // True iff the bare switch appears anywhere on the command line.
-  bool Switch(std::string_view name) const {
+  bool Switch(std::string_view name, const char* help = nullptr) const {
+    Register(name, /*takes_value=*/false, help);
     bool found = false;
     for (size_t i = 0; i < args_.size(); ++i) {
       if (args_[i] == name) {
@@ -41,7 +47,9 @@ class FlagParser {
   }
 
   // The value of the last `--name VALUE` occurrence, or nullptr.
-  const std::string* Value(std::string_view name) const {
+  const std::string* Value(std::string_view name,
+                           const char* help = nullptr) const {
+    Register(name, /*takes_value=*/true, help);
     const std::string* found = nullptr;
     for (size_t i = 0; i + 1 < args_.size(); ++i) {
       if (args_[i] == name) {
@@ -57,28 +65,51 @@ class FlagParser {
   bool Seen(std::string_view name) const { return Value(name) != nullptr; }
 
   // Numeric accessors accept decimal, 0x-hex, and octal (strtoul base 0).
-  uint32_t Uint32(std::string_view name, uint32_t fallback) const {
-    const std::string* v = Value(name);
+  uint32_t Uint32(std::string_view name, uint32_t fallback,
+                  const char* help = nullptr) const {
+    const std::string* v = Value(name, help);
     return v ? static_cast<uint32_t>(std::strtoul(v->c_str(), nullptr, 0))
              : fallback;
   }
 
-  uint64_t Uint64(std::string_view name, uint64_t fallback) const {
-    const std::string* v = Value(name);
+  uint64_t Uint64(std::string_view name, uint64_t fallback,
+                  const char* help = nullptr) const {
+    const std::string* v = Value(name, help);
     return v ? std::strtoull(v->c_str(), nullptr, 0) : fallback;
   }
 
-  std::string String(std::string_view name, std::string fallback = {}) const {
-    const std::string* v = Value(name);
+  std::string String(std::string_view name, std::string fallback = {},
+                     const char* help = nullptr) const {
+    const std::string* v = Value(name, help);
     return v ? *v : fallback;
   }
 
-  // Call after every flag has been probed: exits with status 2 listing any
-  // `--something` argument no Switch()/Value() call matched. Non-flag
-  // positional arguments are left alone (none of the benches take any, but
-  // a VALUE that happens to follow an unknown flag should be reported via
-  // its flag, not separately).
+  // Every registered flag, one per line, in probe order.
+  void PrintHelp(const char* program) const {
+    std::printf("usage: %s [flags]\n\nflags:\n", program);
+    for (const Flag& flag : flags_) {
+      std::string spelling = flag.name;
+      if (flag.takes_value) spelling += " VALUE";
+      std::printf("  %-28s %s\n", spelling.c_str(),
+                  flag.help != nullptr ? flag.help : "");
+    }
+    std::printf("  %-28s %s\n", "--help", "print this help and exit 0");
+  }
+
+  // Call after every flag has been probed. `--help`/`-h` prints the
+  // registered flag set and exits 0; otherwise any leftover `--something`
+  // no Switch()/Value() call matched (a typo, or a flag from some other
+  // bench) exits with status 2 instead of silence. Non-flag positional
+  // arguments are left alone (none of the benches take any, but a VALUE
+  // that happens to follow an unknown flag should be reported via its
+  // flag, not separately).
   void RejectUnknown(const char* program) const {
+    for (const std::string& arg : args_) {
+      if (arg == "--help" || arg == "-h") {
+        PrintHelp(program);
+        std::exit(0);
+      }
+    }
     bool bad = false;
     for (size_t i = 0; i < args_.size(); ++i) {
       if (!used_[i] && args_[i].rfind("--", 0) == 0) {
@@ -92,15 +123,34 @@ class FlagParser {
       }
     }
     if (bad) {
-      std::fprintf(stderr, "%s: see the flag comments in bench_common.h\n",
-                   program);
+      std::fprintf(stderr, "%s: try '%s --help'\n", program, program);
       std::exit(2);
     }
   }
 
  private:
+  struct Flag {
+    std::string name;
+    bool takes_value;
+    const char* help;
+  };
+
+  // First registration wins the position; a later probe of the same name
+  // fills in help text the first one lacked (Seen() registers helplessly).
+  void Register(std::string_view name, bool takes_value,
+                const char* help) const {
+    for (Flag& flag : flags_) {
+      if (flag.name == name) {
+        if (flag.help == nullptr) flag.help = help;
+        return;
+      }
+    }
+    flags_.push_back(Flag{std::string(name), takes_value, help});
+  }
+
   std::vector<std::string> args_;
   mutable std::vector<char> used_;  // parallel to args_: matched by a probe
+  mutable std::vector<Flag> flags_;  // registered by probes, for --help
 };
 
 // Registers + parses the scheduling and telemetry flags shared by every
@@ -137,21 +187,33 @@ class FlagParser {
 // recording nothing.
 inline core::SessionOptions AddSessionFlags(const FlagParser& flags) {
   core::SessionOptions::Builder builder;
-  const uint32_t jobs = flags.Uint32("--jobs", 1);
+  const uint32_t jobs = flags.Uint32(
+      "--jobs", 1, "session worker threads (0 = hardware concurrency)");
   if (jobs == 0) {
     builder.WithHardwareJobs();
   } else {
     builder.WithJobs(jobs);
   }
-  if (flags.Switch("--cancel-session")) {
+  if (flags.Switch("--cancel-session",
+                   "first bug cancels the whole session")) {
     builder.WithCancelPolicy(core::SessionOptions::CancelPolicy::kSession);
   }
-  builder.WithDeadlineMs(flags.Uint32("--deadline-ms", 0))
-      .WithMemoryBudgetMb(flags.Uint32("--memory-budget-mb", 0))
-      .WithRetries(flags.Uint32("--retries", 0))
-      .WithTracePath(flags.String("--trace-out"))
-      .WithMetricsPath(flags.String("--metrics-out"))
-      .WithSamplePeriodMs(flags.Uint32("--sample-period-ms", 0));
+  builder
+      .WithDeadlineMs(flags.Uint32("--deadline-ms", 0,
+                                   "per-job wall-clock deadline (0 = none)"))
+      .WithMemoryBudgetMb(flags.Uint32(
+          "--memory-budget-mb", 0,
+          "process-RSS budget with staged degradation (0 = ungoverned)"))
+      .WithRetries(flags.Uint32(
+          "--retries", 0, "escalating-budget retries for inconclusive jobs"))
+      .WithTracePath(flags.String(
+          "--trace-out", {},
+          "write a Chrome trace-event JSON of the run's spans here"))
+      .WithMetricsPath(flags.String(
+          "--metrics-out", {}, "write a JSON Lines metrics snapshot here"))
+      .WithSamplePeriodMs(flags.Uint32(
+          "--sample-period-ms", 0,
+          "flight-recorder sampling period while the session runs (0 = off)"));
   return builder.Build();
 }
 

@@ -447,12 +447,18 @@ int CompareSuite(const OldSuite& old,
 
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
-  const std::string suite = flags.String("--suite", "all");
-  const std::string out_dir = flags.String("--out-dir", ".");
-  const std::string compare_path = flags.String("--compare");
-  const uint32_t tolerance = flags.Uint32("--tolerance", 25);
-  const uint32_t cube_jobs = flags.Uint32("--jobs", 8);
-  const bool warn_only = flags.Switch("--warn-only");
+  const std::string suite =
+      flags.String("--suite", "all", "benchmark suite: sched, fault, or all");
+  const std::string out_dir =
+      flags.String("--out-dir", ".", "directory for BENCH_*.json results");
+  const std::string compare_path = flags.String(
+      "--compare", {}, "baseline BENCH_*.json to gate regressions against");
+  const uint32_t tolerance = flags.Uint32(
+      "--tolerance", 25, "regression tolerance in percent over the baseline");
+  const uint32_t cube_jobs =
+      flags.Uint32("--jobs", 8, "worker threads for the cube-escalation runs");
+  const bool warn_only = flags.Switch(
+      "--warn-only", "report regressions without failing the run");
   flags.RejectUnknown(argv[0]);
   if (suite != "sched" && suite != "fault" && suite != "all") {
     std::fprintf(stderr, "%s: --suite must be sched, fault, or all\n",

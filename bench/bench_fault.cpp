@@ -44,15 +44,24 @@ int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
   fault::FaultCampaignOptions options;
   options.session = bench::AddSessionFlags(flags);
-  options.num_mutants = flags.Uint32("--mutants", 60);
-  options.seed = flags.Uint64("--seed", options.seed);
-  options.conventional_baseline = !flags.Switch("--no-baseline");
-  options.journal_path = flags.String("--journal");
-  options.resume = flags.Switch("--resume");
-  const std::string cache_path = flags.String("--cache");
-  const uint32_t cache_max_entries = flags.Uint32("--cache-max-entries", 0);
-  const bool with_aes = !flags.Switch("--no-aes");
-  const std::string design_filter = flags.String("--designs");
+  options.num_mutants =
+      flags.Uint32("--mutants", 60, "mutants sampled per design");
+  options.seed =
+      flags.Uint64("--seed", options.seed, "campaign sampling seed");
+  options.conventional_baseline = !flags.Switch(
+      "--no-baseline", "skip the conventional random-simulation baseline");
+  options.journal_path = flags.String(
+      "--journal", {}, "CRC-JSONL campaign journal for durable resume");
+  options.resume =
+      flags.Switch("--resume", "replay the journal before solving");
+  const std::string cache_path =
+      flags.String("--cache", {}, "persistent solve-cache file");
+  const uint32_t cache_max_entries = flags.Uint32(
+      "--cache-max-entries", 0, "LRU bound on cached verdicts (0 = unbounded)");
+  const bool with_aes =
+      !flags.Switch("--no-aes", "drop the AES designs from the catalog");
+  const std::string design_filter = flags.String(
+      "--designs", {}, "comma-separated catalog names to enroll (empty = all)");
   // Deadline-tripped jobs are rescued by escalation (2 s -> 4 s -> 8 s ->
   // 16 s -> 32 s), so default to four retries; an explicit --retries wins.
   // The last rung is pure headroom: the hardest surviving refutation takes

@@ -189,6 +189,10 @@ FaultCampaignResult RunFaultCampaign(std::span<const DesignUnderTest> designs,
     MutantReport& report = result.mutants[i];
     report.design = designs[plan[i].design].name;
     report.key = plan[i].key;
+    // Fresh classifications carry this request's trace id; a journal replay
+    // overwrites the whole report (keeping the id that solved it), and a
+    // cache hit's Lookup installs the originating request's id.
+    report.trace_id = options.trace_id;
     const auto it = replayed.find(ReplayKey(report.design, report.key));
     if (it != replayed.end()) {
       report = std::move(it->second);

@@ -81,6 +81,12 @@ struct MutantReport {
   uint32_t attempts = 1;        // max attempts over the mutant's jobs
   UnknownReason unknown_reason = UnknownReason::kNone;
   double wall_seconds = 0;      // summed job wall time for this mutant
+  // Provenance: the request trace id that classified this mutant (0 =
+  // untraced, e.g. a CLI run). Fresh verdicts take
+  // FaultCampaignOptions::trace_id; cache hits keep the *originating*
+  // request's id (the one that actually solved), so a verdict traces back
+  // to the request that paid for it. Never part of ClassificationDigest.
+  uint64_t trace_id = 0;
   // Conventional-flow baseline on the same mutant (when golden was given):
   bool golden_ran = false;
   bool golden_detected = false;
@@ -120,6 +126,10 @@ struct FaultCampaignOptions {
   // entirely but still count in the classification digest, so a fully
   // cached campaign digests identical to a cold one.
   CampaignCache* cache = nullptr;
+  // Request trace id stamped onto every mutant this campaign classifies
+  // fresh — into journal records and cache-store provenance (0 = untraced).
+  // aqed-server sets it from the client request.
+  uint64_t trace_id = 0;
 };
 
 struct FaultCampaignResult {

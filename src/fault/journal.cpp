@@ -96,6 +96,12 @@ std::string EncodePayload(const MutantReport& report) {
   std::snprintf(buf, sizeof(buf), ",\"cex_cycles\":%u,\"attempts\":%u",
                 report.cex_cycles, report.attempts);
   out += buf;
+  // Provenance as 16-hex (the wire spelling for uint64s); 0 = untraced.
+  // Written unconditionally so records round-trip field-for-field, decoded
+  // as optional so pre-trace journals still replay.
+  std::snprintf(buf, sizeof(buf), ",\"trace_id\":\"%016" PRIx64 "\"",
+                report.trace_id);
+  out += buf;
   out += ",\"unknown_reason\":";
   AppendJsonString(out, ToString(report.unknown_reason));
   // %.17g round-trips doubles exactly through strtod.
@@ -165,6 +171,22 @@ std::optional<MutantReport> DecodePayload(std::string_view payload) {
   // truth for the outcome enums; only the fault-local enums keep lists here.
   const auto unknown = UnknownReasonFromString(*unknown_name);
   if (!op || !classification || !kind || !unknown) return std::nullopt;
+
+  // trace_id is optional (journals written before it existed lack the
+  // field) and deliberately lax: a malformed value degrades to "untraced",
+  // never poisons an otherwise-valid classification record.
+  if (const auto trace = string_field("trace_id");
+      trace && trace->size() == 16) {
+    uint64_t value = 0;
+    bool valid = true;
+    for (const char c : *trace) {
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint64_t>(c - 'a' + 10);
+      else { valid = false; break; }
+    }
+    if (valid) report.trace_id = value;
+  }
 
   report.design = std::string(*design);
   report.key.op = *op;

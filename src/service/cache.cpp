@@ -63,6 +63,10 @@ std::string EncodeEntry(const CacheKey& key, const CachedVerdict& verdict) {
                telemetry::Json(static_cast<int64_t>(verdict.cex_cycles)));
   data.emplace("attempts",
                telemetry::Json(static_cast<int64_t>(verdict.attempts)));
+  if (verdict.trace_id != 0) {
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64, verdict.trace_id);
+    data.emplace("trace_id", telemetry::Json(std::string(hex)));
+  }
   const std::string payload =
       telemetry::Dump(telemetry::Json::Object(std::move(data)));
 
@@ -156,6 +160,11 @@ std::optional<std::pair<CacheKey, CachedVerdict>> DecodeEntry(
   verdict.kind = *decoded_kind;
   verdict.cex_cycles = static_cast<uint32_t>(cex->AsInt());
   verdict.attempts = static_cast<uint32_t>(attempts->AsInt());
+  // Optional provenance: files written before trace ids (or entries solved
+  // by an untraced run) simply have none.
+  if (const auto trace = HexField(*json, "trace_id")) {
+    verdict.trace_id = *trace;
+  }
   return std::make_pair(std::move(key), verdict);
 }
 
@@ -380,6 +389,9 @@ bool CampaignCacheAdapter::Lookup(const fault::DesignUnderTest& dut,
   report.kind = verdict->kind;
   report.cex_cycles = verdict->cex_cycles;
   report.attempts = verdict->attempts;
+  // The *originating* request's id, not this run's: a hit's provenance is
+  // whoever actually solved it.
+  report.trace_id = verdict->trace_id;
   return true;
 }
 
@@ -392,6 +404,7 @@ void CampaignCacheAdapter::Store(const fault::DesignUnderTest& dut,
   verdict.kind = report.kind;
   verdict.cex_cycles = report.cex_cycles;
   verdict.attempts = report.attempts;
+  verdict.trace_id = report.trace_id;
   cache_.Store(KeyFor(dut, key), verdict);
 }
 

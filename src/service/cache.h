@@ -69,6 +69,11 @@ struct CachedVerdict {
   core::BugKind kind = core::BugKind::kNone;
   uint32_t cex_cycles = 0;
   uint32_t attempts = 1;
+  // Provenance: the request trace id that originally solved this entry
+  // (0 = untraced). A later hit hands the id back out via the adapter, so
+  // `aqed-client --status`-style tooling can trace a cached verdict to the
+  // request that paid for the solve. Persisted; optional on decode.
+  uint64_t trace_id = 0;
 };
 
 // Thread-safe content-addressed map of decided verdicts with CRC-JSONL

@@ -61,7 +61,9 @@ Status Client::Ping() {
 }
 
 StatusOr<CampaignResponse> Client::RunCampaign(const CampaignRequest& request) {
-  StatusOr<std::string> response = Roundtrip(EncodeCampaignRequest(request));
+  CampaignRequest traced = request;
+  if (traced.trace_id == 0) traced.trace_id = MintTraceId();
+  StatusOr<std::string> response = Roundtrip(EncodeCampaignRequest(traced));
   if (!response.ok()) return response.status();
   return DecodeCampaignResponse(response.value());
 }
@@ -70,6 +72,24 @@ StatusOr<StatsResponse> Client::Stats() {
   StatusOr<std::string> response = Roundtrip(EncodeStatsRequest());
   if (!response.ok()) return response.status();
   return DecodeStatsResponse(response.value());
+}
+
+StatusOr<StatusResponse> Client::ServerStatus() {
+  StatusOr<std::string> response = Roundtrip(EncodeStatusRequest());
+  if (!response.ok()) return response.status();
+  return DecodeStatusResponse(response.value());
+}
+
+StatusOr<HealthResponse> Client::Health() {
+  StatusOr<std::string> response = Roundtrip(EncodeHealthRequest());
+  if (!response.ok()) return response.status();
+  return DecodeHealthResponse(response.value());
+}
+
+StatusOr<MetricsResponse> Client::Metrics() {
+  StatusOr<std::string> response = Roundtrip(EncodeMetricsRequest());
+  if (!response.ok()) return response.status();
+  return DecodeMetricsResponse(response.value());
 }
 
 }  // namespace aqed::service

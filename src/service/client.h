@@ -29,10 +29,16 @@ class Client {
   // One framed request, one framed response (payload returned verbatim).
   StatusOr<std::string> Roundtrip(std::string_view request);
 
-  // Typed helpers over Roundtrip.
+  // Typed helpers over Roundtrip. RunCampaign mints a trace id when the
+  // request carries none, so every campaign a typed client sends is
+  // traceable; the response echoes the id the campaign ran under.
   Status Ping();
   StatusOr<CampaignResponse> RunCampaign(const CampaignRequest& request);
   StatusOr<StatsResponse> Stats();
+  // Named ServerStatus (not Status) to keep clear of support::Status.
+  StatusOr<StatusResponse> ServerStatus();
+  StatusOr<HealthResponse> Health();
+  StatusOr<MetricsResponse> Metrics();
 
  private:
   std::string socket_path_;

@@ -1,11 +1,14 @@
 #include "service/protocol.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <map>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace aqed::service {
@@ -17,7 +20,16 @@ using telemetry::Json;
 Status WriteAll(int fd, std::string_view data) {
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    // MSG_NOSIGNAL: a peer that hung up (e.g. the service.accept chaos
+    // site closing a backlogged connection) must surface as EPIPE here,
+    // not as a process-killing SIGPIPE. Frames also travel over plain
+    // pipes (send() refuses those with ENOTSOCK), so fall back to
+    // write() for non-socket fds.
+    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data.data() + written, data.size() - written);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Error(std::string("socket write: ") +
@@ -100,7 +112,31 @@ StatusOr<Json> ParseResponse(std::string_view payload) {
   return std::move(*json);
 }
 
+double DoubleField(const Json& json, const char* name, double fallback) {
+  const Json* value = json.Find(name);
+  if (value == nullptr || !value->is_number()) return fallback;
+  return value->AsNumber();
+}
+
 }  // namespace
+
+uint64_t MintTraceId() {
+  // splitmix64 over (wall-clock ns ^ pid ^ per-process counter): distinct
+  // across concurrent clients on one machine and across restarts. Not
+  // cryptographic — a trace id correlates telemetry, it authorizes nothing.
+  static std::atomic<uint64_t> counter{0};
+  uint64_t x = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  x ^= static_cast<uint64_t>(::getpid()) << 32;
+  x += 0x9E3779B97F4A7C15ull *
+       (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
 
 Status WriteFrame(int fd, std::string_view payload) {
   char header[32];
@@ -158,10 +194,28 @@ std::string EncodeStatsRequest() {
       Json::Object({{"type", Json(std::string("stats"))}}));
 }
 
+std::string EncodeStatusRequest() {
+  return telemetry::Dump(
+      Json::Object({{"type", Json(std::string("status"))}}));
+}
+
+std::string EncodeMetricsRequest() {
+  return telemetry::Dump(
+      Json::Object({{"type", Json(std::string("metrics"))}}));
+}
+
+std::string EncodeHealthRequest() {
+  return telemetry::Dump(
+      Json::Object({{"type", Json(std::string("health"))}}));
+}
+
 std::string EncodeCampaignRequest(const CampaignRequest& request) {
   std::map<std::string, Json> fields;
   fields.emplace("type", Json(std::string("campaign")));
   fields.emplace("tenant", Json(request.tenant));
+  if (request.trace_id != 0) {
+    fields.emplace("trace_id", Json(HexString(request.trace_id)));
+  }
   std::vector<Json> designs;
   for (const std::string& design : request.designs) {
     designs.emplace_back(design);
@@ -192,6 +246,9 @@ StatusOr<CampaignRequest> DecodeCampaignRequest(const Json& payload) {
   request.tenant = StringField(payload, "tenant", request.tenant);
   if (request.tenant.empty()) {
     return Status::Error("campaign request with an empty tenant");
+  }
+  if (const auto trace = HexValue(payload, "trace_id")) {
+    request.trace_id = *trace;
   }
   const Json* designs = payload.Find("designs");
   if (designs != nullptr) {
@@ -242,6 +299,9 @@ std::string EncodeCampaignResponse(const CampaignResponse& response) {
   if (!response.ok) return EncodeError(response.error);
   std::map<std::string, Json> fields;
   fields.emplace("ok", Json(true));
+  if (response.trace_id != 0) {
+    fields.emplace("trace_id", Json(HexString(response.trace_id)));
+  }
   fields.emplace("digest", Json(HexString(response.digest)));
   fields.emplace("mutants", Json(static_cast<int64_t>(response.mutants)));
   fields.emplace("classified",
@@ -281,6 +341,9 @@ StatusOr<CampaignResponse> DecodeCampaignResponse(std::string_view payload) {
     response.error = StringField(json.value(), "error", "unspecified error");
     return response;
   }
+  if (const auto trace = HexValue(json.value(), "trace_id")) {
+    response.trace_id = *trace;
+  }
   const auto digest = HexValue(json.value(), "digest");
   if (!digest) return Status::Error("campaign response without a digest");
   response.digest = *digest;
@@ -311,6 +374,139 @@ StatusOr<StatsResponse> DecodeStatsResponse(std::string_view payload) {
   response.cache_entries = UintField(json.value(), "cache_entries", 0);
   response.cache_hits = UintField(json.value(), "cache_hits", 0);
   response.cache_misses = UintField(json.value(), "cache_misses", 0);
+  return response;
+}
+
+std::string EncodeStatusResponse(const StatusResponse& response) {
+  if (!response.ok) return EncodeError(response.error);
+  std::map<std::string, Json> fields;
+  fields.emplace("ok", Json(true));
+  fields.emplace("uptime_seconds", Json(response.uptime_seconds));
+  // Counters go as 16-hex strings like digests do: a long-lived server's
+  // request totals are exactly the kind of uint64 a double-backed JSON
+  // reader would silently round.
+  fields.emplace("requests", Json(HexString(response.requests)));
+  fields.emplace("live_requests",
+                 Json(static_cast<int64_t>(response.live_requests)));
+  fields.emplace("accepted", Json(HexString(response.accepted)));
+  fields.emplace("rejected", Json(HexString(response.rejected)));
+  fields.emplace("connections",
+                 Json(static_cast<int64_t>(response.connections)));
+  fields.emplace("executors", Json(static_cast<int64_t>(response.executors)));
+  fields.emplace("max_live", Json(static_cast<int64_t>(response.max_live)));
+  fields.emplace("max_tenant_live",
+                 Json(static_cast<int64_t>(response.max_tenant_live)));
+  std::map<std::string, Json> tenants;
+  for (const StatusResponse::Tenant& tenant : response.tenants) {
+    tenants.emplace(tenant.name, Json(static_cast<int64_t>(tenant.live)));
+  }
+  fields.emplace("tenants", Json::Object(std::move(tenants)));
+  fields.emplace("cache_entries",
+                 Json(static_cast<int64_t>(response.cache_entries)));
+  fields.emplace("cache_hits", Json(HexString(response.cache_hits)));
+  fields.emplace("cache_misses", Json(HexString(response.cache_misses)));
+  fields.emplace("cache_evicted", Json(HexString(response.cache_evicted)));
+  fields.emplace("governor_pressure",
+                 Json(static_cast<int64_t>(response.governor_pressure)));
+  fields.emplace("request_p50_ms", Json(response.request_p50_ms));
+  fields.emplace("request_p95_ms", Json(response.request_p95_ms));
+  fields.emplace("request_p99_ms", Json(response.request_p99_ms));
+  return telemetry::Dump(Json::Object(std::move(fields)));
+}
+
+std::string EncodeHealthResponse(const HealthResponse& response) {
+  if (!response.ok) return EncodeError(response.error);
+  return telemetry::Dump(Json::Object({
+      {"ok", Json(true)},
+      {"state", Json(response.state)},
+      {"uptime_seconds", Json(response.uptime_seconds)},
+  }));
+}
+
+std::string EncodeMetricsResponse(const MetricsResponse& response) {
+  if (!response.ok) return EncodeError(response.error);
+  return telemetry::Dump(Json::Object({
+      {"ok", Json(true)},
+      {"prometheus", Json(response.prometheus)},
+  }));
+}
+
+StatusOr<StatusResponse> DecodeStatusResponse(std::string_view payload) {
+  StatusOr<Json> json = ParseResponse(payload);
+  if (!json.ok()) return json.status();
+  StatusResponse response;
+  response.ok = BoolField(json.value(), "ok", false);
+  if (!response.ok) {
+    response.error = StringField(json.value(), "error", "unspecified error");
+    return response;
+  }
+  response.uptime_seconds = DoubleField(json.value(), "uptime_seconds", 0);
+  if (const auto v = HexValue(json.value(), "requests")) response.requests = *v;
+  response.live_requests = UintField(json.value(), "live_requests", 0);
+  if (const auto v = HexValue(json.value(), "accepted")) response.accepted = *v;
+  if (const auto v = HexValue(json.value(), "rejected")) response.rejected = *v;
+  response.connections = UintField(json.value(), "connections", 0);
+  response.executors =
+      static_cast<uint32_t>(UintField(json.value(), "executors", 0));
+  response.max_live =
+      static_cast<uint32_t>(UintField(json.value(), "max_live", 0));
+  response.max_tenant_live =
+      static_cast<uint32_t>(UintField(json.value(), "max_tenant_live", 0));
+  const Json* tenants = json.value().Find("tenants");
+  if (tenants != nullptr && tenants->is_object()) {
+    for (const auto& [name, live] : tenants->AsObject()) {
+      if (!live.is_number()) continue;
+      StatusResponse::Tenant tenant;
+      tenant.name = name;
+      const int64_t raw = live.AsInt();
+      tenant.live = raw < 0 ? 0 : static_cast<uint32_t>(raw);
+      response.tenants.push_back(std::move(tenant));
+    }
+  }
+  response.cache_entries = UintField(json.value(), "cache_entries", 0);
+  if (const auto v = HexValue(json.value(), "cache_hits")) {
+    response.cache_hits = *v;
+  }
+  if (const auto v = HexValue(json.value(), "cache_misses")) {
+    response.cache_misses = *v;
+  }
+  if (const auto v = HexValue(json.value(), "cache_evicted")) {
+    response.cache_evicted = *v;
+  }
+  const Json* pressure = json.value().Find("governor_pressure");
+  if (pressure != nullptr && pressure->is_number()) {
+    response.governor_pressure = pressure->AsInt();
+  }
+  response.request_p50_ms = DoubleField(json.value(), "request_p50_ms", 0);
+  response.request_p95_ms = DoubleField(json.value(), "request_p95_ms", 0);
+  response.request_p99_ms = DoubleField(json.value(), "request_p99_ms", 0);
+  return response;
+}
+
+StatusOr<HealthResponse> DecodeHealthResponse(std::string_view payload) {
+  StatusOr<Json> json = ParseResponse(payload);
+  if (!json.ok()) return json.status();
+  HealthResponse response;
+  response.ok = BoolField(json.value(), "ok", false);
+  if (!response.ok) {
+    response.error = StringField(json.value(), "error", "unspecified error");
+    return response;
+  }
+  response.state = StringField(json.value(), "state", "ok");
+  response.uptime_seconds = DoubleField(json.value(), "uptime_seconds", 0);
+  return response;
+}
+
+StatusOr<MetricsResponse> DecodeMetricsResponse(std::string_view payload) {
+  StatusOr<Json> json = ParseResponse(payload);
+  if (!json.ok()) return json.status();
+  MetricsResponse response;
+  response.ok = BoolField(json.value(), "ok", false);
+  if (!response.ok) {
+    response.error = StringField(json.value(), "error", "unspecified error");
+    return response;
+  }
+  response.prometheus = StringField(json.value(), "prometheus");
   return response;
 }
 

@@ -22,6 +22,15 @@
 // service.queue_depth, service.tenant.<t>.live) and counters
 // (service.admission.rejected) make the ladder observable.
 //
+// Observability plane (see DESIGN.md §14): every campaign runs under a
+// request trace id (client-minted, server-minted for raw requests) scoped
+// into the executor thread, so spans, journal records, and cache entries
+// the request produces all carry the id the client was answered with. The
+// introspection trio (status/metrics/health) answers from live server
+// state; an optional writer thread renders the metrics registry as
+// Prometheus text exposition to `prom_path` on a timer; requests slower
+// than `slow_request_ms` append a JSONL record to the slow-request log.
+//
 // Threading: an accept thread hands each connection to the executor pool
 // (sched::ThreadPool); a connection's requests run sequentially on its
 // executor, so `executors` bounds concurrently-running campaigns from the
@@ -29,7 +38,9 @@
 // down every open connection, drains the pool, and persists the cache.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +52,7 @@
 #include "service/cache.h"
 #include "service/protocol.h"
 #include "support/status.h"
+#include "telemetry/metrics.h"
 
 namespace aqed::service {
 
@@ -64,6 +76,19 @@ struct ServerOptions {
   // entries, so a long-lived server's cache file cannot grow without limit
   // (0 = unbounded).
   size_t cache_max_entries = 0;
+  // Prometheus exposition: when set, a writer thread renders the full
+  // metrics registry to this file (atomically, via tmp+fsync+rename) every
+  // prom_period_ms — once right after Start() so the scrape target exists
+  // before the first request, and once more at Stop(). Arms the telemetry
+  // runtime switch.
+  std::string prom_path;
+  uint32_t prom_period_ms = 1000;
+  // Slow-request log: campaign requests whose wall time reaches this many
+  // milliseconds append a JSONL record (trace id, tenant, designs, depth,
+  // wall time, verdict) to slow_log_path. 0 logs every campaign; the
+  // default -1 disables the log even when a path is set.
+  int64_t slow_request_ms = -1;
+  std::string slow_log_path;
 };
 
 class AqedServer {
@@ -88,16 +113,38 @@ class AqedServer {
   uint64_t accepted() const;
   uint64_t rejected() const;
   uint64_t live_requests() const;
+  // Total requests of any type answered since Start().
+  uint64_t requests() const;
+
+  // The operator view behind the "status" request, from live server state
+  // (independent of the telemetry kill switch). Public so in-process
+  // embedders can poll without a socket round-trip.
+  StatusResponse LiveStatus() const;
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
-  // One request in, one response payload out.
+  // One request in, one response payload out: times and counts the request,
+  // then dispatches on its "type".
   std::string HandleRequest(const telemetry::Json& payload);
+  std::string DispatchRequest(const telemetry::Json& payload);
   std::string RunCampaign(const CampaignRequest& request);
   // The admission ladder; on success the caller owns one Release(tenant).
   bool Admit(const std::string& tenant, std::string* reason);
   void Release(const std::string& tenant);
+
+  // Touches every service metric name at Start() so the first Prometheus
+  // exposition (and any scrape thereafter) carries the complete name set —
+  // a counter that has never fired reads 0, it does not vanish.
+  void PreRegisterMetrics();
+  // Periodic Prometheus writer (own thread; prom_cv_ wakes it for Stop()).
+  void PromLoop();
+  void WritePromFile();
+  // Appends one slow-request record when wall_ms clears the threshold.
+  void AppendSlowLog(uint64_t trace_id, const std::string& tenant,
+                     const std::string& designs, uint32_t depth,
+                     uint32_t mutants, double wall_ms, const char* verdict,
+                     uint64_t digest);
 
   ServerOptions options_;
   SolveCache cache_;
@@ -113,8 +160,22 @@ class AqedServer {
   uint64_t live_ = 0;
   uint64_t accepted_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t requests_ = 0;
   std::map<std::string, uint32_t> tenant_live_;
   std::set<int> connections_;  // open fds, shutdown() on Stop()
+
+  // Request latencies, server-owned (Histogram::Observe bypasses the kill
+  // switch) so `status` quantiles work with telemetry off.
+  uint64_t start_us_ = 0;
+  telemetry::Histogram request_ms_{telemetry::DefaultLatencyBucketsMs()};
+
+  std::thread prom_thread_;
+  std::mutex prom_mutex_;
+  std::condition_variable prom_cv_;
+  bool prom_stop_ = false;
+
+  std::mutex slow_log_mutex_;
+  std::FILE* slow_log_ = nullptr;
 };
 
 }  // namespace aqed::service

@@ -49,10 +49,21 @@ void WriteEvent(std::ostream& out, const TraceEvent& event) {
   WriteJsonString(out, event.name);
   out << ",\"cat\":\"aqed\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
       << ",\"ts\":" << event.begin_us << ",\"dur\":" << event.dur_us;
-  if (event.num_args > 0) {
+  if (event.num_args > 0 || event.trace_id != 0) {
     out << ",\"args\":{";
+    bool first = true;
+    if (event.trace_id != 0) {
+      // As a 16-hex string, not a JSON number: ids above 2^53 must survive
+      // every double-based JSON reader between here and Perfetto.
+      char hex[20];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(event.trace_id));
+      out << "\"trace_id\":\"" << hex << '"';
+      first = false;
+    }
     for (uint8_t i = 0; i < event.num_args; ++i) {
-      if (i > 0) out << ',';
+      if (!first) out << ',';
+      first = false;
       WriteJsonString(out, event.args[i].key);
       out << ':' << event.args[i].value;
     }
@@ -154,6 +165,12 @@ void WriteMetricsJsonl(std::ostream& out, const MetricsSnapshot& snapshot,
     }
     out << "],\"count\":" << histogram.count << ",\"sum\":";
     WriteJsonDouble(out, histogram.sum);
+    out << ",\"p50\":";
+    WriteJsonDouble(out, histogram.p50);
+    out << ",\"p95\":";
+    WriteJsonDouble(out, histogram.p95);
+    out << ",\"p99\":";
+    WriteJsonDouble(out, histogram.p99);
     out << "}\n";
   }
   for (const TimeSeriesSample& sample : samples) WriteSample(out, sample);
@@ -250,6 +267,17 @@ std::optional<MetricsLog> ReadMetricsLog(std::string_view text) {
       }
       value.count = static_cast<uint64_t>(count->AsInt());
       value.sum = sum->AsNumber();
+      // Quantiles: optional for files written before they existed — when
+      // absent, derive them from the buckets so every reader sees them.
+      const auto quantile = [&](const char* key, double q) {
+        const Json* field = json->Find(key);
+        return field != nullptr && field->is_number()
+                   ? field->AsNumber()
+                   : HistogramQuantile(value.bounds, value.counts, q);
+      };
+      value.p50 = quantile("p50", 0.50);
+      value.p95 = quantile("p95", 0.95);
+      value.p99 = quantile("p99", 0.99);
       snapshot.histograms.push_back(std::move(value));
     } else {
       return std::nullopt;
@@ -263,6 +291,88 @@ std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text) {
   std::optional<MetricsLog> log = ReadMetricsLog(text);
   if (!log) return std::nullopt;
   return std::move(log->snapshot);
+}
+
+namespace {
+
+// Registry names use dots; Prometheus names allow [a-zA-Z0-9_:]. The
+// mapping is character-wise so it is trivially reversible for our names
+// (none contain '_' before mangling except as '_' already).
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+// `le` labels use %.17g so a bound like 0.1 round-trips through strtod
+// exactly, matching the JSONL exporter's double policy.
+void AppendPrometheusDouble(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[48];
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = PrometheusName(counter.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name;
+    // Decimal integer, not a double: exact for the full uint64 range.
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(counter.value));
+    out += buf;
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string name = PrometheusName(gauge.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name;
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(gauge.value));
+    out += buf;
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = PrometheusName(histogram.name);
+    out += "# TYPE " + name + " histogram\n";
+    // Buckets are cumulative on the wire (ours are per-bucket), ending in
+    // the mandatory +Inf bucket that equals _count.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      cumulative += histogram.counts[i];
+      out += name + "_bucket{le=\"";
+      if (i < histogram.bounds.size()) {
+        AppendPrometheusDouble(out, histogram.bounds[i]);
+      } else {
+        out += "+Inf";
+      }
+      std::snprintf(buf, sizeof(buf), "\"} %llu\n",
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    out += name + "_sum ";
+    AppendPrometheusDouble(out, histogram.sum);
+    out += '\n';
+    out += name + "_count ";
+    std::snprintf(buf, sizeof(buf), "%llu\n",
+                  static_cast<unsigned long long>(histogram.count));
+    out += buf;
+  }
+  return out;
+}
+
+bool WritePrometheusFile(const std::string& path,
+                         const MetricsSnapshot& snapshot) {
+  if (AQED_FAILPOINT("telemetry.export")) return false;
+  return support::WriteFileDurable(path, RenderPrometheus(snapshot)).ok();
 }
 
 bool WriteChromeTraceFile(const std::string& path,

@@ -58,6 +58,32 @@ std::optional<MetricsLog> ReadMetricsLog(std::string_view text);
 // Snapshot-only compatibility wrapper over ReadMetricsLog.
 std::optional<MetricsSnapshot> ReadMetricsJsonl(std::string_view text);
 
+// Prometheus text exposition (format version 0.0.4) of a snapshot:
+//
+//   # TYPE service_requests counter
+//   service_requests 12
+//   # TYPE sched_job_ms histogram
+//   sched_job_ms_bucket{le="0.1"} 5
+//   ...
+//   sched_job_ms_bucket{le="+Inf"} 42
+//   sched_job_ms_sum 1234.5
+//   sched_job_ms_count 42
+//
+// Metric names are the registry names with every character outside
+// [a-zA-Z0-9_:] mapped to '_' ("service.cache.hits" scrapes as
+// service_cache_hits); no _total suffix is appended, so a name round-trips
+// to its registry spelling by reversing the mapping. Counter values are
+// printed as decimal integers — exact for the full uint64 range, unlike a
+// JSON double — and histogram buckets are cumulative with the mandatory
+// +Inf bucket, so `sum(..._bucket{le="+Inf"}) == ..._count` holds.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+// RenderPrometheus written via tmp+fsync+rename (a scraper must never see
+// a torn exposition); false when the write fails. Failpoint
+// "telemetry.export" applies, like the other file exporters.
+bool WritePrometheusFile(const std::string& path,
+                         const MetricsSnapshot& snapshot);
+
 // File-writing conveniences; false (with no partial file guarantee beyond
 // the OS's) when the path cannot be opened.
 bool WriteChromeTraceFile(const std::string& path,

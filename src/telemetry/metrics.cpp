@@ -49,6 +49,35 @@ std::span<const double> DefaultLatencyBucketsMs() {
   return kBuckets;
 }
 
+double HistogramQuantile(std::span<const double> bounds,
+                         std::span<const uint64_t> counts, double q) {
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0 || counts.empty()) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // The observation rank the quantile falls on, 1-based; q=1 is the last.
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // +inf bucket: no upper edge to interpolate toward; clamp to the
+      // highest finite bound (0 when there are no finite buckets at all).
+      return bounds.empty() ? 0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) return upper;
+    const double into =
+        rank - static_cast<double>(cumulative - in_bucket);
+    return lower + (upper - lower) * into / static_cast<double>(in_bucket);
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
@@ -108,9 +137,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
-    snapshot.histograms.push_back({name, histogram->bounds(),
-                                   histogram->counts(), histogram->count(),
-                                   histogram->sum()});
+    MetricsSnapshot::HistogramValue value{name, histogram->bounds(),
+                                          histogram->counts(),
+                                          histogram->count(),
+                                          histogram->sum()};
+    value.p50 = HistogramQuantile(value.bounds, value.counts, 0.50);
+    value.p95 = HistogramQuantile(value.bounds, value.counts, 0.95);
+    value.p99 = HistogramQuantile(value.bounds, value.counts, 0.99);
+    snapshot.histograms.push_back(std::move(value));
   }
   return snapshot;
 }

@@ -90,6 +90,15 @@ class Histogram {
 // deadline-escalated AES solve in the same histogram.
 std::span<const double> DefaultLatencyBucketsMs();
 
+// Quantile estimate over a fixed-bucket histogram (Prometheus
+// histogram_quantile semantics): find the bucket where the cumulative
+// count crosses q * total, interpolate linearly inside it. The +inf bucket
+// clamps to the last finite bound (there is no upper edge to interpolate
+// toward); an empty histogram reports 0. `counts` has bounds.size() + 1
+// entries, per-bucket (not cumulative), exactly Histogram::counts().
+double HistogramQuantile(std::span<const double> bounds,
+                         std::span<const uint64_t> counts, double q);
+
 // Point-in-time values of every registered instrument, name-sorted.
 struct MetricsSnapshot {
   struct CounterValue {
@@ -104,8 +113,14 @@ struct MetricsSnapshot {
     std::string name;
     std::vector<double> bounds;
     std::vector<uint64_t> counts;  // bounds.size() + 1 entries
-    uint64_t count;
-    double sum;
+    uint64_t count = 0;
+    double sum = 0;
+    // Derived quantiles (HistogramQuantile over bounds/counts), computed at
+    // Snapshot() and carried through the JSONL export so consumers
+    // (aqed-report, the server's status response) need no bucket math.
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
   };
   uint64_t timestamp_us = 0;  // NowMicros() at snapshot
   std::vector<CounterValue> counters;

@@ -115,9 +115,13 @@ std::string RenderHistogram(const MetricsSnapshot::HistogramValue& histogram) {
   const double avg =
       histogram.count > 0 ? histogram.sum / static_cast<double>(histogram.count)
                           : 0;
+  // p50/p95/p99 come from the snapshot's derived fields (the JSONL parser
+  // backfills them for old files), not recomputed from buckets here.
   svg << "<figure class=\"chart\"><figcaption>" << HtmlEscape(histogram.name)
       << " &mdash; " << histogram.count << " observations, avg "
-      << Num(avg, "%.3g") << " ms</figcaption>";
+      << Num(avg, "%.3g") << " ms, p50 " << Num(histogram.p50, "%.3g")
+      << " / p95 " << Num(histogram.p95, "%.3g") << " / p99 "
+      << Num(histogram.p99, "%.3g") << " ms</figcaption>";
   if (buckets == 0 || histogram.count == 0) {
     svg << "<p class=\"empty\">no observations</p></figure>";
     return svg.str();

@@ -49,6 +49,33 @@ uint64_t NowMicros();
 // order), unlike raw pthread ids.
 uint32_t ThreadId();
 
+// Ambient request trace id: a thread-local uint64 every span records at
+// End() (0 = untraced, the default). aqed-server scopes one around each
+// campaign request so every span the request produces on that thread —
+// and on worker threads that re-scope the captured id — carries the id
+// the client was answered with. Emitted into Chrome-trace args as a
+// 16-hex string (a JSON double would lose ids above 2^53).
+uint64_t CurrentTraceId();
+void SetCurrentTraceId(uint64_t trace_id);
+
+// RAII scope for the ambient trace id: sets on construction, restores the
+// previous value on destruction, so nested scopes (a traced request
+// calling into a traced sub-campaign) unwind correctly.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t trace_id)
+      : previous_(CurrentTraceId()) {
+    SetCurrentTraceId(trace_id);
+  }
+  ~ScopedTraceId() { SetCurrentTraceId(previous_); }
+
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
 // One key/value annotation on a span ("depth" = 7). Keys are string
 // literals — spans annotate code sites, and sites are static.
 struct Arg {

@@ -51,6 +51,18 @@ uint32_t ThreadId() {
   return id;
 }
 
+namespace {
+
+// The ambient per-thread trace id (0 = untraced). Plain thread_local, no
+// atomics: only the owning thread reads or writes its slot.
+thread_local uint64_t g_trace_id = 0;
+
+}  // namespace
+
+uint64_t CurrentTraceId() { return g_trace_id; }
+
+void SetCurrentTraceId(uint64_t trace_id) { g_trace_id = trace_id; }
+
 // ---------------------------------------------------------------------------
 // Span
 // ---------------------------------------------------------------------------
@@ -76,6 +88,7 @@ void Span::End() {
   event.begin_us = begin_us_;
   event.dur_us = end_us - begin_us_;
   event.tid = ThreadId();
+  event.trace_id = CurrentTraceId();
   event.args = args_;
   event.num_args = num_args_;
   Tracer::Global().Record(std::move(event));
@@ -126,6 +139,7 @@ void Tracer::RecordComplete(std::string name, uint64_t begin_us,
   event.begin_us = begin_us;
   event.dur_us = end_us >= begin_us ? end_us - begin_us : 0;
   event.tid = ThreadId();
+  event.trace_id = CurrentTraceId();
   for (const Arg& arg : args) {
     if (event.num_args < kMaxSpanArgs) event.args[event.num_args++] = arg;
   }

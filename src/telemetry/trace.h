@@ -32,6 +32,10 @@ struct TraceEvent {
   uint64_t begin_us = 0;  // NowMicros() at span construction
   uint64_t dur_us = 0;
   uint32_t tid = 0;       // telemetry::ThreadId() of the recording thread
+  // CurrentTraceId() of the recording thread (0 = untraced). Exported into
+  // the Chrome-trace args as "trace_id":"<16 hex>" so Perfetto queries can
+  // pull every span one server request produced.
+  uint64_t trace_id = 0;
   std::array<Arg, kMaxSpanArgs> args{};
   uint8_t num_args = 0;
 };

@@ -507,6 +507,127 @@ TEST(ProtocolTest, CampaignResponseRoundTripsA64BitDigest) {
   EXPECT_EQ(r.table, response.table);
 }
 
+TEST(ProtocolTest, MintedTraceIdsAreNonzeroAndDistinct) {
+  const uint64_t a = MintTraceId();
+  const uint64_t b = MintTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);  // the process-local counter alone guarantees this
+}
+
+TEST(ProtocolTest, TraceIdRoundTripsOnCampaignMessages) {
+  CampaignRequest request;
+  request.trace_id = 0xFFF0'0000'0000'0001ull;  // above 2^53: hex on the wire
+  const std::string payload = EncodeCampaignRequest(request);
+  const auto json = telemetry::ParseJson(payload);
+  ASSERT_TRUE(json.has_value());
+  StatusOr<CampaignRequest> decoded = DecodeCampaignRequest(*json);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().trace_id, request.trace_id);
+
+  // A request without the field decodes as untraced (backward compatible
+  // with captured pre-tracing batch files).
+  const auto bare = telemetry::ParseJson(
+      "{\"type\":\"campaign\",\"tenant\":\"ci\",\"mutants\":4}");
+  ASSERT_TRUE(bare.has_value());
+  StatusOr<CampaignRequest> untraced = DecodeCampaignRequest(*bare);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced.value().trace_id, 0u);
+
+  CampaignResponse response;
+  response.ok = true;
+  response.trace_id = request.trace_id;
+  response.digest = 0x1234'5678'9ABC'DEF0ull;
+  StatusOr<CampaignResponse> echoed =
+      DecodeCampaignResponse(EncodeCampaignResponse(response));
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(echoed.value().trace_id, request.trace_id);
+}
+
+TEST(ProtocolTest, StatusResponseRoundTrips) {
+  StatusResponse status;
+  status.ok = true;
+  status.uptime_seconds = 12.5;
+  status.requests = (1ull << 60) + 7;  // above 2^53: hex on the wire
+  status.live_requests = 2;
+  status.accepted = 10;
+  status.rejected = 3;
+  status.connections = 4;
+  status.executors = 2;
+  status.max_live = 4;
+  status.max_tenant_live = 2;
+  status.tenants = {{"ci", 1}, {"nightly", 0}};
+  status.cache_entries = 100;
+  status.cache_hits = 70;
+  status.cache_misses = 30;
+  status.cache_evicted = 5;
+  status.governor_pressure = 2;
+  status.request_p50_ms = 1.5;
+  status.request_p95_ms = 8.25;
+  status.request_p99_ms = 9.75;
+
+  StatusOr<StatusResponse> decoded =
+      DecodeStatusResponse(EncodeStatusResponse(status));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  const StatusResponse& s = decoded.value();
+  EXPECT_TRUE(s.ok);
+  EXPECT_DOUBLE_EQ(s.uptime_seconds, 12.5);
+  EXPECT_EQ(s.requests, status.requests);
+  EXPECT_EQ(s.live_requests, 2u);
+  EXPECT_EQ(s.accepted, 10u);
+  EXPECT_EQ(s.rejected, 3u);
+  EXPECT_EQ(s.connections, 4u);
+  EXPECT_EQ(s.executors, 2u);
+  EXPECT_EQ(s.max_live, 4u);
+  EXPECT_EQ(s.max_tenant_live, 2u);
+  ASSERT_EQ(s.tenants.size(), 2u);
+  EXPECT_EQ(s.tenants[0].name, "ci");
+  EXPECT_EQ(s.tenants[0].live, 1u);
+  EXPECT_EQ(s.tenants[1].name, "nightly");
+  EXPECT_EQ(s.tenants[1].live, 0u);
+  EXPECT_EQ(s.cache_entries, 100u);
+  EXPECT_EQ(s.cache_hits, 70u);
+  EXPECT_EQ(s.cache_misses, 30u);
+  EXPECT_EQ(s.cache_evicted, 5u);
+  EXPECT_EQ(s.governor_pressure, 2);
+  EXPECT_DOUBLE_EQ(s.request_p50_ms, 1.5);
+  EXPECT_DOUBLE_EQ(s.request_p95_ms, 8.25);
+  EXPECT_DOUBLE_EQ(s.request_p99_ms, 9.75);
+}
+
+TEST(ProtocolTest, HealthAndMetricsResponsesRoundTrip) {
+  HealthResponse health;
+  health.ok = true;
+  health.state = "stopping";
+  health.uptime_seconds = 3.5;
+  StatusOr<HealthResponse> decoded_health =
+      DecodeHealthResponse(EncodeHealthResponse(health));
+  ASSERT_TRUE(decoded_health.ok());
+  EXPECT_TRUE(decoded_health.value().ok);
+  EXPECT_EQ(decoded_health.value().state, "stopping");
+  EXPECT_DOUBLE_EQ(decoded_health.value().uptime_seconds, 3.5);
+
+  MetricsResponse metrics;
+  metrics.ok = true;
+  metrics.prometheus =
+      "# TYPE service_requests counter\nservice_requests 7\n";
+  StatusOr<MetricsResponse> decoded_metrics =
+      DecodeMetricsResponse(EncodeMetricsResponse(metrics));
+  ASSERT_TRUE(decoded_metrics.ok());
+  EXPECT_TRUE(decoded_metrics.value().ok);
+  EXPECT_EQ(decoded_metrics.value().prometheus, metrics.prometheus);
+
+  // The three introspection requests carry distinct type discriminators.
+  for (const auto& [payload, expected] :
+       {std::pair{EncodeStatusRequest(), "status"},
+        std::pair{EncodeMetricsRequest(), "metrics"},
+        std::pair{EncodeHealthRequest(), "health"}}) {
+    const auto json = telemetry::ParseJson(payload);
+    ASSERT_TRUE(json.has_value());
+    EXPECT_EQ(RequestType(*json), std::make_optional<std::string>(expected));
+  }
+}
+
 TEST(ProtocolTest, ErrorsAndStatsRoundTrip) {
   EXPECT_TRUE(IsOkResponse(EncodePong()));
   const std::string error = EncodeError("tenant 'ci' over quota");
@@ -679,16 +800,24 @@ TEST(ServerTest, FourConcurrentClientsAreRaceClean) {
     clients.emplace_back([&, c] {
       Client client(options.socket_path);
       if (!client.Ping().ok()) ++failures;
+      // Interleave introspection with the campaign: status/metrics/health
+      // read the same live state the campaign path mutates, which is
+      // exactly what TSan is here to check.
+      if (!client.ServerStatus().ok()) ++failures;
       CampaignRequest request = AluRequest();
       request.tenant = "tenant-" + std::to_string(c);
       StatusOr<CampaignResponse> response = client.RunCampaign(request);
       if (!response.ok() || !response.value().ok) ++failures;
+      if (!client.Health().ok()) ++failures;
+      if (!client.Metrics().ok()) ++failures;
       if (!client.Stats().ok()) ++failures;
     });
   }
   for (std::thread& thread : clients) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(server.accepted(), 4u);
+  // Every request was counted: 4 clients x 6 requests.
+  EXPECT_GE(server.requests(), 24u);
   server.Stop();
 }
 
@@ -741,6 +870,133 @@ TEST(ServerTest, CacheSurvivesARestart) {
     server.Stop();
   }
   std::remove(cache_path.c_str());
+}
+
+// --- observability plane -----------------------------------------------------
+
+TEST(ServerTest, CampaignTraceIdIsEchoedAndStampedIntoCacheProvenance) {
+  const std::string cache_path =
+      "/tmp/aqed_svc_trace_" + std::to_string(::getpid()) + ".jsonl";
+  std::remove(cache_path.c_str());
+  ServerOptions options;
+  options.socket_path = TestSocketPath("trace");
+  options.cache_path = cache_path;
+  AqedServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client(options.socket_path);
+  // The typed client mints an id; the response must echo a nonzero one.
+  StatusOr<CampaignResponse> minted = client.RunCampaign(AluRequest());
+  ASSERT_TRUE(minted.ok());
+  ASSERT_TRUE(minted.value().ok) << minted.value().error;
+  EXPECT_NE(minted.value().trace_id, 0u);
+
+  // An explicit id (above 2^53, so the hex wire spelling is load-bearing)
+  // must come back verbatim...
+  CampaignRequest request = AluRequest();
+  request.seed = 11;  // fresh mutants: this run stores entries of its own
+  request.trace_id = 0xFEED'FACE'CAFE'F00Dull;
+  StatusOr<CampaignResponse> pinned = client.RunCampaign(request);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(pinned.value().ok) << pinned.value().error;
+  EXPECT_EQ(pinned.value().trace_id, request.trace_id);
+
+  server.Stop();
+
+  // ...and every cache entry that campaign paid for carries it as
+  // provenance in the persisted file.
+  StatusOr<std::string> persisted = support::ReadFileToString(cache_path);
+  ASSERT_TRUE(persisted.ok());
+  EXPECT_NE(persisted.value().find("\"trace_id\":\"feedfacecafef00d\""),
+            std::string::npos);
+  std::remove(cache_path.c_str());
+}
+
+TEST(ServerTest, StatusReportsBothTenantsOfAConcurrentPair) {
+  ServerOptions options;
+  options.socket_path = TestSocketPath("status");
+  options.executors = 3;  // two campaigns + the status poller
+  options.max_live = 4;
+  AqedServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<int> finished{0};
+  std::vector<std::thread> tenants;
+  for (const char* tenant : {"tenant-a", "tenant-b"}) {
+    tenants.emplace_back([&, tenant] {
+      Client client(options.socket_path);
+      CampaignRequest request = AluRequest();
+      request.tenant = tenant;
+      request.num_mutants = 16;  // long enough for the poller to catch live
+      StatusOr<CampaignResponse> response = client.RunCampaign(request);
+      if (!response.ok() || !response.value().ok) ++failures;
+      ++finished;
+    });
+  }
+
+  // Poll until one status snapshot shows both tenants in flight at once
+  // (or both campaigns drain — then the snapshot we want can't come).
+  bool both_live = false;
+  {
+    Client poller(options.socket_path);
+    while (!both_live && finished.load() < 2) {
+      StatusOr<StatusResponse> status = poller.ServerStatus();
+      if (!status.ok() || !status.value().ok) {
+        ++failures;
+        break;
+      }
+      uint32_t live = 0;
+      for (const StatusResponse::Tenant& tenant : status.value().tenants) {
+        if (tenant.live > 0) ++live;
+      }
+      both_live = live >= 2;
+      if (status.value().uptime_seconds > 60) break;  // watchdog
+    }
+  }
+  for (std::thread& thread : tenants) thread.join();
+  EXPECT_TRUE(both_live);
+  EXPECT_EQ(failures.load(), 0);
+
+  // Drained: both tenants remain listed, with zero in flight.
+  Client client(options.socket_path);
+  StatusOr<StatusResponse> final_status = client.ServerStatus();
+  ASSERT_TRUE(final_status.ok());
+  ASSERT_TRUE(final_status.value().ok);
+  const StatusResponse& s = final_status.value();
+  ASSERT_EQ(s.tenants.size(), 2u);
+  for (const StatusResponse::Tenant& tenant : s.tenants) {
+    EXPECT_EQ(tenant.live, 0u) << tenant.name;
+  }
+  EXPECT_EQ(s.live_requests, 0u);
+  EXPECT_GT(s.requests, 2u);
+  EXPECT_GT(s.uptime_seconds, 0.0);
+  server.Stop();
+}
+
+TEST(ServerTest, MetricsRequestCarriesParseableExpositionOfLiveState) {
+  ServerOptions options;
+  options.socket_path = TestSocketPath("expo");
+  AqedServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client(options.socket_path);
+  ASSERT_TRUE(client.RunCampaign(AluRequest()).ok());
+  StatusOr<MetricsResponse> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(metrics.value().ok);
+  const std::string& text = metrics.value().prometheus;
+  // Pre-registration means the full service name set is present even for
+  // metrics that have never fired on this server.
+  for (const char* name :
+       {"service_requests", "service_admission_rejected",
+        "service_cache_hits", "service_cache_evicted",
+        "service_sessions_live", "governor_pressure",
+        "service_request_ms_bucket", "service_request_ms_sum",
+        "service_request_ms_count"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  server.Stop();
 }
 
 }  // namespace

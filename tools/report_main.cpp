@@ -36,13 +36,17 @@ std::optional<std::string> ReadFile(const std::string& path) {
 
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
-  const std::string trace_path = flags.String("--trace");
-  const std::string metrics_path = flags.String("--metrics");
-  const std::string out_path = flags.String("--out", "aqed-report.html");
+  const std::string trace_path = flags.String(
+      "--trace", {}, "Chrome trace-event JSON to summarize");
+  const std::string metrics_path =
+      flags.String("--metrics", {}, "metrics JSONL snapshot to summarize");
+  const std::string out_path = flags.String(
+      "--out", "aqed-report.html", "output HTML report path");
   telemetry::ReportData data;
-  data.title = flags.String("--title", data.title);
+  data.title = flags.String("--title", data.title, "report title");
   telemetry::ReportOptions options;
-  options.top_spans = flags.Uint32("--top-spans", options.top_spans);
+  options.top_spans = flags.Uint32("--top-spans", options.top_spans,
+                                   "span names listed in the hot-spot table");
   flags.RejectUnknown(argv[0]);
 
   if (trace_path.empty() && metrics_path.empty()) {

@@ -18,6 +18,19 @@
 //                              server's memory and cache file
 //        --metrics-out P       arm telemetry and write a metrics JSONL
 //                              snapshot on shutdown
+//        --prom-out P          arm telemetry and rewrite P (atomically) with
+//                              the Prometheus text exposition of the full
+//                              metrics registry every --prom-period-ms
+//        --prom-period-ms N    Prometheus rewrite period (default 1000)
+//        --slow-request-ms N   append campaign requests taking >= N ms to
+//                              the slow-request JSONL log (0 = every
+//                              campaign; absent = off)
+//        --slow-log P          slow-request log path (default
+//                              <socket>.slow.jsonl)
+//
+// `aqed-client --status | --metrics | --health` introspect the running
+// server over the same socket; see DESIGN.md §14 for the observability
+// plane (request tracing, exposition format, slow-log schema).
 #include <csignal>
 #include <cstdio>
 
@@ -41,16 +54,43 @@ void HandleSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   const bench::FlagParser flags(argc, argv);
   service::ServerOptions options;
-  options.socket_path = flags.String("--socket", "/tmp/aqed-server.sock");
-  options.executors = flags.Uint32("--executors", options.executors);
-  options.max_live = flags.Uint32("--max-live", options.max_live);
+  options.socket_path = flags.String("--socket", "/tmp/aqed-server.sock",
+                                     "Unix-domain socket path to listen on");
+  options.executors =
+      flags.Uint32("--executors", options.executors,
+                   "shared executor pool size (0 = hardware concurrency)");
+  options.max_live = flags.Uint32("--max-live", options.max_live,
+                                  "global in-flight campaign bound");
   options.max_tenant_live =
-      flags.Uint32("--max-tenant-live", options.max_tenant_live);
+      flags.Uint32("--max-tenant-live", options.max_tenant_live,
+                   "per-tenant in-flight campaign bound");
   options.max_session_jobs =
-      flags.Uint32("--max-session-jobs", options.max_session_jobs);
-  options.cache_path = flags.String("--cache");
-  options.cache_max_entries = flags.Uint32("--cache-max-entries", 0);
-  const std::string metrics_path = flags.String("--metrics-out");
+      flags.Uint32("--max-session-jobs", options.max_session_jobs,
+                   "cap on one campaign's --jobs (0 = uncapped)");
+  options.cache_path = flags.String(
+      "--cache", {}, "persist the solve cache here (CRC-JSONL, atomic)");
+  options.cache_max_entries = flags.Uint32(
+      "--cache-max-entries", 0, "LRU bound on cached verdicts (0 = unbounded)");
+  const std::string metrics_path = flags.String(
+      "--metrics-out", {},
+      "arm telemetry; write a metrics JSONL snapshot on shutdown");
+  options.prom_path = flags.String(
+      "--prom-out", {},
+      "arm telemetry; rewrite this file with Prometheus text exposition");
+  options.prom_period_ms =
+      flags.Uint32("--prom-period-ms", options.prom_period_ms,
+                   "Prometheus exposition rewrite period in ms");
+  if (const std::string* slow_ms = flags.Value(
+          "--slow-request-ms",
+          "log campaigns taking >= N ms to the slow-request log (0 = all)")) {
+    options.slow_request_ms = std::strtoll(slow_ms->c_str(), nullptr, 0);
+  }
+  options.slow_log_path = flags.String(
+      "--slow-log", {},
+      "slow-request JSONL path (default <socket>.slow.jsonl)");
+  if (options.slow_request_ms >= 0 && options.slow_log_path.empty()) {
+    options.slow_log_path = options.socket_path + ".slow.jsonl";
+  }
   flags.RejectUnknown(argv[0]);
 
   if (!metrics_path.empty()) telemetry::SetEnabled(true);
@@ -71,8 +111,9 @@ int main(int argc, char** argv) {
     ::usleep(100 * 1000);
   }
 
-  std::printf("aqed-server: shutting down (%llu accepted, %llu rejected, "
-              "cache %zu entries, hit ratio %.2f)\n",
+  std::printf("aqed-server: shutting down (%llu requests, %llu accepted, "
+              "%llu rejected, cache %zu entries, hit ratio %.2f)\n",
+              static_cast<unsigned long long>(server.requests()),
               static_cast<unsigned long long>(server.accepted()),
               static_cast<unsigned long long>(server.rejected()),
               server.cache().size(), server.cache().hit_ratio());
